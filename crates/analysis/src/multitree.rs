@@ -1,0 +1,174 @@
+//! Multi-tree bounds: Theorems 2 and 3 and the tree-degree optimization
+//! (§2.3).
+
+/// Height `h` of the complete padded `d`-ary multi-tree over `n`
+/// receivers: the smallest `h` with `d + d² + … + d^h ≥ ⌈n/d⌉·d`, which is
+/// the paper's `h = ⌈log_d(N(1 − 1/d) + 1)⌉` for complete populations.
+/// (`h + 1` is the tree depth counting the root.)
+pub fn tree_height(n: usize, d: usize) -> u64 {
+    assert!(n >= 1 && d >= 1);
+    if d == 1 {
+        return n as u64; // degenerate chain
+    }
+    let n_pad = n.div_ceil(d) * d;
+    let mut h = 0u64;
+    let mut level = 1u128; // d^h
+    let mut covered = 0u128;
+    while covered < n_pad as u128 {
+        level *= d as u128;
+        covered += level;
+        h += 1;
+    }
+    h
+}
+
+/// Theorem 2: worst-case playback delay `T ≤ h·d`.
+pub fn thm2_worst_delay_bound(n: usize, d: usize) -> u64 {
+    tree_height(n, d) * d as u64
+}
+
+/// §2.3: a buffer of `h·d` packets suffices at every node.
+pub fn buffer_bound(n: usize, d: usize) -> u64 {
+    thm2_worst_delay_bound(n, d)
+}
+
+/// Theorem 3: lower bound on the average playback delay for complete
+/// `d`-ary multi-trees,
+///
+/// ```text
+///   Σ a(i) / N ≥ [d^h (d+1)(h−1) − d²(h−2) − d(d+1)/2] / [N(d−1)]
+/// ```
+///
+/// Only meaningful for `d ≥ 2` and complete populations
+/// (`N = d + d² + … + d^h`); clamped at 0.
+pub fn thm3_avg_delay_lower_bound(n: usize, d: usize) -> f64 {
+    assert!(d >= 2);
+    let h = tree_height(n, d) as f64;
+    let d = d as f64;
+    let num = d.powf(h) * (d + 1.0) * (h - 1.0) - d * d * (h - 2.0) - d * (d + 1.0) / 2.0;
+    (num / (n as f64 * (d - 1.0))).max(0.0)
+}
+
+/// The §2.3 continuous objective `F(d) = log_d[N(1 − 1/d)] · d`
+/// approximating the worst-case delay for large `N`.
+pub fn f_degree(n: usize, d: usize) -> f64 {
+    assert!(n >= 2 && d >= 2);
+    let n = n as f64;
+    let d = d as f64;
+    (n * (1.0 - 1.0 / d)).ln() / d.ln() * d
+}
+
+/// The degree `d ∈ 2..=max_d` minimizing the exact Theorem 2 bound
+/// `h(N, d)·d` (ties broken toward the smaller degree). The paper proves
+/// the optimum is always 2 or 3.
+pub fn optimal_degree(n: usize, max_d: usize) -> usize {
+    assert!(n >= 1 && max_d >= 2);
+    (2..=max_d)
+        .min_by_key(|&d| (thm2_worst_delay_bound(n, d), d))
+        .expect("non-empty degree range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_matches_complete_tree_sums() {
+        // d = 3: 3 nodes → h = 1, 12 → h = 2, 39 → h = 3.
+        assert_eq!(tree_height(3, 3), 1);
+        assert_eq!(tree_height(4, 3), 2);
+        assert_eq!(tree_height(12, 3), 2);
+        assert_eq!(tree_height(13, 3), 3);
+        assert_eq!(tree_height(39, 3), 3);
+        // d = 2: 2, 6, 14, 30 are the complete populations.
+        assert_eq!(tree_height(2, 2), 1);
+        assert_eq!(tree_height(6, 2), 2);
+        assert_eq!(tree_height(14, 2), 3);
+        assert_eq!(tree_height(15, 2), 4);
+    }
+
+    #[test]
+    fn height_agrees_with_paper_formula_for_complete_populations() {
+        // h = ⌈log_d(N(1−1/d)+1)⌉ on complete populations.
+        for d in 2..=5usize {
+            let mut n = 0usize;
+            let mut level = 1usize;
+            for _ in 0..5 {
+                level *= d;
+                n += level;
+                // (small epsilon guards ceil() against float error on
+                // exact powers, e.g. log₅125 = 3.0000000000000004)
+                let formula = (((n as f64) * (1.0 - 1.0 / d as f64) + 1.0).log(d as f64) - 1e-9)
+                    .ceil() as u64;
+                assert_eq!(tree_height(n, d), formula, "N={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn height_matches_constructed_forest() {
+        for n in 1..=120 {
+            for d in 2..=5 {
+                let f = clustream_multitree::greedy_forest(n, d).unwrap();
+                assert_eq!(tree_height(n, d), f.height() as u64, "N={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_degree_one_is_a_chain() {
+        assert_eq!(tree_height(7, 1), 7);
+        assert_eq!(thm2_worst_delay_bound(7, 1), 7);
+    }
+
+    /// §2.3: "an optimal value of d should always be either 2 or 3", and
+    /// for sufficiently large N degree 3 wins the continuous objective.
+    #[test]
+    fn optimal_degree_is_two_or_three() {
+        for n in [5usize, 10, 50, 100, 500, 1000, 2000, 10_000, 100_000] {
+            let opt = optimal_degree(n, 16);
+            assert!(opt == 2 || opt == 3, "N={n}: optimal degree {opt}");
+        }
+    }
+
+    #[test]
+    fn f_derivative_sign_matches_paper() {
+        // dF/dd < 0 at d = 2 and > 0 for d ≥ 3 (large N): F(3) ≤ F(2) and
+        // F is increasing beyond 3.
+        for n in [1000usize, 100_000] {
+            assert!(f_degree(n, 3) < f_degree(n, 2), "N={n}");
+            for d in 3..10 {
+                assert!(f_degree(n, d + 1) > f_degree(n, d), "N={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn f_matches_paper_special_values() {
+        // F(2) = 2(log₂N − 1), F(3) = 3(log₂N/log₂3 − log₃(3/2)).
+        let n = 4096usize;
+        let lg = (n as f64).log2();
+        let f2 = 2.0 * (lg - 1.0);
+        let f3 = 3.0 * (lg / 3f64.log2() - (1.5f64).ln() / 3f64.ln());
+        assert!((f_degree(n, 2) - f2).abs() < 1e-9);
+        assert!((f_degree(n, 3) - f3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm3_lower_bound_is_consistent() {
+        // The lower bound must sit below the Theorem 2 upper bound and be
+        // positive for complete populations of height ≥ 2.
+        for d in 2..=4usize {
+            let n: usize = d + d * d + d * d * d; // h = 3
+            let lo = thm3_avg_delay_lower_bound(n, d);
+            let hi = thm2_worst_delay_bound(n, d) as f64;
+            assert!(lo > 0.0, "d={d}");
+            assert!(lo <= hi, "d={d}: {lo} > {hi}");
+        }
+    }
+
+    #[test]
+    fn buffer_bound_equals_delay_bound() {
+        assert_eq!(buffer_bound(100, 3), thm2_worst_delay_bound(100, 3));
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-cluster bound: Theorem 1 (§2.1).
+
+use crate::multitree::tree_height;
+
+/// Maximum backbone depth of the super-tree `τ` over `k` clusters with
+/// source degree `big_d = D`: clusters fill BFS with `D` children at the
+/// root and `D − 1` per interior super node.
+pub fn backbone_depth(k: usize, big_d: usize) -> u64 {
+    assert!(k >= 1 && big_d >= 2);
+    let mut covered = 0u128;
+    let mut layer = 1u128; // clusters at current depth (starts with D at 1)
+    let mut depth = 0u64;
+    while covered < k as u128 {
+        layer *= if depth == 0 {
+            big_d as u128
+        } else {
+            (big_d - 1) as u128
+        };
+        covered += layer;
+        depth += 1;
+    }
+    depth
+}
+
+/// Theorem 1 instantiated for our conventions: worst-case playback delay
+/// of a multi-cluster session with intra-cluster multi-trees is at most
+///
+/// ```text
+///   T_c · depth(τ)  +  1  +  d  +  h·d
+/// ```
+///
+/// (backbone hops, the `S_i → S'_i` hop, the live-prebuffer shift, and
+/// the Theorem 2 intra-cluster bound) — the paper's
+/// `T_c·log_{D−1}K + T_i·d(h−1)` up to additive constants.
+pub fn thm1_delay_bound(
+    k: usize,
+    big_d: usize,
+    t_c: u32,
+    d: usize,
+    max_cluster_size: usize,
+) -> u64 {
+    let h = tree_height(max_cluster_size, d);
+    backbone_depth(k, big_d) * t_c as u64 + 1 + d as u64 + h * d as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_depth_examples() {
+        // Figure 1: K = 9, D = 3 → depths 1 (3 clusters) and 2 (6 more).
+        assert_eq!(backbone_depth(3, 3), 1);
+        assert_eq!(backbone_depth(4, 3), 2);
+        assert_eq!(backbone_depth(9, 3), 2);
+        assert_eq!(backbone_depth(10, 3), 3);
+        assert_eq!(backbone_depth(1, 5), 1);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_in_k() {
+        for big_d in 3..=5usize {
+            for k in [10usize, 100, 1000] {
+                let depth = backbone_depth(k, big_d);
+                let bound = 2 + ((k as f64).ln() / ((big_d - 1) as f64).ln()).ceil() as u64;
+                assert!(depth <= bound, "K={k} D={big_d}: {depth} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn thm1_bound_components_add_up() {
+        // K = 9, D = 3, T_c = 5, d = 3, clusters of 15 (h = 3):
+        // 2·5 + 1 + 3 + 9 = 23.
+        assert_eq!(thm1_delay_bound(9, 3, 5, 3, 15), 23);
+    }
+
+    #[test]
+    fn tc_dominates_for_wide_backbones() {
+        let small_tc = thm1_delay_bound(64, 3, 2, 2, 20);
+        let large_tc = thm1_delay_bound(64, 3, 30, 2, 20);
+        assert!(large_tc - small_tc == (30 - 2) * backbone_depth(64, 3));
+    }
+}

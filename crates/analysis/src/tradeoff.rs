@@ -1,0 +1,157 @@
+//! The delay/buffer tradeoff, quantified: Pareto frontiers and crossover
+//! populations.
+//!
+//! The paper's title tradeoff in one picture: for a given `N`, each scheme
+//! occupies a point in (worst-case delay, buffer) space. Multi-trees of
+//! degree 2–3 minimize delay at `O(d log N)` buffers; hypercube chains pin
+//! the buffer at 2 resident packets for `O(log² N)` delay. This module
+//! computes the candidate points, their Pareto frontier, and the
+//! populations at which schemes swap rank.
+
+use crate::hypercube::{chained_worst_delay, grouped_worst_delay};
+use crate::multitree::{buffer_bound, thm2_worst_delay_bound};
+
+/// One scheme's predicted (delay, buffer) point for a population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TradeoffPoint {
+    /// Scheme label.
+    pub scheme: String,
+    /// Predicted worst-case playback delay (slots).
+    pub delay: u64,
+    /// Predicted resident buffer requirement (packets).
+    pub buffer: u64,
+    /// Predicted worst-case neighbor count.
+    pub neighbors: u64,
+}
+
+/// Candidate points for `n` receivers: multi-trees of degree 2..=max_d and
+/// hypercube chains with source split `d ∈ {1, 2, 3}`.
+pub fn candidates(n: usize, max_d: usize) -> Vec<TradeoffPoint> {
+    assert!(n >= 1 && max_d >= 2);
+    let mut pts = Vec::new();
+    for d in 2..=max_d {
+        pts.push(TradeoffPoint {
+            scheme: format!("multi-tree d={d}"),
+            delay: thm2_worst_delay_bound(n, d),
+            buffer: buffer_bound(n, d),
+            neighbors: 2 * d as u64,
+        });
+    }
+    for d in 1..=3usize.min(n) {
+        let group = n.div_ceil(d);
+        pts.push(TradeoffPoint {
+            scheme: if d == 1 {
+                "hypercube".into()
+            } else {
+                format!("hypercube d={d}")
+            },
+            delay: grouped_worst_delay(n, d),
+            buffer: 2,
+            neighbors: 3 * (64 - (group as u64).leading_zeros() as u64),
+        });
+    }
+    pts
+}
+
+/// The Pareto-optimal subset under (delay, buffer) minimization, sorted by
+/// delay.
+pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut frontier: Vec<TradeoffPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                (q.delay < p.delay && q.buffer <= p.buffer)
+                    || (q.delay <= p.delay && q.buffer < p.buffer)
+            })
+        })
+        .cloned()
+        .collect();
+    frontier.sort_by_key(|p| (p.delay, p.buffer));
+    frontier.dedup();
+    frontier
+}
+
+/// Smallest population at which the degree-2 multi-tree's worst-case
+/// delay beats the single hypercube chain's (the Table 1 crossover).
+/// `None` if no crossover occurs up to `max_n`.
+pub fn multitree_beats_hypercube_from(max_n: usize) -> Option<usize> {
+    (2..=max_n).find(|&n| {
+        let mt = thm2_worst_delay_bound(n, 2);
+        let hc = chained_worst_delay(n);
+        // Require it to hold from here on (check a horizon to skip
+        // special-N dips where a single cube momentarily wins).
+        mt < hc
+            && (n..=(n + 64).min(max_n))
+                .all(|m| thm2_worst_delay_bound(m, 2) <= chained_worst_delay(m))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_contains_both_families_at_scale() {
+        let pts = candidates(1000, 5);
+        let frontier = pareto_frontier(&pts);
+        assert!(
+            frontier.iter().any(|p| p.scheme.starts_with("multi-tree")),
+            "{frontier:?}"
+        );
+        assert!(
+            frontier.iter().any(|p| p.scheme.starts_with("hypercube")),
+            "{frontier:?}"
+        );
+        // Frontier is sorted by delay with strictly decreasing buffers.
+        for w in frontier.windows(2) {
+            assert!(w[0].delay <= w[1].delay);
+            assert!(w[0].buffer >= w[1].buffer);
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![
+            TradeoffPoint {
+                scheme: "a".into(),
+                delay: 10,
+                buffer: 10,
+                neighbors: 4,
+            },
+            TradeoffPoint {
+                scheme: "b".into(),
+                delay: 12,
+                buffer: 12,
+                neighbors: 4,
+            },
+            TradeoffPoint {
+                scheme: "c".into(),
+                delay: 20,
+                buffer: 2,
+                neighbors: 9,
+            },
+        ];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f.len(), 2);
+        assert!(!f.iter().any(|p| p.scheme == "b"));
+    }
+
+    #[test]
+    fn crossover_exists_and_is_small() {
+        // Multi-trees overtake chained hypercubes well before N = 500.
+        let x = multitree_beats_hypercube_from(2000).expect("crossover exists");
+        assert!(x < 500, "crossover at {x}");
+        // And past the crossover the degree-2 tree stays ahead at
+        // non-special sizes.
+        assert!(thm2_worst_delay_bound(1000, 2) < chained_worst_delay(1000));
+    }
+
+    #[test]
+    fn source_split_improves_hypercube_delay() {
+        let pts = candidates(300, 3);
+        let d1 = pts.iter().find(|p| p.scheme == "hypercube").unwrap();
+        let d3 = pts.iter().find(|p| p.scheme == "hypercube d=3").unwrap();
+        assert!(d3.delay <= d1.delay);
+        assert_eq!(d3.buffer, 2);
+    }
+}

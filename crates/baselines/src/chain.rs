@@ -1,0 +1,80 @@
+//! The chain baseline: `S → 1 → 2 → … → N`.
+
+use clustream_core::{NodeId, PacketId, Scheme, Slot, StateView, Transmission, SOURCE};
+
+/// Receivers chained in a list; each node forwards the packet it received
+/// in the previous slot. Buffer stays `O(1)`, every node talks to ≤ 2
+/// neighbors, but node `i` waits `i` slots before playback.
+#[derive(Debug, Clone)]
+pub struct ChainScheme {
+    n: usize,
+}
+
+impl ChainScheme {
+    /// A chain of `n ≥ 1` receivers.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one receiver");
+        ChainScheme { n }
+    }
+
+    /// Exact playback delay of node `i`: `i` slots.
+    pub fn predicted_delay(&self, i: u32) -> u64 {
+        i as u64
+    }
+}
+
+impl Scheme for ChainScheme {
+    fn name(&self) -> String {
+        format!("chain(N={})", self.n)
+    }
+
+    fn num_receivers(&self) -> usize {
+        self.n
+    }
+
+    fn availability(&self) -> clustream_core::Availability {
+        clustream_core::Availability::Live
+    }
+
+    fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+        let t = slot.t();
+        // S emits packet t; node i relays packet t − i (received last slot).
+        out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+        for i in 1..self.n as u64 {
+            if t >= i {
+                out.push(Transmission::local(
+                    NodeId(i as u32),
+                    NodeId(i as u32 + 1),
+                    PacketId(t - i),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn delay_is_linear_buffer_constant() {
+        let mut s = ChainScheme::new(12);
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(16, 1000)).unwrap();
+        for q in &r.qos.nodes {
+            assert_eq!(q.playback_delay, s.predicted_delay(q.node.0));
+            assert!(q.max_buffer <= 2);
+            assert!(q.neighbors <= 2);
+        }
+        assert_eq!(r.qos.max_delay(), 12);
+        assert_eq!(r.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn single_receiver_chain() {
+        let mut s = ChainScheme::new(1);
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(4, 100)).unwrap();
+        assert_eq!(r.qos.max_delay(), 1);
+        assert_eq!(r.qos.node(NodeId(1)).unwrap().neighbors, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline overlays from the paper's introduction (§1).
+//!
+//! Two strawmen motivate the multi-tree and hypercube constructions:
+//!
+//! * [`ChainScheme`] — receivers in a list, each forwarding to the next.
+//!   Minimal buffering, unit upload, but `O(N)` playback delay —
+//!   "unacceptable for all but a few nodes".
+//! * [`SingleTreeScheme`] — one `d`-ary tree rooted at the source. Delay
+//!   is `O(log_d N)` and buffers are constant, **but** every interior node
+//!   must upload `d` packets per slot (`d×` the streaming rate), while the
+//!   ~`(1 − 1/d)·N` leaf nodes contribute nothing — the resource
+//!   inefficiency the interior-disjoint multi-trees eliminate.
+//!   [`SingleTreeScheme::unit_capacity`] builds the same tree under the
+//!   paper's unit-upload model, demonstrating that it *cannot sustain* the
+//!   stream (children receive only every `d`-th slot's worth of data).
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod single_tree;
+
+pub use chain::ChainScheme;
+pub use single_tree::SingleTreeScheme;

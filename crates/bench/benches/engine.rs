@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the slot engine itself: validated simulation
+//! throughput per scheme, closed-form profiling at scale, and the cost of
+//! tracing/fault machinery.
+
+use clustream_bench::simulate;
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
+use clustream_sim::{FaultPlan, SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_throughput");
+    g.sample_size(10);
+
+    g.bench_function("multitree_n2000_d3_track48", |b| {
+        b.iter(|| {
+            let mut s =
+                MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+            simulate(&mut s, 48).total_transmissions
+        })
+    });
+
+    g.bench_function("hypercube_n2000_track64", |b| {
+        b.iter(|| {
+            let mut s = HypercubeStream::new(2000).unwrap();
+            simulate(&mut s, 64).total_transmissions
+        })
+    });
+
+    g.bench_function("multitree_n2000_traced", |b| {
+        b.iter(|| {
+            let mut s =
+                MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+            let cfg = SimConfig::until_complete(48, 1_000_000).traced();
+            Simulator::run(&mut s, &cfg).unwrap().total_transmissions
+        })
+    });
+
+    g.bench_function("multitree_n500_lossy", |b| {
+        b.iter(|| {
+            let mut s =
+                MultiTreeScheme::new(greedy_forest(500, 3).unwrap(), StreamMode::PreRecorded);
+            let cfg = SimConfig::with_faults(48, 400, FaultPlan::loss(0.01, 7));
+            Simulator::run(&mut s, &cfg).unwrap().total_transmissions
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("closed_form_profile");
+    g.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        g.bench_function(format!("delay_profile_d3_n{n}"), |b| {
+            b.iter(|| {
+                let s = MultiTreeScheme::new(greedy_forest(n, 3).unwrap(), StreamMode::PreRecorded);
+                DelayProfile::compute(&s).unwrap().max_delay()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

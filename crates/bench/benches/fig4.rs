@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 4 pipeline: forest construction plus
+//! closed-form delay profiling across degrees.
+
+use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig4_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_point");
+    for &(n, d) in &[
+        (500usize, 2usize),
+        (500, 3),
+        (2000, 2),
+        (2000, 3),
+        (2000, 5),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("d{d}"), n),
+            &(n, d),
+            |b, &(n, d)| {
+                b.iter(|| {
+                    let forest = greedy_forest(n, d).unwrap();
+                    let scheme = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+                    DelayProfile::compute(&scheme).unwrap().max_delay()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4_point);
+criterion_main!(benches);

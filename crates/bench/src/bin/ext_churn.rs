@@ -1,0 +1,50 @@
+//! ext-B: churn — eager vs lazy dynamics under Poisson arrivals and
+//! exponential lifetimes: swaps, rebuilds, displacement, post-churn QoS.
+
+use clustream_bench::{ext_churn, render_table};
+use clustream_workloads::ChurnTraceConfig;
+
+fn main() {
+    for (seed, leave_rate) in [(1u64, 0.002f64), (2, 0.01), (3, 0.03)] {
+        let cfg = ChurnTraceConfig {
+            initial_members: 60,
+            slots: 2000,
+            join_rate: 0.05,
+            leave_rate,
+            seed,
+        };
+        let rows = ext_churn(cfg, 3);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    r.events.to_string(),
+                    r.total_swaps.to_string(),
+                    r.rebuilds.to_string(),
+                    r.max_displaced.to_string(),
+                    r.hiccup_slots.to_string(),
+                    r.final_members.to_string(),
+                    r.post_churn_max_delay.to_string(),
+                ]
+            })
+            .collect();
+        println!("ext-B — churn (seed {seed}, leave rate {leave_rate}), d = 3, N₀ = 60\n");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "variant",
+                    "events",
+                    "swaps",
+                    "rebuilds",
+                    "max displaced",
+                    "hiccup slots",
+                    "final N",
+                    "post delay"
+                ],
+                &table
+            )
+        );
+    }
+}

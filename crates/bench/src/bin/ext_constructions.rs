@@ -1,0 +1,28 @@
+//! Construction ablation: do the structured and greedy constructions
+//! deliver different QoS? (Same guarantees; node placement differs.)
+
+use clustream_bench::{ext_constructions, render_table};
+
+fn main() {
+    let rows = ext_constructions(&[15, 100, 500, 2000], 3);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.construction.clone(),
+                r.max_delay.to_string(),
+                format!("{:.2}", r.avg_delay),
+                r.max_buffer.to_string(),
+            ]
+        })
+        .collect();
+    println!("Construction ablation, d = 3\n");
+    println!(
+        "{}",
+        render_table(
+            &["N", "construction", "max delay", "avg delay", "buffer"],
+            &table
+        )
+    );
+}

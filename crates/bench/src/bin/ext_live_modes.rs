@@ -1,0 +1,25 @@
+//! Live-streaming ablation (§2.2.3): pre-recorded vs pre-buffered vs
+//! pipelined injection.
+
+use clustream_bench::{ext_live_modes, render_table};
+
+fn main() {
+    let rows = ext_live_modes(&[15, 63, 255, 1023], 3);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.mode.clone(),
+                r.max_delay.to_string(),
+                format!("{:.2}", r.avg_delay),
+                r.max_buffer.to_string(),
+            ]
+        })
+        .collect();
+    println!("Live-mode ablation, d = 3\n");
+    println!(
+        "{}",
+        render_table(&["N", "mode", "max delay", "avg delay", "buffer"], &table)
+    );
+}

@@ -1,0 +1,7 @@
+//! Figure 1: the super-tree τ over K = 9 clusters with D = 3.
+
+use clustream_bench::fig1_supertree;
+
+fn main() {
+    println!("{}", fig1_supertree(9, 3));
+}

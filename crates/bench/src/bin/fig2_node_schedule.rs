@@ -1,0 +1,8 @@
+//! Figure 2: receiving and sending schedule of node id 6 in the N = 15,
+//! d = 3 forests of Figure 3.
+
+use clustream_bench::fig2_node_schedule;
+
+fn main() {
+    println!("{}", fig2_node_schedule(6));
+}

@@ -1,0 +1,8 @@
+//! Figure 3: the structured and greedy interior-disjoint trees for
+//! N = 15, d = 3.
+
+use clustream_bench::fig3_trees;
+
+fn main() {
+    println!("{}", fig3_trees());
+}

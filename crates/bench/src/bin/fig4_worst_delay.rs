@@ -1,0 +1,38 @@
+//! Regenerate Figure 4: maximum startup delay vs number of nodes, tree
+//! degrees 2–5. Prints the table and a CSV block (`N,d2,d3,d4,d5`)
+//! matching the paper's series.
+
+use clustream_bench::{fig4, render_table};
+use clustream_workloads::linear_grid;
+
+fn main() {
+    let ns = linear_grid(25, 2000, 80);
+    let degrees = [2usize, 3, 4, 5];
+    let pts = fig4(&ns, &degrees);
+
+    let rows: Vec<Vec<String>> = ns
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for &d in &degrees {
+                let p = pts.iter().find(|p| p.n == n && p.d == d).expect("point");
+                row.push(p.max_delay.to_string());
+            }
+            row
+        })
+        .collect();
+    println!("Figure 4 — worst-case startup delay (slots) vs N\n");
+    println!(
+        "{}",
+        render_table(
+            &["N", "degree 2", "degree 3", "degree 4", "degree 5"],
+            &rows
+        )
+    );
+
+    println!("CSV:");
+    println!("N,d2,d3,d4,d5");
+    for row in &rows {
+        println!("{}", row.join(","));
+    }
+}

@@ -1,0 +1,8 @@
+//! Figures 5/6: the hypercube doubling state for N = 7 — per slot, how
+//! many nodes hold each packet.
+
+use clustream_bench::fig5_hypercube_state;
+
+fn main() {
+    println!("{}", fig5_hypercube_state(12));
+}

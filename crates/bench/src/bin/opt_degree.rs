@@ -1,0 +1,28 @@
+//! §2.3 degree optimization: the exact-bound-optimal tree degree is
+//! always 2 or 3.
+
+use clustream_bench::{opt_degree, render_table};
+use clustream_workloads::geometric_grid;
+
+fn main() {
+    let ns = geometric_grid(4, 100_000, 15);
+    let rows = opt_degree(&ns);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.optimal_d.to_string(),
+                r.bound_d2.to_string(),
+                r.bound_d3.to_string(),
+                r.bound_d4.to_string(),
+                r.bound_d5.to_string(),
+            ]
+        })
+        .collect();
+    println!("Optimal tree degree (argmin of the exact h·d bound)\n");
+    println!(
+        "{}",
+        render_table(&["N", "opt d", "h·d (d=2)", "d=3", "d=4", "d=5"], &table)
+    );
+}

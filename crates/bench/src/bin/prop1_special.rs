@@ -1,0 +1,36 @@
+//! Proposition 1: hypercube streaming for N = 2^k − 1 — playback delay
+//! k + 1, O(1) buffers, k neighbors.
+
+use clustream_bench::{prop1, render_table};
+
+fn main() {
+    let rows = prop1(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.k.to_string(),
+                r.n.to_string(),
+                r.measured_max_delay.to_string(),
+                r.predicted_delay.to_string(),
+                r.measured_buffer.to_string(),
+                r.measured_neighbors.to_string(),
+            ]
+        })
+        .collect();
+    println!("Proposition 1 — special N = 2^k − 1\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "k",
+                "N",
+                "max delay",
+                "k+1",
+                "buffer (≤3)",
+                "neighbors (≤k)"
+            ],
+            &table
+        )
+    );
+}

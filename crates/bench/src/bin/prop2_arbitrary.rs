@@ -1,0 +1,43 @@
+//! Proposition 2 and Theorem 4: chained hypercubes for arbitrary N —
+//! O(log²N) worst delay, O(1) buffers, O(logN) neighbors, average delay
+//! ≤ 2·log₂N.
+
+use clustream_bench::{prop2_thm4, render_table};
+use clustream_workloads::geometric_grid;
+
+fn main() {
+    let ns = geometric_grid(2, 2000, 14);
+    let rows = prop2_thm4(&ns);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.cubes.to_string(),
+                r.measured_max_delay.to_string(),
+                r.predicted_max_delay.to_string(),
+                format!("{:.2}", r.measured_avg_delay),
+                format!("{:.2}", r.thm4_bound),
+                r.measured_buffer.to_string(),
+                r.measured_neighbors.to_string(),
+            ]
+        })
+        .collect();
+    println!("Proposition 2 / Theorem 4 — arbitrary N hypercube chains\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "N",
+                "cubes",
+                "max",
+                "predicted",
+                "avg",
+                "2log₂N",
+                "buffer",
+                "nbrs"
+            ],
+            &table
+        )
+    );
+}

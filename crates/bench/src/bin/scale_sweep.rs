@@ -1,0 +1,68 @@
+//! Scalability sweep: closed-form predictions for populations far beyond
+//! the paper's 2000-node figures, plus a large validated simulation to
+//! show the engine keeps up.
+
+use clustream_analysis as analysis;
+use clustream_bench::{render_table, simulate};
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
+use std::time::Instant;
+
+fn main() {
+    println!("closed-form predictions at scale\n");
+    let rows: Vec<Vec<String>> = [1_000usize, 10_000, 100_000, 1_000_000, 10_000_000]
+        .iter()
+        .map(|&n| {
+            vec![
+                n.to_string(),
+                analysis::thm2_worst_delay_bound(n, 2).to_string(),
+                analysis::thm2_worst_delay_bound(n, 3).to_string(),
+                analysis::chained_worst_delay(n).to_string(),
+                format!("{:.1}", analysis::chained_avg_delay(n)),
+                analysis::optimal_degree(n, 8).to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["N", "mt d=2 (h·d)", "mt d=3", "hc worst", "hc avg", "opt d"],
+            &rows
+        )
+    );
+
+    // Exact closed-form profile of a 100k-node forest.
+    let t0 = Instant::now();
+    let s = MultiTreeScheme::new(greedy_forest(100_000, 3).unwrap(), StreamMode::PreRecorded);
+    let p = DelayProfile::compute(&s).unwrap();
+    println!(
+        "exact profile, N = 100000, d = 3: max delay {} (bound {}), computed in {:.2?}",
+        p.max_delay(),
+        analysis::thm2_worst_delay_bound(100_000, 3),
+        t0.elapsed()
+    );
+
+    // Fully validated simulations at N = 20000.
+    for mk in ["multitree", "hypercube"] {
+        let t0 = Instant::now();
+        let (name, tx) = match mk {
+            "multitree" => {
+                let mut s = MultiTreeScheme::new(
+                    greedy_forest(20_000, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                );
+                let r = simulate(&mut s, 48);
+                (r.scheme, r.total_transmissions)
+            }
+            _ => {
+                let mut s = HypercubeStream::new(20_000).unwrap();
+                let r = simulate(&mut s, 64);
+                (r.scheme, r.total_transmissions)
+            }
+        };
+        println!(
+            "validated sim, N = 20000 ({name}): {tx} transmissions in {:.2?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerate Table 1: multi-tree vs hypercube (special and arbitrary N)
+//! on max delay, average delay, buffer size and neighbor count, plus the
+//! chain baseline.
+
+use clustream_bench::{render_table, table1};
+
+fn main() {
+    // Mix of special (2^k − 1) and general populations so both hypercube
+    // rows are exercised.
+    let ns = [63usize, 250, 1000, 2000];
+    let rows = table1(&ns);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                r.n.to_string(),
+                r.max_delay.to_string(),
+                format!("{:.1}", r.avg_delay),
+                r.p50_delay.to_string(),
+                r.p95_delay.to_string(),
+                r.max_buffer.to_string(),
+                r.max_neighbors.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table 1 — measured QoS per scheme\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "N",
+                "max delay",
+                "avg delay",
+                "p50",
+                "p95",
+                "buffer",
+                "neighbors"
+            ],
+            &table
+        )
+    );
+    println!("paper's asymptotics: multi-tree O(d·logN) delay / O(d·logN) buffer / O(d) nbrs;");
+    println!("hypercube O(log²(N/d)) delay / O(1) buffer / O(log(N/d)) nbrs.");
+}

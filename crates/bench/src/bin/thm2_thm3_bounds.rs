@@ -1,0 +1,40 @@
+//! Theorems 2 and 3: measured worst/average delay and buffers vs the
+//! closed-form bounds on complete populations.
+
+use clustream_bench::{render_table, thm2_thm3};
+
+fn main() {
+    let rows = thm2_thm3(5);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.d.to_string(),
+                r.h.to_string(),
+                r.measured_max.to_string(),
+                r.thm2_bound.to_string(),
+                format!("{:.2}", r.measured_avg),
+                format!("{:.2}", r.thm3_lower),
+                r.measured_buffer.to_string(),
+            ]
+        })
+        .collect();
+    println!("Theorems 2 & 3 — complete d-ary populations\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "N",
+                "d",
+                "h",
+                "max",
+                "h·d bound",
+                "avg",
+                "thm3 lower",
+                "buffer"
+            ],
+            &table
+        )
+    );
+}

@@ -1,0 +1,35 @@
+//! The title tradeoff, quantified: predicted Pareto frontiers
+//! (delay × buffer) across populations, plus the multi-tree/hypercube
+//! crossover.
+
+use clustream_analysis::tradeoff::{candidates, multitree_beats_hypercube_from, pareto_frontier};
+use clustream_bench::render_table;
+
+fn main() {
+    for n in [63usize, 250, 1000, 10_000, 100_000] {
+        let frontier = pareto_frontier(&candidates(n, 5));
+        let rows: Vec<Vec<String>> = frontier
+            .iter()
+            .map(|p| {
+                vec![
+                    p.scheme.clone(),
+                    p.delay.to_string(),
+                    p.buffer.to_string(),
+                    p.neighbors.to_string(),
+                ]
+            })
+            .collect();
+        println!("Pareto frontier at N = {n}\n");
+        println!(
+            "{}",
+            render_table(&["scheme", "delay ≤", "buffer", "peers ≤"], &rows)
+        );
+    }
+    match multitree_beats_hypercube_from(5000) {
+        Some(x) => println!(
+            "degree-2 multi-trees dominate the single hypercube chain on worst-case \
+             delay from N ≈ {x} onward"
+        ),
+        None => println!("no stable crossover below N = 5000"),
+    }
+}

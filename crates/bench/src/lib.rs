@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each `fig*`/`table*`/`thm*`/`prop*` function reproduces one display
+//! item (see DESIGN.md §5 for the index); the `src/bin/*` binaries are
+//! thin wrappers that print the rows, and `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison. Sweeps run in parallel with rayon.
+
+#![warn(missing_docs)]
+// Experiment row structs carry self-describing measurement fields; field-level
+// docs would only repeat the names.
+#![allow(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::render_table;

@@ -1,0 +1,114 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// CLI failure: bad usage or a propagated model error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Malformed invocation; the string is the message to print.
+    Usage(String),
+    /// The underlying library rejected the configuration.
+    Model(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Model(m) => write!(f, "model error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<clustream_core::CoreError> for CliError {
+    fn from(e: clustream_core::CoreError) -> Self {
+        CliError::Model(e.to_string())
+    }
+}
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArgMap {
+    map: BTreeMap<String, String>,
+}
+
+impl ArgMap {
+    /// Parse `["--key", "value", …]`.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut map = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got `{k}`")))?;
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} requires a value")))?;
+            if map.insert(key.to_string(), v.clone()).is_some() {
+                return Err(CliError::Usage(format!("--{key} given twice")));
+            }
+        }
+        Ok(ArgMap { map })
+    }
+
+    /// Required string value.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.map
+            .get(key)
+            .map(|s| s.as_str())
+            .ok_or_else(|| CliError::Usage(format!("missing required --{key}")))
+    }
+
+    /// Optional string value.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(|s| s.as_str())
+    }
+
+    /// Required integer.
+    pub fn required_usize(&self, key: &str) -> Result<usize, CliError> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--{key} must be an integer")))
+    }
+
+    /// Optional integer with default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} must be an integer"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = ArgMap::parse(&argv(&["--n", "100", "--d", "3"])).unwrap();
+        assert_eq!(a.required("n").unwrap(), "100");
+        assert_eq!(a.required_usize("d").unwrap(), 3);
+        assert_eq!(a.usize_or("track", 48).unwrap(), 48);
+        assert!(a.optional("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ArgMap::parse(&argv(&["n", "100"])).is_err());
+        assert!(ArgMap::parse(&argv(&["--n"])).is_err());
+        assert!(ArgMap::parse(&argv(&["--n", "1", "--n", "2"])).is_err());
+        let a = ArgMap::parse(&argv(&["--n", "abc"])).unwrap();
+        assert!(a.required_usize("n").is_err());
+        assert!(a.required("d").is_err());
+    }
+}

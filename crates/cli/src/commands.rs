@@ -1,0 +1,330 @@
+//! The CLI subcommands.
+
+use crate::args::{ArgMap, CliError};
+use clustream_baselines::{ChainScheme, SingleTreeScheme};
+use clustream_core::{NodeId, PacketId, Scheme};
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, node_calendar, MultiTreeScheme, StreamMode};
+use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
+use clustream_sim::{RunResult, SimConfig, Simulator};
+use std::fmt::Write as _;
+
+fn parse_mode(args: &ArgMap) -> Result<StreamMode, CliError> {
+    match args.optional("mode").unwrap_or("pre") {
+        "pre" => Ok(StreamMode::PreRecorded),
+        "buffered" => Ok(StreamMode::LivePrebuffered),
+        "pipelined" => Ok(StreamMode::LivePipelined),
+        other => Err(CliError::Usage(format!(
+            "--mode must be pre|buffered|pipelined, got `{other}`"
+        ))),
+    }
+}
+
+fn build_scheme(args: &ArgMap) -> Result<Box<dyn Scheme>, CliError> {
+    let n = args.required_usize("n")?;
+    Ok(match args.required("scheme")? {
+        "multitree" => {
+            let d = args.usize_or("d", 2)?;
+            Box::new(MultiTreeScheme::new(
+                greedy_forest(n, d)?,
+                parse_mode(args)?,
+            ))
+        }
+        // Hypercubes default to a single chain (d = 1 source split).
+        "hypercube" => {
+            let d = args.usize_or("d", 1)?;
+            Box::new(HypercubeStream::with_groups(n, d.min(n))?)
+        }
+        "chain" => Box::new(ChainScheme::new(n)),
+        "singletree" => Box::new(SingleTreeScheme::new(n, args.usize_or("d", 2)?)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "--scheme must be multitree|hypercube|chain|singletree, got `{other}`"
+            )))
+        }
+    })
+}
+
+fn run_scheme(scheme: &mut dyn Scheme, track: u64, traced: bool) -> Result<RunResult, CliError> {
+    let mut cfg = SimConfig::until_complete(track, 1_000_000);
+    if traced {
+        cfg = cfg.traced();
+    }
+    Ok(Simulator::run(scheme, &cfg)?)
+}
+
+/// `clustream simulate`.
+pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
+    let mut scheme = build_scheme(args)?;
+    let track = args.usize_or("track", 48)? as u64;
+    let r = run_scheme(scheme.as_mut(), track, false)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "scheme      : {}", r.scheme);
+    let _ = writeln!(out, "receivers   : {}", r.qos.n);
+    let _ = writeln!(out, "slots run   : {}", r.slots_run);
+    let _ = writeln!(out, "max delay   : {} slots", r.qos.max_delay());
+    let _ = writeln!(out, "avg delay   : {:.2} slots", r.qos.avg_delay());
+    let _ = writeln!(out, "max buffer  : {} packets", r.qos.max_buffer());
+    let _ = writeln!(out, "max peers   : {}", r.qos.max_neighbors());
+    let _ = writeln!(out, "transmissions: {}", r.total_transmissions);
+    Ok(out)
+}
+
+/// `clustream analyze`.
+pub fn analyze(args: &ArgMap) -> Result<String, CliError> {
+    let n = args.required_usize("n")?;
+    let max_d = args.usize_or("max-d", 5)?.max(2);
+    let mut out = String::new();
+    let _ = writeln!(out, "population N = {n}\n");
+    let _ = writeln!(
+        out,
+        "optimal tree degree (Theorem 2 argmin): d = {}",
+        clustream_analysis::optimal_degree(n.max(2), max_d.max(3))
+    );
+    let _ = writeln!(
+        out,
+        "multi-tree bound (d=2): delay ≤ {}, buffer ≤ {}",
+        clustream_analysis::thm2_worst_delay_bound(n, 2),
+        clustream_analysis::multitree::buffer_bound(n, 2)
+    );
+    let _ = writeln!(
+        out,
+        "hypercube chain: delay ≤ {}, avg ≤ {:.2}, buffer 2 resident",
+        clustream_analysis::chained_worst_delay(n),
+        clustream_analysis::chained_avg_delay(n)
+    );
+    let _ = writeln!(out, "\nPareto frontier (delay, buffer):");
+    for p in clustream_analysis::pareto_frontier(&clustream_analysis::candidates(n, max_d)) {
+        let _ = writeln!(
+            out,
+            "  {:<18} delay {:>4}  buffer {:>4}  peers ≤ {}",
+            p.scheme, p.delay, p.buffer, p.neighbors
+        );
+    }
+    Ok(out)
+}
+
+/// `clustream plan`.
+pub fn plan(args: &ArgMap) -> Result<String, CliError> {
+    let spec = args.required("clusters")?;
+    let t_c = args.usize_or("tc", 5)? as u32;
+    let big_d = args.usize_or("bigd", 3)?;
+    let requirements: Vec<ClusterRequirement> = spec
+        .split(',')
+        .map(|part| {
+            let (size, budget) = match part.split_once(':') {
+                Some((s, b)) => (s, Some(b)),
+                None => (part, None),
+            };
+            let size = size
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad cluster size `{size}`")))?;
+            let buffer_budget = match budget {
+                None => None,
+                Some("none") => None,
+                Some(b) => Some(
+                    b.parse()
+                        .map_err(|_| CliError::Usage(format!("bad buffer budget `{b}`")))?,
+                ),
+            };
+            Ok(ClusterRequirement {
+                size,
+                buffer_budget,
+            })
+        })
+        .collect::<Result<_, CliError>>()?;
+
+    let (mut session, plans) = plan_session(&requirements, big_d, t_c)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "planned session: K = {}, D = {big_d}, T_c = {t_c}\n",
+        plans.len()
+    );
+    for (i, p) in plans.iter().enumerate() {
+        let scheme = match p.scheme {
+            IntraScheme::MultiTree { d, .. } => format!("multi-tree d={d}"),
+            IntraScheme::Hypercube { .. } => "hypercube".into(),
+        };
+        let _ = writeln!(
+            out,
+            "  cluster {i}: {} members, budget {:?} → {scheme} (intra delay ≤ {}, buffer {})",
+            p.requirement.size,
+            p.requirement.buffer_budget,
+            p.predicted_intra_delay,
+            p.predicted_buffer
+        );
+    }
+    let r = Simulator::run(&mut session, &SimConfig::until_complete(24, 1_000_000))?;
+    let _ = writeln!(
+        out,
+        "\nsimulated: worst startup {} slots, max buffer {} packets, 0 hiccups",
+        r.qos.max_delay(),
+        r.qos.max_buffer()
+    );
+    Ok(out)
+}
+
+/// `clustream trace`.
+pub fn trace(args: &ArgMap) -> Result<String, CliError> {
+    let mut scheme = build_scheme(args)?;
+    let node = args.required_usize("node")? as u32;
+    let packet = args.usize_or("packet", 0)? as u64;
+    if node as usize > scheme.num_receivers() || node == 0 {
+        return Err(CliError::Usage(format!(
+            "--node must be in 1..={}",
+            scheme.num_receivers()
+        )));
+    }
+    let track = (packet + 16).max(48);
+    let r = run_scheme(scheme.as_mut(), track, true)?;
+    let tr = r.trace.as_ref().expect("trace requested");
+
+    let mut out = String::new();
+    match tr.path_to(NodeId(node), PacketId(packet)) {
+        Some(path) => {
+            let names: Vec<String> = path
+                .iter()
+                .map(|&id| {
+                    if id == 0 {
+                        "S".into()
+                    } else {
+                        format!("n{id}")
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "packet {packet} → node {node}: {}", names.join(" → "));
+        }
+        None => {
+            let _ = writeln!(out, "packet {packet} never reached node {node}");
+        }
+    }
+    if let Some(usable) = r.arrivals.usable_slot(NodeId(node), PacketId(packet)) {
+        let _ = writeln!(out, "usable from slot {}", usable.t());
+    }
+    // For multi-trees, print the node's Figure-2 style calendar.
+    if args.required("scheme")? == "multitree" {
+        let n = args.required_usize("n")?;
+        let d = args.usize_or("d", 2)?;
+        let s = MultiTreeScheme::new(greedy_forest(n, d)?, parse_mode(args)?);
+        let _ = writeln!(out, "\n{}", node_calendar(&s, node).render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::run;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_multitree() {
+        let out = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "30",
+            "--d",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("multi-tree(d=3"));
+        assert!(out.contains("max delay"));
+    }
+
+    #[test]
+    fn simulate_all_schemes() {
+        for s in ["multitree", "hypercube", "chain", "singletree"] {
+            let out = run(&argv(&["simulate", "--scheme", s, "--n", "12"])).unwrap();
+            assert!(out.contains("receivers   : 12"), "{s}: {out}");
+        }
+    }
+
+    #[test]
+    fn analyze_prints_frontier() {
+        let out = run(&argv(&["analyze", "--n", "500"])).unwrap();
+        assert!(out.contains("Pareto frontier"));
+        assert!(out.contains("optimal tree degree"));
+        assert!(out.contains("hypercube"));
+    }
+
+    #[test]
+    fn plan_parses_cluster_specs() {
+        let out = run(&argv(&[
+            "plan",
+            "--clusters",
+            "20,15:2,25:none",
+            "--tc",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("cluster 0"));
+        assert!(out.contains("hypercube"), "{out}");
+        assert!(out.contains("multi-tree"), "{out}");
+        assert!(out.contains("simulated"));
+    }
+
+    #[test]
+    fn trace_follows_packets() {
+        let out = run(&argv(&[
+            "trace",
+            "--scheme",
+            "multitree",
+            "--n",
+            "15",
+            "--d",
+            "3",
+            "--node",
+            "6",
+        ]))
+        .unwrap();
+        assert!(out.contains("packet 0 → node 6"));
+        assert!(out.contains("recv"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv(&["simulate", "--scheme", "warp", "--n", "5"])).is_err());
+        assert!(run(&argv(&["simulate", "--n", "5"])).is_err());
+        assert!(run(&argv(&["nope"])).is_err());
+        assert!(run(&argv(&[
+            "trace", "--scheme", "chain", "--n", "5", "--node", "9"
+        ]))
+        .is_err());
+        let help = run(&argv(&["help"])).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn mode_flag_selects_live_variants() {
+        let pre = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--d",
+            "2",
+        ]))
+        .unwrap();
+        let buffered = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--d",
+            "2",
+            "--mode",
+            "buffered",
+        ]))
+        .unwrap();
+        assert!(pre.contains("prerecorded"));
+        assert!(buffered.contains("live-prebuffered"));
+    }
+}

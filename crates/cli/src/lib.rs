@@ -1,0 +1,55 @@
+//! Implementation of the `clustream` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — run a scheme through the validating slot simulator and
+//!   print its QoS;
+//! * `analyze` — closed-form bounds, the Pareto frontier and a scheme
+//!   recommendation for a population;
+//! * `plan` — pick per-cluster schemes for a multi-cluster session from
+//!   buffer budgets, then verify the plan by simulation;
+//! * `trace` — follow one packet's delivery path to one node.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency surface at zero beyond the workspace itself.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgMap, CliError};
+
+/// Entry point shared by `main` and the tests.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| CliError::Usage(usage().into()))?;
+    let args = ArgMap::parse(rest)?;
+    match cmd.as_str() {
+        "simulate" => commands::simulate(&args),
+        "analyze" => commands::analyze(&args),
+        "plan" => commands::plan(&args),
+        "trace" => commands::trace(&args),
+        "help" | "--help" | "-h" => Ok(usage().into()),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> &'static str {
+    "clustream — streaming overlays with provable delay/buffer tradeoffs
+
+USAGE:
+  clustream simulate --scheme <multitree|hypercube|chain|singletree> --n <N>
+                     [--d <D>] [--mode <pre|buffered|pipelined>] [--track <P>]
+  clustream analyze  --n <N> [--max-d <D>]
+  clustream plan     --clusters <size[:budget],size[:budget],…> [--tc <T>] [--bigd <D>]
+  clustream trace    --scheme <multitree|hypercube|chain> --n <N> [--d <D>]
+                     --node <ID> [--packet <P>]
+  clustream help
+"
+}

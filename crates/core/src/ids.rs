@@ -1,0 +1,167 @@
+//! Strongly-typed identifiers for nodes, packets and time slots.
+//!
+//! The paper's model is index-heavy (node ids `1..=N`, packet sequence
+//! numbers, slot numbers, tree positions). Newtypes keep those index spaces
+//! from being confused while compiling down to plain integers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a participant in the overlay.
+///
+/// By convention id `0` is the stream source (see [`SOURCE`]) and receivers
+/// are numbered `1..=N`, matching the paper's "node id `i`, `1 ≤ i ≤ N`".
+/// Multi-cluster sessions map every cluster member into one global id space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// The stream source, node id `0`.
+pub const SOURCE: NodeId = NodeId(0);
+
+impl NodeId {
+    /// Raw index, usable to address node-state tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the stream source.
+    #[inline]
+    pub fn is_source(self) -> bool {
+        self == SOURCE
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_source() {
+            write!(f, "S")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Sequence number of a packet in the stream, starting at `0`.
+///
+/// Packet `p` is played back during slot `start + p` once a node begins
+/// playback at slot `start`; the stream is conceptually infinite, so packet
+/// ids never wrap in practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+impl PacketId {
+    /// Raw sequence number.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0
+    }
+
+    /// The packet `delta` positions later in the stream.
+    #[inline]
+    pub fn offset(self, delta: u64) -> PacketId {
+        PacketId(self.0 + delta)
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for PacketId {
+    fn from(v: u64) -> Self {
+        PacketId(v)
+    }
+}
+
+/// A discrete time slot.
+///
+/// One slot is the playback time of a single packet (§2.2 of the paper); a
+/// regular node sends at most one packet and receives at most one packet per
+/// slot. A packet transmitted during slot `t` with latency `ℓ` becomes
+/// usable by the receiver from slot `t + ℓ` onward (intra-cluster `ℓ = 1`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// Slot number as a plain integer.
+    #[inline]
+    pub fn t(self) -> u64 {
+        self.0
+    }
+
+    /// The slot `delta` steps later.
+    #[inline]
+    pub fn advance(self, delta: u64) -> Slot {
+        Slot(self.0 + delta)
+    }
+
+    /// `t mod m`, the round-robin phase used throughout the schedules.
+    #[inline]
+    pub fn phase(self, m: u64) -> u64 {
+        debug_assert!(m > 0);
+        self.0 % m
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for Slot {
+    fn from(v: u64) -> Self {
+        Slot(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_is_node_zero() {
+        assert_eq!(SOURCE, NodeId(0));
+        assert!(SOURCE.is_source());
+        assert!(!NodeId(1).is_source());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SOURCE.to_string(), "S");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(PacketId(3).to_string(), "p3");
+        assert_eq!(Slot(12).to_string(), "t12");
+    }
+
+    #[test]
+    fn slot_phase_is_mod() {
+        assert_eq!(Slot(13).phase(3), 1);
+        assert_eq!(Slot(0).phase(5), 0);
+        assert_eq!(Slot(9).phase(3), 0);
+    }
+
+    #[test]
+    fn packet_offset_and_slot_advance() {
+        assert_eq!(PacketId(4).offset(3), PacketId(7));
+        assert_eq!(Slot(4).advance(3), Slot(7));
+    }
+
+    #[test]
+    fn ordering_matches_sequence() {
+        assert!(PacketId(2) < PacketId(10));
+        assert!(Slot(2) < Slot(10));
+        assert!(NodeId(2) < NodeId(10));
+    }
+}

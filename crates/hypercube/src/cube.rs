@@ -1,0 +1,92 @@
+//! Hypercube pairing structure (§3.1, Figure 7).
+//!
+//! The `N + 1 = 2^k` participants are the vertices of a `k`-cube; in slot
+//! `t` communication runs along dimension `t mod k`, pairing every vertex
+//! `x` with `x ⊕ 2^(t mod k)`. (The paper's running example phases the
+//! dimensions slightly differently across its two descriptions — slot
+//! `kn+j` uses bit `j` in §3.1 but bit `j−1` in the Figure 7 caption; we
+//! adopt the §3.1/§3.2 convention `dim(t) = t mod k`, which only relabels
+//! slots.)
+
+/// Dimension used in slot `t` for a `k`-cube: `t mod k`.
+#[inline]
+pub fn dimension_at(k: usize, t: u64) -> usize {
+    debug_assert!(k > 0);
+    (t % k as u64) as usize
+}
+
+/// All pairs `(x, x ⊕ 2^j)` of the `k`-cube along dimension `j`, with the
+/// lower id first; `2^(k−1)` pairs in ascending order of the lower id.
+/// Vertex `0` is the source.
+pub fn pairs_at(k: usize, j: usize) -> Vec<(u32, u32)> {
+    assert!(j < k, "dimension {j} out of range for a {k}-cube");
+    let bit = 1u32 << j;
+    (0..1u32 << k)
+        .filter(|x| x & bit == 0)
+        .map(|x| (x, x | bit))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 7 / §3.1 example: the three pairings of the 3-cube with
+    /// 7 nodes plus the source.
+    #[test]
+    fn figure7_pairings_pinned() {
+        // Dimension 0: (xx0) ↔ (xx1): 0-1, 2-3, 4-5, 6-7.
+        assert_eq!(pairs_at(3, 0), vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+        // Dimension 1: (x0x) ↔ (x1x): 0-2, 1-3, 4-6, 5-7.
+        assert_eq!(pairs_at(3, 1), vec![(0, 2), (1, 3), (4, 6), (5, 7)]);
+        // Dimension 2: (0xx) ↔ (1xx): 0-4, 1-5, 2-6, 3-7.
+        assert_eq!(pairs_at(3, 2), vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+    }
+
+    #[test]
+    fn dimensions_cycle() {
+        assert_eq!(dimension_at(3, 0), 0);
+        assert_eq!(dimension_at(3, 4), 1);
+        assert_eq!(dimension_at(3, 5), 2);
+        assert_eq!(dimension_at(1, 17), 0);
+    }
+
+    #[test]
+    fn pairs_partition_the_cube() {
+        for k in 1..=6 {
+            for j in 0..k {
+                let pairs = pairs_at(k, j);
+                assert_eq!(pairs.len(), 1 << (k - 1));
+                let mut seen = vec![false; 1 << k];
+                for (a, b) in pairs {
+                    assert!(a < b);
+                    assert_eq!(a ^ b, 1 << j);
+                    for v in [a, b] {
+                        assert!(!seen[v as usize], "vertex {v} paired twice");
+                        seen[v as usize] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn each_vertex_meets_every_neighbor_over_k_slots() {
+        let k = 4;
+        for x in 0u32..16 {
+            let mut partners: Vec<u32> = (0..k).map(|j| x ^ (1u32 << j)).collect();
+            partners.sort_unstable();
+            let mut met: Vec<u32> = (0..k)
+                .flat_map(|j| {
+                    pairs_at(k, j)
+                        .into_iter()
+                        .filter(move |&(a, b)| a == x || b == x)
+                        .map(move |(a, b)| if a == x { b } else { a })
+                })
+                .collect();
+            met.sort_unstable();
+            assert_eq!(met, partners);
+        }
+    }
+}

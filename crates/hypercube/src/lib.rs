@@ -1,0 +1,36 @@
+//! Hypercube-based streaming: §3 of Chow, Golubchik, Khuller & Yao
+//! (IPPS 2009), generalizing Farley's broadcast scheme to an infinite
+//! stream.
+//!
+//! For `N = 2^k − 1` receivers, the receivers plus the source form the
+//! vertices of a `k`-dimensional hypercube. In slot `t` every node pairs
+//! with its neighbor along dimension `t mod k`; paired nodes exchange their
+//! newest packets, the source injects one brand-new packet to its partner
+//! `2^(t mod k)`, and that partner ("the spare node") owes nothing
+//! intra-cube. After a `k+1`-slot warm-up the system reaches the steady
+//! state of the paper's Figure 5: the number of nodes holding packet `i`
+//! doubles every slot, every node consumes one packet per slot, holds at
+//! most two packets between slots, and talks to exactly its `k` cube
+//! neighbors (Proposition 1).
+//!
+//! For arbitrary `N` (§3.2), receivers are split into a **chain of
+//! hypercubes** `HC_1, HC_2, …` (`k_m = ⌊log₂(rem+1)⌋`): each slot, the
+//! spare node of `HC_m` forwards the packet it just consumed to the next
+//! cube, making `HC_m` a logical source for `HC_{m+1}` delayed by
+//! `k_m + 1` slots. Worst-case delay is `O(log² N)`, buffers stay `O(1)`,
+//! nodes talk to `O(log N)` neighbors (Proposition 2), and the average
+//! delay is at most `2 log₂ N` (Theorem 4).
+//!
+//! With a `d`-capable source (§3.2 end), receivers split into `d` balanced
+//! groups, each streamed through its own hypercube chain:
+//! `O(log²(N/d))` worst-case delay and `O(log⌈N/d⌉)` neighbors.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod cube;
+pub mod state;
+
+pub use chain::{CubeSpec, HypercubeStream};
+pub use cube::{dimension_at, pairs_at};
+pub use state::{packet_spreads, PacketSpread};

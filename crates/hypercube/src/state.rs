@@ -1,0 +1,114 @@
+//! Protocol state inspection: the Figure 5/6 doubling invariant as data.
+//!
+//! Figure 5 of the paper depicts the steady state of the exchange
+//! protocol: at the end of each slot, the number of nodes holding packet
+//! `i` has doubled relative to the previous slot (until everyone has it,
+//! at which point the packet is consumed and leaves the window). This
+//! module recomputes those holder counts from a validated simulation run
+//! and checks the invariant mechanically.
+
+use crate::chain::HypercubeStream;
+use clustream_core::{CoreError, NodeId, PacketId};
+use clustream_sim::{RunResult, SimConfig, Simulator};
+
+/// Holder counts of one packet over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketSpread {
+    /// The packet.
+    pub packet: u64,
+    /// `counts[i]` = number of receivers holding the packet at the end of
+    /// slot `first_slot + i`, from first appearance until saturation.
+    pub first_slot: u64,
+    /// Per-slot holder counts.
+    pub counts: Vec<usize>,
+}
+
+impl PacketSpread {
+    /// Whether the holder count at least doubles every slot until
+    /// saturation at `n` (the Figure 5 invariant; the final step may be a
+    /// partial doubling when `n` is not a power of two).
+    pub fn doubles_until_saturation(&self, n: usize) -> bool {
+        self.counts.windows(2).all(|w| w[1] >= (2 * w[0]).min(n)) && self.counts.last() == Some(&n)
+    }
+}
+
+/// Snapshot of how each tracked packet spread through a single-cube run.
+pub fn packet_spreads(n: usize, track: u64) -> Result<Vec<PacketSpread>, CoreError> {
+    let mut s = HypercubeStream::new(n)?;
+    let horizon = 4 * (track + 16);
+    let r = Simulator::run(&mut s, &SimConfig::until_complete(track, horizon))?;
+    Ok(spreads_from_run(&r, n, track))
+}
+
+/// Extract spreads from an existing run.
+pub fn spreads_from_run(r: &RunResult, n: usize, track: u64) -> Vec<PacketSpread> {
+    (0..track)
+        .map(|p| {
+            let usable: Vec<u64> = (1..=n as u32)
+                .filter_map(|id| r.arrivals.usable_slot(NodeId(id), PacketId(p)))
+                .map(|s| s.t())
+                .collect();
+            // "Holding at end of slot t" = usable ≤ t + 1.
+            let first = usable.iter().min().copied().unwrap_or(0).saturating_sub(1);
+            let last = usable.iter().max().copied().unwrap_or(0).saturating_sub(1);
+            let counts = (first..=last)
+                .map(|t| usable.iter().filter(|&&u| u <= t + 1).count())
+                .collect();
+            PacketSpread {
+                packet: p,
+                first_slot: first,
+                counts,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 5's headline: every packet's holder count doubles per slot
+    /// until all N = 2^k − 1 receivers have it.
+    #[test]
+    fn doubling_invariant_special_n() {
+        for k in [2usize, 3, 4, 5] {
+            let n = (1 << k) - 1;
+            let spreads = packet_spreads(n, 12).unwrap();
+            for s in &spreads {
+                assert!(
+                    s.doubles_until_saturation(n),
+                    "k={k} packet {}: counts {:?}",
+                    s.packet,
+                    s.counts
+                );
+            }
+        }
+    }
+
+    /// Saturation takes exactly k slots in steady state (1 → 2 → … → N).
+    #[test]
+    fn saturation_takes_k_slots() {
+        let k = 4usize;
+        let n = 15;
+        let spreads = packet_spreads(n, 16).unwrap();
+        // Skip the warm-up packets; steady-state packets spread in k steps.
+        for s in spreads.iter().skip(k + 1) {
+            assert!(
+                s.counts.len() <= k + 1,
+                "packet {} took {} slots: {:?}",
+                s.packet,
+                s.counts.len(),
+                s.counts
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_monotone_for_arbitrary_n() {
+        let spreads = packet_spreads(11, 12).unwrap();
+        for s in &spreads {
+            assert!(s.counts.windows(2).all(|w| w[1] >= w[0]), "{:?}", s.counts);
+            assert_eq!(*s.counts.last().unwrap(), 11);
+        }
+    }
+}

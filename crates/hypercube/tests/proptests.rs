@@ -1,0 +1,106 @@
+//! Property tests on the hypercube protocol: per-node deadlines, buffer
+//! bounds, neighbor sets, and decomposition structure.
+
+use clustream_core::{NodeId, PacketId};
+use clustream_hypercube::{chain::decompose, pairs_at, HypercubeStream};
+use clustream_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Decomposition: covers N exactly, sizes non-increasing, count is
+    /// O(log N).
+    #[test]
+    fn decompose_structure(n in 1usize..100_000) {
+        let ks = decompose(n);
+        let total: usize = ks.iter().map(|&k| (1usize << k) - 1).sum();
+        prop_assert_eq!(total, n);
+        prop_assert!(ks.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(ks.len() <= 64 - (n as u64).leading_zeros() as usize + 1);
+    }
+
+    /// Per-node deadline guarantee: in a validated run, every tracked
+    /// packet p is usable at node v by slot p + predicted_delay(v).
+    #[test]
+    fn per_node_deadlines_hold(n in 1usize..120) {
+        let mut s = HypercubeStream::new(n).unwrap();
+        let sc = s.clone();
+        let worst = sc.cubes().map(|c| c.predicted_delay()).max().unwrap();
+        let track = worst + 12;
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(track, 100_000)).unwrap();
+        prop_assert_eq!(r.duplicate_deliveries, 0);
+        for id in 1..=n as u32 {
+            let deadline = sc.predicted_delay(id);
+            for p in 0..track {
+                let usable = r.arrivals.usable_slot(NodeId(id), PacketId(p));
+                prop_assert!(usable.is_some(), "node {} missing p{}", id, p);
+                prop_assert!(
+                    usable.unwrap().t() <= p + deadline,
+                    "node {} p{} at {:?} > deadline {}",
+                    id, p, usable, p + deadline
+                );
+            }
+        }
+    }
+
+    /// Group splits: every group streams independently; worst-case delay
+    /// is the max over per-group chains; buffers stay O(1).
+    #[test]
+    fn group_split_holds(n in 2usize..100, d in 1usize..5) {
+        let d = d.min(n);
+        let mut s = HypercubeStream::with_groups(n, d).unwrap();
+        let worst = s.cubes().map(|c| c.predicted_delay()).max().unwrap();
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(worst + 8, 100_000)).unwrap();
+        prop_assert!(r.qos.max_delay() <= worst);
+        prop_assert!(r.qos.max_buffer() <= 3);
+        // Balanced split: group sizes differ by at most 1 ⇒ id coverage.
+        let total: usize = s.cubes().map(|c| c.size()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    /// Pairing structure: for every k and dimension, pairs partition the
+    /// cube and flip exactly bit j.
+    #[test]
+    fn pairings_partition(k in 1usize..10, j in 0usize..10) {
+        let j = j % k;
+        let pairs = pairs_at(k, j);
+        prop_assert_eq!(pairs.len(), 1usize << (k - 1));
+        let mut seen = vec![false; 1 << k];
+        for (a, b) in pairs {
+            prop_assert_eq!(a ^ b, 1u32 << j);
+            prop_assert!(!seen[a as usize] && !seen[b as usize]);
+            seen[a as usize] = true;
+            seen[b as usize] = true;
+        }
+    }
+
+    /// Neighbor sets stay logarithmic even across chain boundaries.
+    #[test]
+    fn neighbors_logarithmic(n in 2usize..150) {
+        let mut s = HypercubeStream::new(n).unwrap();
+        let max_k = s.clone().cubes().map(|c| c.k).max().unwrap();
+        let worst = s.clone().cubes().map(|c| c.predicted_delay()).max().unwrap();
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(2 * worst + 8, 100_000)).unwrap();
+        // A power-of-two vertex touches up to three cubes: its own k
+        // neighbors, up to k_{m−1} upstream spares injecting into it, and
+        // up to k_{m+1} downstream injection targets when it is the spare.
+        prop_assert!(
+            r.qos.max_neighbors() <= 3 * max_k,
+            "N={}: {} neighbors > 3·{}", n, r.qos.max_neighbors(), max_k
+        );
+    }
+}
+
+/// Deterministic protocol: two identical runs produce identical QoS.
+#[test]
+fn protocol_is_deterministic() {
+    let run = || {
+        let mut s = HypercubeStream::new(37).unwrap();
+        Simulator::run(&mut s, &SimConfig::until_complete(40, 100_000)).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.qos, b.qos);
+    assert_eq!(a.total_transmissions, b.total_transmissions);
+}

@@ -1,0 +1,251 @@
+//! Per-node schedule calendars: the paper's Figure 2 as data.
+//!
+//! In steady state the multi-tree schedule is periodic with period `d`:
+//! each node receives exactly one packet per slot (one tree per residue
+//! class) and, if interior, sends to one child per slot. A
+//! [`NodeCalendar`] captures one period of that behaviour — which tree and
+//! peer a node receives from and sends to in each residue class — plus the
+//! first occurrence slot of each entry.
+
+use crate::schedule::MultiTreeScheme;
+use crate::tree::DisjointTrees;
+
+/// One receive entry: where a node's packets of residue class `r` come
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvEntry {
+    /// Slot residue `r ∈ 0..d`: receipts happen in slots `≡ r (mod d)`.
+    pub residue: usize,
+    /// Tree carrying these packets.
+    pub tree: usize,
+    /// Sender (`0` = the source).
+    pub from: u32,
+    /// First slot this entry fires.
+    pub first_slot: u64,
+    /// Packets carried: `tree, tree + d, tree + 2d, …`.
+    pub first_packet: u64,
+}
+
+/// One send entry: which child a node serves in residue class `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendEntry {
+    /// Slot residue `r ∈ 0..d`.
+    pub residue: usize,
+    /// Tree in which this node is interior.
+    pub tree: usize,
+    /// The child served (real nodes only; dummy children are skipped).
+    pub to: u32,
+    /// First slot this entry fires.
+    pub first_slot: u64,
+}
+
+/// A node's steady-state schedule over one period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeCalendar {
+    /// The node.
+    pub node: u32,
+    /// Exactly `d` receive entries, one per residue class.
+    pub receives: Vec<RecvEntry>,
+    /// Up to `d` send entries (empty for all-leaf nodes).
+    pub sends: Vec<SendEntry>,
+}
+
+impl NodeCalendar {
+    /// Render in the style of Figure 2.
+    pub fn render(&self) -> String {
+        let mut out = format!("node {}\n", self.node);
+        for r in &self.receives {
+            let from = if r.from == 0 {
+                "S".into()
+            } else {
+                format!("node {}", r.from)
+            };
+            out.push_str(&format!(
+                "  recv  t≡{} (mod {}): packets {}+{}m of T_{} from {from}, first at t{}\n",
+                r.residue,
+                self.receives.len(),
+                r.first_packet,
+                self.receives.len(),
+                r.tree,
+                r.first_slot
+            ));
+        }
+        for s in &self.sends {
+            out.push_str(&format!(
+                "  send  t≡{} (mod {}): T_{} child node {}, first at t{}\n",
+                s.residue,
+                self.receives.len(),
+                s.tree,
+                s.to,
+                s.first_slot
+            ));
+        }
+        out
+    }
+}
+
+/// Build the calendar of `node` under `scheme`.
+pub fn node_calendar(scheme: &MultiTreeScheme, node: u32) -> NodeCalendar {
+    let forest: &DisjointTrees = scheme.forest();
+    let d = forest.d();
+
+    let mut receives: Vec<RecvEntry> = (0..d)
+        .map(|k| {
+            let pos = forest.position(k, node);
+            let parent = forest.parent_pos(pos);
+            let first = scheme.recv_slot_at(k, pos, 0);
+            RecvEntry {
+                residue: (first % d as u64) as usize,
+                tree: k,
+                from: if parent == 0 {
+                    0
+                } else {
+                    forest.node_at(k, parent)
+                },
+                first_slot: first,
+                first_packet: k as u64,
+            }
+        })
+        .collect();
+    receives.sort_by_key(|e| e.residue);
+
+    let mut sends: Vec<SendEntry> = forest
+        .interior_tree_of(node)
+        .map(|k| {
+            let pos = forest.position(k, node);
+            forest
+                .children_pos(pos)
+                .filter(|&c| forest.node_at(k, c) as usize <= forest.n())
+                .map(|c| {
+                    let first = scheme.recv_slot_at(k, c, 0);
+                    SendEntry {
+                        residue: (first % d as u64) as usize,
+                        tree: k,
+                        to: forest.node_at(k, c),
+                        first_slot: first,
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    sends.sort_by_key(|e| e.residue);
+
+    NodeCalendar {
+        node,
+        receives,
+        sends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_forest;
+    use crate::schedule::StreamMode;
+    use clustream_core::{NodeId, PacketId};
+    use clustream_sim::{SimConfig, Simulator};
+
+    fn calendar_of(node: u32) -> NodeCalendar {
+        let f = greedy_forest(15, 3).unwrap();
+        let s = MultiTreeScheme::new(f, StreamMode::PreRecorded);
+        node_calendar(&s, node)
+    }
+
+    /// Figure 2: node 6 receives from S (T_1), node 1 (T_0) and node 11
+    /// (T_2), and sends to nodes 2, 9, 4 in T_1.
+    #[test]
+    fn figure2_node6_calendar() {
+        let c = calendar_of(6);
+        let from: Vec<u32> = c.receives.iter().map(|r| r.from).collect();
+        assert!(from.contains(&0) && from.contains(&1) && from.contains(&11));
+        let to: Vec<u32> = c.sends.iter().map(|s| s.to).collect();
+        assert_eq!(
+            {
+                let mut t = to.clone();
+                t.sort_unstable();
+                t
+            },
+            vec![2, 4, 9]
+        );
+        // One receive per residue class.
+        let residues: Vec<usize> = c.receives.iter().map(|r| r.residue).collect();
+        assert_eq!(residues, vec![0, 1, 2]);
+        // At most one send per residue class.
+        let mut sr: Vec<usize> = c.sends.iter().map(|s| s.residue).collect();
+        sr.dedup();
+        assert_eq!(sr.len(), c.sends.len());
+    }
+
+    #[test]
+    fn all_leaf_nodes_have_empty_sends() {
+        let c = calendar_of(14);
+        assert!(c.sends.is_empty());
+        assert_eq!(c.receives.len(), 3);
+    }
+
+    #[test]
+    fn calendar_agrees_with_traced_simulation() {
+        let f = greedy_forest(15, 3).unwrap();
+        let scheme = MultiTreeScheme::new(f, StreamMode::PreRecorded);
+        let c = node_calendar(&scheme, 6);
+        let mut live = scheme.clone();
+        let r = Simulator::run(&mut live, &SimConfig::until_complete(24, 10_000).traced()).unwrap();
+        let trace = r.trace.unwrap();
+        // Every traced receipt of node 6 lands in a residue class claimed
+        // by the calendar, coming from the claimed peer.
+        for ev in trace.received_by(NodeId(6)) {
+            let entry = c
+                .receives
+                .iter()
+                .find(|e| e.residue == (ev.slot % 3) as usize)
+                .expect("claimed residue");
+            assert_eq!(entry.from, ev.from, "slot {}", ev.slot);
+            assert_eq!(ev.packet % 3, entry.tree as u64);
+        }
+        // And the first receive slots match exactly.
+        for e in &c.receives {
+            let first = trace
+                .received_by(NodeId(6))
+                .filter(|ev| ev.packet == e.first_packet)
+                .map(|ev| ev.slot)
+                .min()
+                .unwrap();
+            assert_eq!(first, e.first_slot, "tree {}", e.tree);
+        }
+        // Sends match too.
+        for ev in trace.sent_by(NodeId(6)) {
+            assert!(
+                c.sends.iter().any(|s| s.to == ev.to),
+                "unexpected peer {}",
+                ev.to
+            );
+        }
+    }
+
+    #[test]
+    fn render_is_human_readable() {
+        let c = calendar_of(6);
+        let text = c.render();
+        assert!(text.contains("node 6"));
+        assert!(text.contains("from S"));
+        assert!(text.contains("send"));
+    }
+
+    #[test]
+    fn path_of_packet_through_forest_matches_positions() {
+        // Sanity: the trace path of packet 0 to the deepest node of T_0
+        // follows T_0 ancestry.
+        let f = greedy_forest(15, 3).unwrap();
+        let deepest = f.node_at(0, 15);
+        let parent = f.node_at(0, f.parent_pos(15));
+        let gp = f.node_at(0, f.parent_pos(f.parent_pos(15)));
+        let mut live = MultiTreeScheme::new(f, StreamMode::PreRecorded);
+        let r = Simulator::run(&mut live, &SimConfig::until_complete(6, 10_000).traced()).unwrap();
+        let path = r
+            .trace
+            .unwrap()
+            .path_to(NodeId(deepest), PacketId(0))
+            .unwrap();
+        assert_eq!(path, vec![0, gp, parent, deepest]);
+    }
+}

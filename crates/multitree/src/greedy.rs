@@ -1,0 +1,205 @@
+//! The greedy disjoint-tree construction (§2.2.2).
+//!
+//! Node id `i` has **parity** `p_i = (i − 1) mod d` and occupies child slot
+//! `(p_i − k) mod d` in tree `T_k`; equivalently, position `q` of tree `T_k`
+//! must be filled by a node of parity `(q + k − 1) mod d`. Because a node's
+//! child-slot residues `(p_i − k) mod d` over `k = 0..d` are automatically
+//! pairwise distinct, the parity rule *is* the no-collision property.
+//!
+//! **Generalization note.** The paper draws tree `T_k`'s interior nodes
+//! from the fixed consecutive range `G_k = {kI+1 … (k+1)I}`. The parities
+//! available in that range match the parities demanded by interior
+//! positions `1..=I` only when `I ≡ 1 (mod d)` (which holds for the paper's
+//! running example, `N = 15`, `d = 3`, `I = 4`); for other populations the
+//! literal Step 2 is infeasible. We therefore generalize the interior
+//! selection: positions `1..=I` of `T_k` take the **smallest id of the
+//! demanded parity that is not yet interior in any tree**. A counting
+//! argument shows this never strands (each parity class has `N_pad/d = I+1`
+//! ids while total interior demand per parity across all trees is exactly
+//! `I`), it keeps the trees interior-disjoint (an id is consumed by the
+//! first tree that makes it interior), dummies are never promoted (they are
+//! the largest id of their parity class), and on parameter sets where the
+//! paper's rule applies — Figure 3(b) in particular — it selects exactly
+//! the same trees.
+
+use crate::groups::Groups;
+use crate::tree::DisjointTrees;
+use clustream_core::CoreError;
+use std::collections::VecDeque;
+
+/// Build the `d` interior-disjoint trees for `n` receivers using the
+/// greedy (parity-driven) construction.
+pub fn greedy_forest(n: usize, d: usize) -> Result<DisjointTrees, CoreError> {
+    let groups = Groups::new(n, d)?;
+    let i_count = groups.interior_count();
+    let n_pad = groups.n_pad();
+
+    // Ascending ids per parity class; interior selection consumes from the
+    // front so each id is interior in at most one tree.
+    let mut interior_pool: Vec<VecDeque<u32>> = vec![VecDeque::new(); d];
+    for id in 1..=n_pad as u32 {
+        interior_pool[groups.parity(id)].push_back(id);
+    }
+
+    let mut trees: Vec<Vec<u32>> = Vec::with_capacity(d);
+    for k in 0..d {
+        let mut tree = Vec::with_capacity(n_pad);
+        let mut in_this_tree = vec![false; n_pad + 1];
+
+        // Interior positions 1..=I: smallest not-yet-interior id of the
+        // demanded parity (for T_0 this reproduces the identity layout and
+        // the paper's "interior = G_0").
+        for q in 1..=i_count {
+            let want = (q + k - 1) % d;
+            let id = interior_pool[want].pop_front().ok_or_else(|| {
+                CoreError::InvalidConfig(format!(
+                    "greedy: interior parity class {want} exhausted for T_{k} position {q}"
+                ))
+            })?;
+            tree.push(id);
+            in_this_tree[id as usize] = true;
+        }
+
+        // Leaf positions I+1..=N_pad: smallest id of the demanded parity
+        // not already in this tree.
+        let mut leaf_buckets: Vec<VecDeque<u32>> = vec![VecDeque::new(); d];
+        for id in 1..=n_pad as u32 {
+            if !in_this_tree[id as usize] {
+                leaf_buckets[groups.parity(id)].push_back(id);
+            }
+        }
+        for q in (i_count + 1)..=n_pad {
+            let want = (q + k - 1) % d;
+            let id = leaf_buckets[want].pop_front().ok_or_else(|| {
+                CoreError::InvalidConfig(format!(
+                    "greedy: leaf parity class {want} exhausted for T_{k} position {q}"
+                ))
+            })?;
+            tree.push(id);
+        }
+
+        trees.push(tree);
+    }
+
+    DisjointTrees::from_positions(groups, trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3(b): the greedy construction for N = 15, d = 3.
+    #[test]
+    fn figure3b_pinned() {
+        let f = greedy_forest(15, 3).unwrap();
+        assert_eq!(
+            f.tree(0),
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
+        assert_eq!(
+            f.tree(1),
+            &[5, 6, 7, 8, 3, 1, 2, 9, 4, 11, 12, 10, 14, 15, 13]
+        );
+        assert_eq!(
+            f.tree(2),
+            &[9, 10, 11, 12, 1, 2, 3, 4, 5, 6, 7, 8, 15, 13, 14]
+        );
+        f.validate().unwrap();
+    }
+
+    /// Figure 2: node id 6's positions, hence its receive residues, in the
+    /// greedy construction: interior (with children) in T_1, leaf
+    /// elsewhere.
+    #[test]
+    fn figure2_node6_schedule_structure() {
+        let f = greedy_forest(15, 3).unwrap();
+        // Node 6: position 6 in T_0 (leaf), position 2 in T_1 (interior),
+        // position 10 in T_2 (leaf).
+        assert_eq!(f.position(0, 6), 6);
+        assert_eq!(f.position(1, 6), 2);
+        assert_eq!(f.position(2, 6), 10);
+        assert_eq!(f.interior_tree_of(6), Some(1));
+        // Its children in T_1 are positions 7, 8, 9 = nodes 2, 9, 4, and
+        // its parents are S (T_1), node 1 (T_0, parent of position 6) and
+        // node 11 (T_2, parent of position 10) — matching Figure 2's
+        // neighbor set {2, 9, 4, 1, 11, S} for the greedy construction.
+        let kids: Vec<u32> = f.children_pos(2).map(|p| f.node_at(1, p)).collect();
+        assert_eq!(kids, vec![2, 9, 4]);
+        assert_eq!(f.parent_pos(2), 0); // parent in T_1 is the source
+        assert_eq!(f.node_at(0, f.parent_pos(6)), 1);
+        assert_eq!(f.node_at(2, f.parent_pos(10)), 11);
+    }
+
+    #[test]
+    fn parity_rule_holds_everywhere() {
+        for (n, d) in [(15, 3), (16, 4), (40, 5), (9, 3), (20, 2), (14, 3)] {
+            let f = greedy_forest(n, d).unwrap();
+            let g = *f.groups();
+            for k in 0..d {
+                for q in 1..=f.n_pad() {
+                    let id = f.node_at(k, q);
+                    assert_eq!(
+                        (q + k - 1) % d,
+                        g.parity(id),
+                        "N={n} d={d} tree {k} position {q} id {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_paper_groups_when_aligned() {
+        // When I ≡ 1 (mod d) the generalized selection reduces to the
+        // paper's "interior of T_k = G_k" rule. N = 15, d = 3 has I = 4.
+        let f = greedy_forest(15, 3).unwrap();
+        let g = *f.groups();
+        for k in 0..3 {
+            for p in 1..=f.interior_count() {
+                assert_eq!(g.group_of(f.node_at(k, p)), k);
+            }
+        }
+    }
+
+    #[test]
+    fn validates_across_parameter_grid() {
+        for n in 1..=40 {
+            for d in 1..=6 {
+                let f =
+                    greedy_forest(n, d).unwrap_or_else(|e| panic!("construct N={n} d={d}: {e}"));
+                f.validate()
+                    .unwrap_or_else(|e| panic!("validate N={n} d={d}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_instances_validate() {
+        for (n, d) in [(100, 3), (256, 2), (500, 5), (999, 4), (2000, 3)] {
+            greedy_forest(n, d).unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn interior_selection_is_globally_disjoint() {
+        let f = greedy_forest(21, 3).unwrap();
+        let mut interior_of: Vec<Option<usize>> = vec![None; f.n_pad() + 1];
+        for k in 0..3 {
+            for p in 1..=f.interior_count() {
+                let id = f.node_at(k, p) as usize;
+                assert!(interior_of[id].is_none(), "id {id} interior twice");
+                interior_of[id] = Some(k);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_and_greedy_share_tree_zero() {
+        // Both constructions define T_0 as the identity layout.
+        for (n, d) in [(15, 3), (26, 4)] {
+            let s = crate::structured::structured_forest(n, d).unwrap();
+            let g = greedy_forest(n, d).unwrap();
+            assert_eq!(s.tree(0), g.tree(0));
+        }
+    }
+}

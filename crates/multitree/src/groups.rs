@@ -1,0 +1,204 @@
+//! The node-id partition `G_0 … G_d` of §2.2.
+//!
+//! With `I = ⌈N/d⌉ − 1` interior positions per tree, node ids are split into
+//! `d` interior-capable groups `G_0 = {1..I}, …, G_{d−1} = {(d−1)I+1..dI}`
+//! and an all-leaf group `G_d = {dI+1..N}`. Tree `T_k`'s interior nodes are
+//! drawn exclusively from `G_k`, which is what makes the trees
+//! interior-disjoint.
+//!
+//! So that every interior node has exactly `d` children, the population is
+//! padded with **dummy** receivers up to the next multiple of `d`
+//! (`N_pad = ⌈N/d⌉·d`); dummies always land in `G_d`, appear only as leaves,
+//! and are erased at the simulator boundary ("they can simply be removed in
+//! the real system").
+
+use clustream_core::CoreError;
+use serde::{Deserialize, Serialize};
+use std::ops::RangeInclusive;
+
+/// The `G_0 … G_d` partition for `n` real receivers and degree `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Groups {
+    n: usize,
+    d: usize,
+    n_pad: usize,
+    interior: usize,
+}
+
+impl Groups {
+    /// Partition `n ≥ 1` receivers for degree `d ≥ 1` trees.
+    pub fn new(n: usize, d: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig(
+                "need at least one receiver".into(),
+            ));
+        }
+        if d == 0 {
+            return Err(CoreError::InvalidConfig("tree degree d must be ≥ 1".into()));
+        }
+        let n_pad = n.div_ceil(d) * d;
+        let interior = n_pad / d - 1; // I = ⌈N/d⌉ − 1
+        Ok(Groups {
+            n,
+            d,
+            n_pad,
+            interior,
+        })
+    }
+
+    /// Number of real receivers `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tree degree `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Population including dummies, `⌈N/d⌉·d`.
+    pub fn n_pad(&self) -> usize {
+        self.n_pad
+    }
+
+    /// Number of dummy receivers appended (`0 ≤ dummies < d`).
+    pub fn dummies(&self) -> usize {
+        self.n_pad - self.n
+    }
+
+    /// `I`, the number of interior positions per tree.
+    pub fn interior_count(&self) -> usize {
+        self.interior
+    }
+
+    /// Whether `node` (1-based id) is a dummy placeholder.
+    pub fn is_dummy(&self, node: u32) -> bool {
+        (node as usize) > self.n
+    }
+
+    /// Node ids of group `G_i` for `i ∈ 0..=d`. Interior-capable groups
+    /// `G_0..G_{d−1}` have `I` ids each; `G_d` holds the remaining `d`
+    /// all-leaf ids (including dummies).
+    pub fn g(&self, i: usize) -> RangeInclusive<u32> {
+        assert!(i <= self.d, "group index {i} out of range (d = {})", self.d);
+        if i < self.d {
+            let lo = i * self.interior + 1;
+            let hi = (i + 1) * self.interior;
+            lo as u32..=hi as u32
+        } else {
+            (self.d * self.interior + 1) as u32..=self.n_pad as u32
+        }
+    }
+
+    /// Which group a node id belongs to.
+    pub fn group_of(&self, node: u32) -> usize {
+        assert!(
+            node >= 1 && (node as usize) <= self.n_pad,
+            "node {node} out of range"
+        );
+        let idx = (node as usize - 1) / self.interior.max(1);
+        if self.interior == 0 {
+            self.d
+        } else {
+            idx.min(self.d)
+        }
+    }
+
+    /// Parity of a node id (§2.2.2): `p_i = (i − 1) mod d`.
+    pub fn parity(&self, node: u32) -> usize {
+        (node as usize - 1) % self.d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_n15_d3() {
+        // §2.2 / Figure 3: N = 15, d = 3 ⇒ I = 4, G_0 = {1..4},
+        // G_1 = {5..8}, G_2 = {9..12}, G_3 = {13, 14, 15}.
+        let g = Groups::new(15, 3).unwrap();
+        assert_eq!(g.interior_count(), 4);
+        assert_eq!(g.n_pad(), 15);
+        assert_eq!(g.dummies(), 0);
+        assert_eq!(g.g(0), 1..=4);
+        assert_eq!(g.g(1), 5..=8);
+        assert_eq!(g.g(2), 9..=12);
+        assert_eq!(g.g(3), 13..=15);
+    }
+
+    #[test]
+    fn padding_rounds_up_to_multiple_of_d() {
+        let g = Groups::new(14, 3).unwrap();
+        assert_eq!(g.n_pad(), 15);
+        assert_eq!(g.dummies(), 1);
+        assert!(g.is_dummy(15));
+        assert!(!g.is_dummy(14));
+        // Dummies always land in G_d.
+        assert!(g.g(3).contains(&15));
+    }
+
+    #[test]
+    fn g_d_always_has_exactly_d_ids() {
+        for n in 1..60 {
+            for d in 1..8 {
+                let g = Groups::new(n, d).unwrap();
+                let gd = g.g(d);
+                assert_eq!((*gd.end() - *gd.start() + 1) as usize, d, "N={n}, d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn groups_partition_the_padded_ids() {
+        for (n, d) in [(15, 3), (17, 4), (100, 5), (7, 2), (1, 3), (2, 3)] {
+            let g = Groups::new(n, d).unwrap();
+            let mut seen = vec![false; g.n_pad() + 1];
+            for i in 0..=d {
+                for id in g.g(i) {
+                    assert!(!seen[id as usize], "id {id} in two groups (N={n}, d={d})");
+                    seen[id as usize] = true;
+                    assert_eq!(g.group_of(id), i, "group_of({id}) N={n} d={d}");
+                }
+            }
+            assert!(
+                seen[1..].iter().all(|&s| s),
+                "partition incomplete N={n} d={d}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_populations_have_no_interior() {
+        // N ≤ d ⇒ every node is a direct child of S.
+        let g = Groups::new(2, 3).unwrap();
+        assert_eq!(g.interior_count(), 0);
+        assert_eq!(g.n_pad(), 3);
+        assert_eq!(g.group_of(1), 3);
+        assert_eq!(g.g(0).count(), 0);
+    }
+
+    #[test]
+    fn parity_cycles_mod_d() {
+        let g = Groups::new(15, 3).unwrap();
+        assert_eq!(g.parity(1), 0);
+        assert_eq!(g.parity(2), 1);
+        assert_eq!(g.parity(3), 2);
+        assert_eq!(g.parity(4), 0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Groups::new(0, 3).is_err());
+        assert!(Groups::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn degenerate_degree_one_is_a_chain_partition() {
+        let g = Groups::new(5, 1).unwrap();
+        assert_eq!(g.interior_count(), 4);
+        assert_eq!(g.g(0), 1..=4);
+        assert_eq!(g.g(1), 5..=5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Structural neighbor sets: the paper's `O(d)` communication claim.
+//!
+//! Footnote 2 of §1: multi-tree schemes "only require each node to
+//! communicate with at most 2d nodes in its cluster" — its `d` parents
+//! (one per tree; several may coincide, and any of them may be the
+//! source) plus its `d` children in the single tree where it is interior.
+//! This module derives the sets from the forest structure alone; the
+//! simulator's measured neighbor sets must coincide, which the tests
+//! verify.
+
+use crate::tree::DisjointTrees;
+
+/// Structural communication profile of one receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborSet {
+    /// The receiver (1-based node id).
+    pub node: u32,
+    /// Distinct upstream peers: node id per tree, `0` = the source.
+    /// Deduplicated and sorted.
+    pub parents: Vec<u32>,
+    /// Downstream peers: real children in the node's interior tree
+    /// (empty for all-leaf nodes). Sorted.
+    pub children: Vec<u32>,
+}
+
+impl NeighborSet {
+    /// Total distinct neighbors (parents ∪ children; the sets are
+    /// disjoint by interior-disjointness… except a parent in one tree can
+    /// be a child in another, so we deduplicate).
+    pub fn degree(&self) -> usize {
+        let mut all: Vec<u32> = self
+            .parents
+            .iter()
+            .chain(self.children.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+/// Compute the structural neighbor set of every real receiver.
+pub fn neighbor_sets(forest: &DisjointTrees) -> Vec<NeighborSet> {
+    let d = forest.d();
+    let n_real = forest.n() as u32;
+    (1..=n_real)
+        .map(|id| {
+            let mut parents: Vec<u32> = (0..d)
+                .map(|k| {
+                    let pos = forest.position(k, id);
+                    let pp = forest.parent_pos(pos);
+                    if pp == 0 {
+                        0
+                    } else {
+                        forest.node_at(k, pp)
+                    }
+                })
+                .collect();
+            parents.sort_unstable();
+            parents.dedup();
+
+            let mut children: Vec<u32> = forest
+                .interior_tree_of(id)
+                .map(|k| {
+                    let pos = forest.position(k, id);
+                    forest
+                        .children_pos(pos)
+                        .map(|c| forest.node_at(k, c))
+                        .filter(|&c| c <= n_real) // dummies are not peers
+                        .collect()
+                })
+                .unwrap_or_default();
+            children.sort_unstable();
+
+            NeighborSet {
+                node: id,
+                parents,
+                children,
+            }
+        })
+        .collect()
+}
+
+/// The worst structural degree over all receivers — the paper's `≤ 2d`.
+pub fn max_degree(forest: &DisjointTrees) -> usize {
+    neighbor_sets(forest)
+        .iter()
+        .map(|s| s.degree())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_forest;
+    use crate::schedule::{MultiTreeScheme, StreamMode};
+    use crate::structured::structured_forest;
+    use clustream_core::NodeId;
+    use clustream_sim::{SimConfig, Simulator};
+
+    /// Figure 2's node 6: parents {S, 1, 11}, children {2, 9, 4}.
+    #[test]
+    fn node6_neighbors_match_figure2() {
+        let f = greedy_forest(15, 3).unwrap();
+        let sets = neighbor_sets(&f);
+        let n6 = &sets[5];
+        assert_eq!(n6.node, 6);
+        assert_eq!(n6.parents, vec![0, 1, 11]);
+        assert_eq!(n6.children, vec![2, 4, 9]);
+        assert_eq!(n6.degree(), 6); // = 2d
+    }
+
+    #[test]
+    fn degree_bounded_by_2d_everywhere() {
+        for (n, d) in [(15usize, 3usize), (64, 2), (100, 4), (333, 5), (7, 2)] {
+            for f in [
+                greedy_forest(n, d).unwrap(),
+                structured_forest(n, d).unwrap(),
+            ] {
+                assert!(
+                    max_degree(&f) <= 2 * d,
+                    "N={n} d={d}: degree {}",
+                    max_degree(&f)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_sets_match_simulation() {
+        let f = greedy_forest(20, 3).unwrap();
+        let sets = neighbor_sets(&f);
+        let mut s = MultiTreeScheme::new(f, StreamMode::PreRecorded);
+        let r = Simulator::run(&mut s, &SimConfig::until_complete(36, 10_000)).unwrap();
+        for set in &sets {
+            let q = r.qos.node(NodeId(set.node)).unwrap();
+            assert_eq!(
+                q.neighbors,
+                set.degree(),
+                "node {}: measured {} vs structural {}",
+                set.node,
+                q.neighbors,
+                set.degree()
+            );
+            assert_eq!(q.in_neighbors, set.parents.len(), "node {}", set.node);
+            assert_eq!(q.out_neighbors, set.children.len(), "node {}", set.node);
+        }
+    }
+
+    #[test]
+    fn all_leaf_nodes_have_no_children() {
+        let f = greedy_forest(15, 3).unwrap();
+        let sets = neighbor_sets(&f);
+        for id in [13u32, 14, 15] {
+            let s = &sets[id as usize - 1];
+            assert!(s.children.is_empty(), "G_d node {id} must be all-leaf");
+            assert!(s.degree() <= 3, "only parents");
+        }
+    }
+
+    #[test]
+    fn dummy_children_are_excluded() {
+        // N = 13, d = 3 ⇒ 2 dummies; some interior node has < d real kids.
+        let f = greedy_forest(13, 3).unwrap();
+        let sets = neighbor_sets(&f);
+        let short = sets
+            .iter()
+            .filter(|s| !s.children.is_empty() && s.children.len() < 3);
+        assert!(short.count() >= 1, "someone parents a dummy");
+        for s in &sets {
+            assert!(s.children.iter().all(|&c| c <= 13));
+            assert!(s.parents.iter().all(|&p| p <= 13));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The structured disjoint-tree construction (§2.2.1).
+//!
+//! Trees are built by concatenating the groups `G_0 … G_{d−1}` (in a
+//! rotating order) followed by `G_d`, filling positions in breadth-first
+//! order. Between trees the group order rotates left; after every
+//! `P = d / gcd(I, d)` rotations the *elements* of each interior group
+//! rotate right; and `G_d` rotates right before every new tree. The
+//! appendix proves the resulting per-node positions are pairwise distinct
+//! mod `d` (no receive collisions); [`crate::tree::DisjointTrees::validate`]
+//! re-checks this for every instance we construct.
+
+use crate::groups::Groups;
+use crate::tree::DisjointTrees;
+use clustream_core::CoreError;
+
+fn gcd(a: usize, b: usize) -> usize {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+/// Build the `d` interior-disjoint trees for `n` receivers using the
+/// structured (group-rotation) construction.
+pub fn structured_forest(n: usize, d: usize) -> Result<DisjointTrees, CoreError> {
+    let groups = Groups::new(n, d)?;
+    let i_count = groups.interior_count();
+    let n_pad = groups.n_pad();
+
+    // Mutable working copies of the groups.
+    let mut gs: Vec<Vec<u32>> = (0..d).map(|i| groups.g(i).collect()).collect();
+    let mut gd: Vec<u32> = groups.g(d).collect();
+    // P = d / gcd(I, d); for I = 0, gcd(0, d) = d so P = 1.
+    let p = d / gcd(i_count, d);
+
+    let mut order: Vec<usize> = (0..d).collect();
+    let build = |order: &[usize], gs: &[Vec<u32>], gd: &[u32]| -> Vec<u32> {
+        let mut t = Vec::with_capacity(n_pad);
+        for &gi in order {
+            t.extend_from_slice(&gs[gi]);
+        }
+        t.extend_from_slice(gd);
+        t
+    };
+
+    let mut trees = Vec::with_capacity(d);
+    // Step 1: T_0 = G_0 ⊕ G_1 ⊕ … ⊕ G_{d−1} ⊕ G_d.
+    trees.push(build(&order, &gs, &gd));
+    for k in 1..d {
+        // Step 2: rotate the group order left.
+        order.rotate_left(1);
+        // Step 3 (every P rotations): rotate each G_i's elements right.
+        // (No-op for empty interior groups, i.e. N ≤ d.)
+        if k % p == 0 {
+            for gi in gs.iter_mut().filter(|g| !g.is_empty()) {
+                gi.rotate_right(1);
+            }
+        }
+        // Step 4: rotate G_d right, then construct T_k.
+        gd.rotate_right(1);
+        trees.push(build(&order, &gs, &gd));
+    }
+
+    DisjointTrees::from_positions(groups, trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3(a): the structured construction for N = 15, d = 3.
+    #[test]
+    fn figure3a_pinned() {
+        let f = structured_forest(15, 3).unwrap();
+        assert_eq!(
+            f.tree(0),
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
+        assert_eq!(
+            f.tree(1),
+            &[5, 6, 7, 8, 9, 10, 11, 12, 1, 2, 3, 4, 15, 13, 14]
+        );
+        assert_eq!(
+            f.tree(2),
+            &[9, 10, 11, 12, 1, 2, 3, 4, 5, 6, 7, 8, 14, 15, 13]
+        );
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn interior_nodes_come_from_g_k() {
+        let f = structured_forest(24, 4).unwrap();
+        let g = *f.groups();
+        for k in 0..4 {
+            for p in 1..=f.interior_count() {
+                let id = f.node_at(k, p);
+                assert_eq!(
+                    g.group_of(id),
+                    k,
+                    "tree {k} position {p} holds {id} from wrong group"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validates_across_parameter_grid() {
+        for n in 1..=40 {
+            for d in 1..=6 {
+                let f = structured_forest(n, d)
+                    .unwrap_or_else(|e| panic!("construct N={n} d={d}: {e}"));
+                f.validate()
+                    .unwrap_or_else(|e| panic!("validate N={n} d={d}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_instances_validate() {
+        for (n, d) in [(100, 3), (255, 2), (500, 5), (1000, 4), (2000, 2)] {
+            structured_forest(n, d).unwrap().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn step3_fires_when_p_divides_k() {
+        // Choose I and d with gcd > 1 so P < d and the within-group
+        // rotation actually happens: N = 24, d = 4 ⇒ I = 5, gcd(5,4) = 1,
+        // P = 4 (no step 3). N = 32, d = 4 ⇒ I = 7, P = 4. For P < d we
+        // need gcd(I, d) > 1: N = 40, d = 4 ⇒ I = 9... gcd 1. N = 24,
+        // d = 6 ⇒ I = 3, gcd(3,6) = 3, P = 2: step 3 fires at k = 2, 4.
+        let f = structured_forest(24, 6).unwrap();
+        f.validate().unwrap();
+        // Spot-check that tree 2's interior is an element-rotated G_2.
+        let g = *f.groups();
+        let g2: Vec<u32> = g.g(2).collect();
+        let interior2: Vec<u32> = (1..=f.interior_count()).map(|p| f.node_at(2, p)).collect();
+        let mut rot = g2.clone();
+        rot.rotate_right(1);
+        assert_eq!(interior2, rot, "expected element rotation at k = P");
+    }
+
+    #[test]
+    fn all_leaf_group_occupies_tail_positions() {
+        let f = structured_forest(15, 3).unwrap();
+        let g = *f.groups();
+        for k in 0..3 {
+            for p in (f.n_pad() - 3 + 1)..=f.n_pad() {
+                let id = f.node_at(k, p);
+                assert_eq!(g.group_of(id), 3, "tail of tree {k} must be G_d");
+            }
+        }
+    }
+}

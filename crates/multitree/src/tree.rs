@@ -1,0 +1,297 @@
+//! Position tables for the `d` interior-disjoint trees and their invariants.
+//!
+//! Positions in each tree are numbered in breadth-first order with the
+//! source `S` at position `0` and receivers at `1..=N_pad`; the children of
+//! position `q` are positions `q·d+1 ..= q·d+d`, so position `p`'s parent is
+//! `(p−1)/d` and its **child index** is `(p−1) mod d`. Because the
+//! round-robin schedule sends to child index `r` in slots `t ≡ r (mod d)`,
+//! a node at position `p` receives its tree-`k` packets in slots
+//! `≡ (p−1) (mod d)` — which is why the no-collision invariant below is
+//! "the positions of a node across trees are pairwise distinct mod `d`".
+
+use crate::groups::Groups;
+use clustream_core::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// The `d` interior-disjoint trees over a (padded) receiver population.
+///
+/// Serializable for persistence; a deserialized forest should be
+/// re-checked with [`DisjointTrees::validate`] before use, since serde
+/// bypasses the [`DisjointTrees::from_positions`] permutation checks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DisjointTrees {
+    groups: Groups,
+    /// `positions[k][p−1]` = node id at position `p` of tree `T_k`.
+    positions: Vec<Vec<u32>>,
+    /// `pos_of[k][id−1]` = position of node `id` in tree `T_k`.
+    pos_of: Vec<Vec<u32>>,
+}
+
+impl DisjointTrees {
+    /// Wrap raw position tables, checking that each tree is a permutation
+    /// of `1..=N_pad`. Structural invariants are *not* checked here; call
+    /// [`DisjointTrees::validate`] (done by both constructions' tests and
+    /// by `dynamics` after every mutation).
+    pub fn from_positions(groups: Groups, positions: Vec<Vec<u32>>) -> Result<Self, CoreError> {
+        let d = groups.d();
+        let n_pad = groups.n_pad();
+        if positions.len() != d {
+            return Err(CoreError::InvalidConfig(format!(
+                "expected {d} trees, got {}",
+                positions.len()
+            )));
+        }
+        let mut pos_of = vec![vec![0u32; n_pad]; d];
+        for (k, tree) in positions.iter().enumerate() {
+            if tree.len() != n_pad {
+                return Err(CoreError::InvalidConfig(format!(
+                    "tree {k} has {} positions, expected {n_pad}",
+                    tree.len()
+                )));
+            }
+            let mut seen = vec![false; n_pad + 1];
+            for (i, &id) in tree.iter().enumerate() {
+                if id == 0 || id as usize > n_pad || seen[id as usize] {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "tree {k} is not a permutation (id {id} at position {})",
+                        i + 1
+                    )));
+                }
+                seen[id as usize] = true;
+                pos_of[k][id as usize - 1] = (i + 1) as u32;
+            }
+        }
+        Ok(DisjointTrees {
+            groups,
+            positions,
+            pos_of,
+        })
+    }
+
+    /// The underlying group partition.
+    pub fn groups(&self) -> &Groups {
+        &self.groups
+    }
+
+    /// Tree degree `d`.
+    pub fn d(&self) -> usize {
+        self.groups.d()
+    }
+
+    /// Real receiver count `N`.
+    pub fn n(&self) -> usize {
+        self.groups.n()
+    }
+
+    /// Padded population `N_pad` (positions per tree).
+    pub fn n_pad(&self) -> usize {
+        self.groups.n_pad()
+    }
+
+    /// `I`: interior positions per tree (positions `1..=I`).
+    pub fn interior_count(&self) -> usize {
+        self.groups.interior_count()
+    }
+
+    /// Node id at position `p ∈ 1..=N_pad` of tree `k`.
+    pub fn node_at(&self, k: usize, p: usize) -> u32 {
+        self.positions[k][p - 1]
+    }
+
+    /// Position of node `id` in tree `k`.
+    pub fn position(&self, k: usize, id: u32) -> usize {
+        self.pos_of[k][id as usize - 1] as usize
+    }
+
+    /// Raw position table of tree `k` (ids in BFS order).
+    pub fn tree(&self, k: usize) -> &[u32] {
+        &self.positions[k]
+    }
+
+    /// Parent position of `p` (`0` = the source).
+    pub fn parent_pos(&self, p: usize) -> usize {
+        debug_assert!(p >= 1);
+        (p - 1) / self.d()
+    }
+
+    /// Child index of position `p`: which of its parent's `d` child slots
+    /// it occupies (`0..d`), hence the slot residue in which it receives.
+    pub fn child_index(&self, p: usize) -> usize {
+        (p - 1) % self.d()
+    }
+
+    /// Child positions of position `p` that exist (`≤ N_pad`).
+    pub fn children_pos(&self, p: usize) -> impl Iterator<Item = usize> {
+        let d = self.d();
+        let n_pad = self.n_pad();
+        (p * d + 1..=p * d + d).filter(move |&c| c <= n_pad)
+    }
+
+    /// Depth of position `p` (root children = depth 1).
+    pub fn depth_of(&self, p: usize) -> usize {
+        let mut depth = 0;
+        let mut q = p;
+        while q >= 1 {
+            q = self.parent_pos(q);
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Tree height `h`: depth of the deepest position. For complete trees
+    /// this is the `h` of Theorem 2 (`d + d² + … + d^h = N_pad`).
+    pub fn height(&self) -> usize {
+        self.depth_of(self.n_pad())
+    }
+
+    /// Whether position `p` is interior (has children).
+    pub fn is_interior_pos(&self, p: usize) -> bool {
+        p <= self.interior_count()
+    }
+
+    /// The tree (if any) in which node `id` is interior.
+    pub fn interior_tree_of(&self, id: u32) -> Option<usize> {
+        (0..self.d()).find(|&k| self.is_interior_pos(self.position(k, id)))
+    }
+
+    /// Check every structural invariant of §2.2:
+    ///
+    /// 1. each tree is a permutation of `1..=N_pad` (guaranteed by
+    ///    construction, re-checked);
+    /// 2. **interior-disjoint**: every node is interior in at most one tree;
+    /// 3. **no-collision**: each node's positions across the `d` trees are
+    ///    pairwise distinct mod `d` (so it receives ≤ 1 packet per slot);
+    /// 4. dummies appear only in leaf positions.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let d = self.d();
+        let n_pad = self.n_pad();
+        // 1. permutations
+        for k in 0..d {
+            let mut seen = vec![false; n_pad + 1];
+            for p in 1..=n_pad {
+                let id = self.node_at(k, p);
+                if id == 0 || id as usize > n_pad || seen[id as usize] {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "tree {k} not a permutation at position {p}"
+                    )));
+                }
+                seen[id as usize] = true;
+                if self.position(k, id) != p {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "pos_of out of sync for id {id} in tree {k}"
+                    )));
+                }
+            }
+        }
+        for id in 1..=n_pad as u32 {
+            // 2. interior-disjoint
+            let interior_in = (0..d)
+                .filter(|&k| self.is_interior_pos(self.position(k, id)))
+                .count();
+            if interior_in > 1 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "node {id} is interior in {interior_in} trees"
+                )));
+            }
+            // 4. dummies are all-leaf
+            if self.groups.is_dummy(id) && interior_in != 0 {
+                return Err(CoreError::InvalidConfig(format!(
+                    "dummy node {id} is interior"
+                )));
+            }
+            // 3. no-collision: positions pairwise distinct mod d
+            let mut residues = vec![false; d];
+            for k in 0..d {
+                let r = (self.position(k, id) - 1) % d;
+                if residues[r] {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "node {id} has two positions ≡ {r} (mod {d}) — receive collision"
+                    )));
+                }
+                residues[r] = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_forest(n: usize, d: usize) -> (Groups, Vec<Vec<u32>>) {
+        // d trees each the identity permutation — valid shape, but violates
+        // interior-disjointness for d > 1.
+        let g = Groups::new(n, d).unwrap();
+        let tree: Vec<u32> = (1..=g.n_pad() as u32).collect();
+        (g, vec![tree; d])
+    }
+
+    #[test]
+    fn permutation_check_rejects_duplicates() {
+        let g = Groups::new(6, 2).unwrap();
+        let bad = vec![vec![1, 2, 3, 4, 5, 5], vec![1, 2, 3, 4, 5, 6]];
+        assert!(DisjointTrees::from_positions(g, bad).is_err());
+    }
+
+    #[test]
+    fn wrong_tree_count_rejected() {
+        let g = Groups::new(6, 2).unwrap();
+        let one = vec![vec![1, 2, 3, 4, 5, 6]];
+        assert!(DisjointTrees::from_positions(g, one).is_err());
+    }
+
+    #[test]
+    fn identity_forest_fails_interior_disjointness() {
+        let (g, pos) = identity_forest(6, 2);
+        let f = DisjointTrees::from_positions(g, pos).unwrap();
+        let err = f.validate().unwrap_err();
+        assert!(err.to_string().contains("interior"), "{err}");
+    }
+
+    #[test]
+    fn bfs_arithmetic() {
+        let (g, pos) = identity_forest(15, 3);
+        let f = DisjointTrees::from_positions(g, pos).unwrap();
+        assert_eq!(f.parent_pos(1), 0);
+        assert_eq!(f.parent_pos(3), 0);
+        assert_eq!(f.parent_pos(4), 1);
+        assert_eq!(f.parent_pos(15), 4);
+        assert_eq!(f.child_index(1), 0);
+        assert_eq!(f.child_index(3), 2);
+        assert_eq!(f.children_pos(1).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(f.children_pos(4).collect::<Vec<_>>(), vec![13, 14, 15]);
+        assert_eq!(f.children_pos(5).count(), 0);
+        assert_eq!(f.depth_of(1), 1);
+        assert_eq!(f.depth_of(4), 2);
+        assert_eq!(f.depth_of(15), 3);
+        assert_eq!(f.height(), 3);
+        assert_eq!(f.interior_count(), 4);
+        assert!(f.is_interior_pos(4));
+        assert!(!f.is_interior_pos(5));
+    }
+
+    #[test]
+    fn collision_residues_detected() {
+        // d = 2, N = 4: trees [1,2,3,4] and [3,4,1,2]: node 1 occupies
+        // positions 1 and 3 — both ≡ 1 (mod 2) ⇒ collision.
+        let g = Groups::new(4, 2).unwrap();
+        let f = DisjointTrees::from_positions(g, vec![vec![1, 2, 3, 4], vec![3, 4, 1, 2]]).unwrap();
+        let err = f.validate().unwrap_err();
+        assert!(err.to_string().contains("collision"), "{err}");
+    }
+
+    #[test]
+    fn valid_two_tree_example_passes() {
+        // d = 2, N = 4, I = 1: interior positions = {1}. Trees
+        // T_0 = [1,2,3,4] (interior: 1), T_1 = [2,1,4,3] (interior: 2).
+        // Residues: node 1 → pos 1, 2 (0 and 1 mod 2 ✓), node 2 → 2, 1 ✓,
+        // node 3 → 3, 4 ✓, node 4 → 4, 3 ✓.
+        let g = Groups::new(4, 2).unwrap();
+        let f = DisjointTrees::from_positions(g, vec![vec![1, 2, 3, 4], vec![2, 1, 4, 3]]).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.interior_tree_of(1), Some(0));
+        assert_eq!(f.interior_tree_of(2), Some(1));
+        assert_eq!(f.interior_tree_of(3), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! A small undirected graph with bitmask adjacency (≤ 64 vertices).
+
+use clustream_core::CoreError;
+
+/// Undirected graph on vertices `0..n`, `n ≤ 64`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<u64>,
+}
+
+impl Graph {
+    /// An edgeless graph on `n ≤ 64` vertices.
+    pub fn new(n: usize) -> Result<Self, CoreError> {
+        if n == 0 || n > 64 {
+            return Err(CoreError::InvalidConfig(format!(
+                "graph size {n} out of supported range 1..=64"
+            )));
+        }
+        Ok(Graph { n, adj: vec![0; n] })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Insert the undirected edge `{a, b}`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b, "bad edge {a}-{b}");
+        self.adj[a] |= 1 << b;
+        self.adj[b] |= 1 << a;
+    }
+
+    /// Whether `{a, b}` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a] & (1 << b) != 0
+    }
+
+    /// Neighbor bitmask of `v`.
+    pub fn neighbors(&self, v: usize) -> u64 {
+        self.adj[v]
+    }
+
+    /// Bitmask of all vertices.
+    pub fn full_mask(&self) -> u64 {
+        if self.n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.n) - 1
+        }
+    }
+
+    /// Whether the sub-graph induced by `mask` is connected (the empty
+    /// mask counts as connected).
+    pub fn connected_within(&self, mask: u64) -> bool {
+        if mask == 0 {
+            return true;
+        }
+        let start = mask.trailing_zeros() as usize;
+        let mut seen = 1u64 << start;
+        let mut frontier = seen;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let v = f.trailing_zeros() as usize;
+                f &= f - 1;
+                next |= self.adj[v] & mask & !seen;
+            }
+            seen |= next;
+            frontier = next;
+        }
+        seen == mask
+    }
+
+    /// Bitmask of vertices outside `mask` with ≥ 1 neighbor inside `mask`.
+    pub fn dominated_by(&self, mask: u64) -> u64 {
+        let mut out = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let v = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out |= self.adj[v];
+        }
+        out & !mask & self.full_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::new(n).unwrap();
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let mut g = Graph::new(4).unwrap();
+        g.add_edge(1, 3);
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 1));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn connectivity_on_paths() {
+        let g = path(5);
+        assert!(g.connected_within(0b11111));
+        assert!(g.connected_within(0b00110));
+        assert!(!g.connected_within(0b10001)); // endpoints only
+        assert!(g.connected_within(0));
+        assert!(g.connected_within(0b00100));
+    }
+
+    #[test]
+    fn domination() {
+        let g = path(5); // 0-1-2-3-4
+        assert_eq!(g.dominated_by(0b00100), 0b01010); // {2} dominates {1,3}
+        assert_eq!(g.dominated_by(0b00001), 0b00010);
+    }
+
+    #[test]
+    fn size_limits() {
+        assert!(Graph::new(0).is_err());
+        assert!(Graph::new(65).is_err());
+        assert!(Graph::new(64).is_ok());
+    }
+}

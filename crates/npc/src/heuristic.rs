@@ -1,0 +1,174 @@
+//! A polynomial-time greedy heuristic for Two Interior-Disjoint Trees.
+//!
+//! Since the decision problem is NP-complete (see [`crate::reduction`]),
+//! practical deployments on non-complete graphs need a heuristic. This one
+//! grows the two interior covers side by side: starting from
+//! `W₁ = W₂ = ∅`, it repeatedly assigns the unclaimed vertex that most
+//! reduces the number of un-dominated vertices of the cover currently
+//! lagging, until both covers are valid or no assignment helps. It is
+//! **sound** (a returned pair always verifies) but **incomplete** — the
+//! tests measure how often it matches the exact solver on random graphs.
+
+use crate::graph::Graph;
+use crate::solver::{verify_interior_disjoint, SpanningTree};
+
+/// Build a spanning tree with interior ⊆ `w ∪ {root}` (the cover must be
+/// valid: connected induced subgraph dominating everything else).
+fn tree_from_cover(g: &Graph, root: usize, w: u64) -> SpanningTree {
+    let core = w | (1 << root);
+    let n = g.n();
+    let mut parent = vec![usize::MAX; n];
+    parent[root] = root;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let mut nb = g.neighbors(v) & core;
+        while nb != 0 {
+            let u = nb.trailing_zeros() as usize;
+            nb &= nb - 1;
+            if parent[u] == usize::MAX {
+                parent[u] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    for (v, p) in parent.iter_mut().enumerate() {
+        if *p == usize::MAX {
+            *p = (g.neighbors(v) & core).trailing_zeros() as usize;
+        }
+    }
+    SpanningTree { root, parent }
+}
+
+fn cover_valid(g: &Graph, root: usize, w: u64) -> bool {
+    let core = w | (1 << root);
+    let rest = g.full_mask() & !core;
+    g.connected_within(core) && (g.dominated_by(core) & rest) == rest
+}
+
+/// Vertices not yet dominated by (or inside) `w ∪ {root}`.
+fn deficit(g: &Graph, root: usize, w: u64) -> u32 {
+    let core = w | (1 << root);
+    let rest = g.full_mask() & !core;
+    (rest & !g.dominated_by(core)).count_ones()
+}
+
+/// Greedy heuristic: `Some((t1, t2))` on success (always verified), `None`
+/// when it gets stuck — which does **not** imply no solution exists.
+pub fn greedy_two_trees(g: &Graph, root: usize) -> Option<(SpanningTree, SpanningTree)> {
+    assert!(root < g.n());
+    let pool = g.full_mask() & !(1 << root);
+    let mut w = [0u64; 2];
+
+    loop {
+        let done = [cover_valid(g, root, w[0]), cover_valid(g, root, w[1])];
+        if done[0] && done[1] {
+            let t1 = tree_from_cover(g, root, w[0]);
+            let t2 = tree_from_cover(g, root, w[1]);
+            debug_assert!(verify_interior_disjoint(g, &t1, &t2));
+            return Some((t1, t2));
+        }
+        // Grow the lagging (invalid) cover with the best unclaimed vertex:
+        // must stay connected to its core, and minimize the remaining
+        // deficit.
+        let side = if !done[0] { 0 } else { 1 };
+        let core = w[side] | (1 << root);
+        let claimed = w[0] | w[1];
+        let mut candidates = g.dominated_by(core) & pool & !claimed;
+        let mut best: Option<(u32, usize)> = None;
+        while candidates != 0 {
+            let v = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            let def = deficit(g, root, w[side] | (1 << v));
+            if best.is_none_or(|(bd, _)| def < bd) {
+                best = Some((def, v));
+            }
+        }
+        match best {
+            Some((_, v)) => w[side] |= 1 << v,
+            None => return None, // stuck: no adjacent unclaimed vertex
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::find_two_interior_disjoint_trees;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n).unwrap();
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn solves_complete_graphs() {
+        for n in 2..=10 {
+            let (t1, t2) =
+                greedy_two_trees(&complete(n), 0).unwrap_or_else(|| panic!("K_{n} is easy"));
+            assert!(verify_interior_disjoint(&complete(n), &t1, &t2));
+        }
+    }
+
+    #[test]
+    fn gives_up_where_no_solution_exists() {
+        // Star rooted at a leaf: provably unsolvable; the heuristic must
+        // return None, not a bogus pair.
+        let mut g = Graph::new(5).unwrap();
+        for v in [0usize, 2, 3, 4] {
+            g.add_edge(1, v);
+        }
+        assert!(greedy_two_trees(&g, 0).is_none());
+        assert!(find_two_interior_disjoint_trees(&g, 0).is_none());
+    }
+
+    #[test]
+    fn sound_on_random_graphs_and_measures_completeness() {
+        // Deterministic pseudo-random graphs; compare against the exact
+        // solver. Soundness must be perfect; completeness is reported via
+        // an assertion that the heuristic solves a decent fraction.
+        let mut solved_exact = 0;
+        let mut solved_greedy = 0;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..60 {
+            let n = 5 + (rand() % 5) as usize;
+            let mut g = Graph::new(n).unwrap();
+            for v in 1..n {
+                g.add_edge(v, (rand() % v as u64) as usize);
+            }
+            for _ in 0..(rand() % 8) {
+                let a = (rand() % n as u64) as usize;
+                let b = (rand() % n as u64) as usize;
+                if a != b {
+                    g.add_edge(a, b);
+                }
+            }
+            let exact = find_two_interior_disjoint_trees(&g, 0);
+            let greedy = greedy_two_trees(&g, 0);
+            if let Some((t1, t2)) = &greedy {
+                assert!(verify_interior_disjoint(&g, t1, t2), "unsound heuristic");
+                assert!(exact.is_some(), "heuristic solved an unsolvable instance?!");
+            }
+            solved_exact += usize::from(exact.is_some());
+            solved_greedy += usize::from(greedy.is_some());
+        }
+        assert!(solved_greedy <= solved_exact);
+        // Not a guarantee, but on these densities the greedy should land
+        // most of the solvable instances; a regression here means the
+        // heuristic broke.
+        assert!(
+            solved_greedy * 2 >= solved_exact,
+            "greedy {solved_greedy} of exact {solved_exact}"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! The **Two Interior-Disjoint Tree** problem (paper appendix).
+//!
+//! The paper's constructions assume each cluster is a complete graph. On an
+//! *arbitrary* graph `G` with root `r`, even deciding whether **two**
+//! interior-disjoint spanning trees rooted at `r` exist (the root may be
+//! interior in both) is NP-complete, by reduction from **E-4 Set
+//! Splitting** [Håstad 2001]. This crate implements the whole substrate:
+//!
+//! * [`setsplit`] — E-4 Set Splitting instances and an exact (brute-force)
+//!   solver for small instances;
+//! * [`graph`] — a small undirected-graph type (≤ 64 vertices, bitmask
+//!   adjacency);
+//! * [`solver`] — an exact solver for Two Interior-Disjoint Trees, based
+//!   on the characterization: a spanning tree rooted at `r` with interior
+//!   vertices `⊆ W ∪ {r}` exists iff `G[W ∪ {r}]` is connected and every
+//!   remaining vertex has a neighbor in `W ∪ {r}`; the solver searches
+//!   disjoint pairs `(W₁, W₂)` and reconstructs witness trees;
+//! * [`reduction`] — the paper's bipartite construction mapping a Set
+//!   Splitting instance to a graph, with tests checking the reduction is
+//!   answer-preserving against both exact solvers.
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod heuristic;
+pub mod reduction;
+pub mod setsplit;
+pub mod solver;
+
+pub use graph::Graph;
+pub use heuristic::greedy_two_trees;
+pub use reduction::reduce;
+pub use setsplit::E4SetSplitting;
+pub use solver::{find_two_interior_disjoint_trees, verify_interior_disjoint, SpanningTree};

@@ -1,0 +1,112 @@
+//! E-4 Set Splitting [Håstad 2001]: given elements `V` and sets `R_i`
+//! with exactly four elements each, decide whether `V` splits into
+//! `V₁ ⊎ V₂` such that every `R_i` meets both sides.
+
+use clustream_core::CoreError;
+
+/// An E-4 Set Splitting instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct E4SetSplitting {
+    n_elems: usize,
+    sets: Vec<[usize; 4]>,
+}
+
+impl E4SetSplitting {
+    /// Build an instance over `n_elems ≤ 32` elements; every set must
+    /// contain four distinct element indices.
+    pub fn new(n_elems: usize, sets: Vec<[usize; 4]>) -> Result<Self, CoreError> {
+        if n_elems == 0 || n_elems > 32 {
+            return Err(CoreError::InvalidConfig(format!(
+                "element count {n_elems} out of supported range 1..=32"
+            )));
+        }
+        for (i, s) in sets.iter().enumerate() {
+            for &e in s {
+                if e >= n_elems {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "set {i} references element {e} ≥ {n_elems}"
+                    )));
+                }
+            }
+            let mut u = *s;
+            u.sort_unstable();
+            if u.windows(2).any(|w| w[0] == w[1]) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "set {i} has repeated elements (E-4 requires exactly 4 distinct)"
+                )));
+            }
+        }
+        Ok(E4SetSplitting { n_elems, sets })
+    }
+
+    /// Number of elements.
+    pub fn n_elems(&self) -> usize {
+        self.n_elems
+    }
+
+    /// The sets.
+    pub fn sets(&self) -> &[[usize; 4]] {
+        &self.sets
+    }
+
+    /// Whether the 2-coloring `v1` (bit `e` set ⇒ element `e ∈ V₁`)
+    /// splits every set.
+    pub fn is_valid_split(&self, v1: u32) -> bool {
+        self.sets.iter().all(|s| {
+            let in_v1 = s.iter().filter(|&&e| v1 & (1 << e) != 0).count();
+            (1..=3).contains(&in_v1)
+        })
+    }
+
+    /// Exact solver: the lexicographically-smallest valid `V₁` mask, if
+    /// any. `O(2^n · m)` — fine for test-sized instances.
+    pub fn solve_brute(&self) -> Option<u32> {
+        let top = 1u64 << self.n_elems;
+        (0..top).map(|m| m as u32).find(|&m| self.is_valid_split(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_set_is_splittable() {
+        let s = E4SetSplitting::new(4, vec![[0, 1, 2, 3]]).unwrap();
+        let v1 = s.solve_brute().unwrap();
+        assert!(s.is_valid_split(v1));
+        assert!(!s.is_valid_split(0), "empty V₁ leaves the set whole");
+        assert!(!s.is_valid_split(0b1111), "full V₁ leaves V₂ empty of it");
+    }
+
+    #[test]
+    fn all_four_subsets_of_five_split() {
+        // Every 4-subset of 5 elements: a 3–2 coloring splits them all.
+        let sets = vec![
+            [0, 1, 2, 3],
+            [0, 1, 2, 4],
+            [0, 1, 3, 4],
+            [0, 2, 3, 4],
+            [1, 2, 3, 4],
+        ];
+        let s = E4SetSplitting::new(5, sets).unwrap();
+        let v1 = s.solve_brute().unwrap();
+        let size = v1.count_ones();
+        assert!(size == 2 || size == 3, "must be a 3–2 split, got {size}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_sets() {
+        assert!(E4SetSplitting::new(4, vec![[0, 1, 2, 4]]).is_err());
+        assert!(E4SetSplitting::new(4, vec![[0, 1, 2, 2]]).is_err());
+        assert!(E4SetSplitting::new(0, vec![]).is_err());
+        assert!(E4SetSplitting::new(33, vec![]).is_err());
+    }
+
+    #[test]
+    fn split_counts_both_sides() {
+        let s = E4SetSplitting::new(6, vec![[0, 1, 2, 3], [2, 3, 4, 5]]).unwrap();
+        assert!(s.is_valid_split(0b000101)); // {0,2} vs {1,3,4,5}
+        assert!(!s.is_valid_split(0b110000)); // {4,5}: first set whole in V₂
+    }
+}

@@ -1,0 +1,273 @@
+//! Exact solver for the Two Interior-Disjoint Tree problem.
+//!
+//! **Characterization.** A spanning tree of `G` rooted at `r` whose
+//! interior (non-leaf) vertices are contained in `W ∪ {r}` exists iff
+//! `G[W ∪ {r}]` is connected and every vertex outside `W ∪ {r}` has a
+//! neighbor inside (take any spanning tree of the induced subgraph and
+//! hang the rest as leaves). Conversely, the interior of a spanning tree
+//! is connected and dominates everything. Two interior-disjoint rooted
+//! spanning trees therefore exist iff there are **disjoint**
+//! `W₁, W₂ ⊆ V ∖ {r}` both satisfying the condition — the root is allowed
+//! to be interior in both, exactly as in the paper.
+//!
+//! The solver enumerates `(W₁, W₂)` pairs (≈ `3^(n−1)` work), so it is
+//! exact for the test-scale instances an NP-complete problem permits.
+
+use crate::graph::Graph;
+
+/// A rooted spanning tree as a parent table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanningTree {
+    /// The root.
+    pub root: usize,
+    /// `parent[v]` for `v ≠ root`; `parent[root] = root`.
+    pub parent: Vec<usize>,
+}
+
+impl SpanningTree {
+    /// Interior vertices: every vertex that is some vertex's parent,
+    /// excluding the root.
+    pub fn interior(&self) -> u64 {
+        let mut m = 0u64;
+        for (v, &p) in self.parent.iter().enumerate() {
+            if v != self.root {
+                m |= 1 << p;
+            }
+        }
+        m & !(1 << self.root)
+    }
+
+    /// Check this is a spanning tree of `g` rooted at `root`.
+    pub fn is_valid(&self, g: &Graph) -> bool {
+        if self.parent.len() != g.n() || self.parent[self.root] != self.root {
+            return false;
+        }
+        for (v, &p) in self.parent.iter().enumerate() {
+            if v == self.root {
+                continue;
+            }
+            if !g.has_edge(v, p) {
+                return false;
+            }
+            // Walk to the root, bounded by n steps (cycle guard).
+            let mut cur = v;
+            for _ in 0..g.n() {
+                cur = self.parent[cur];
+                if cur == self.root {
+                    break;
+                }
+            }
+            if cur != self.root {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// `W ∪ {r}` works as an interior cover: induced subgraph connected and
+/// dominating everything else.
+fn valid_cover(g: &Graph, r: usize, w: u64) -> bool {
+    let core = w | (1 << r);
+    let rest = g.full_mask() & !core;
+    g.connected_within(core) && (g.dominated_by(core) & rest) == rest
+}
+
+/// Build a concrete spanning tree whose interior ⊆ `w ∪ {r}`.
+fn build_tree(g: &Graph, r: usize, w: u64) -> SpanningTree {
+    debug_assert!(valid_cover(g, r, w));
+    let core = w | (1 << r);
+    let n = g.n();
+    let mut parent = vec![usize::MAX; n];
+    parent[r] = r;
+    // BFS over the core.
+    let mut queue = std::collections::VecDeque::from([r]);
+    while let Some(v) = queue.pop_front() {
+        let mut nb = g.neighbors(v) & core;
+        while nb != 0 {
+            let u = nb.trailing_zeros() as usize;
+            nb &= nb - 1;
+            if parent[u] == usize::MAX {
+                parent[u] = v;
+                queue.push_back(u);
+            }
+        }
+    }
+    // Hang every remaining vertex as a leaf off some core neighbor.
+    for (v, p) in parent.iter_mut().enumerate() {
+        if *p == usize::MAX {
+            *p = (g.neighbors(v) & core).trailing_zeros() as usize;
+        }
+    }
+    SpanningTree { root: r, parent }
+}
+
+/// Verify two trees are spanning, rooted at the same root, and
+/// interior-disjoint (the root may be interior in both).
+pub fn verify_interior_disjoint(g: &Graph, t1: &SpanningTree, t2: &SpanningTree) -> bool {
+    t1.root == t2.root && t1.is_valid(g) && t2.is_valid(g) && (t1.interior() & t2.interior()) == 0
+}
+
+/// Exact decision + witness: two interior-disjoint spanning trees of `g`
+/// rooted at `r`, if they exist.
+///
+/// ```
+/// use clustream_npc::{find_two_interior_disjoint_trees, verify_interior_disjoint, Graph};
+///
+/// // A 5-cycle: route clockwise and counter-clockwise.
+/// let mut g = Graph::new(5)?;
+/// for v in 0..5 {
+///     g.add_edge(v, (v + 1) % 5);
+/// }
+/// let (t1, t2) = find_two_interior_disjoint_trees(&g, 0).expect("C₅ splits");
+/// assert!(verify_interior_disjoint(&g, &t1, &t2));
+/// # Ok::<(), clustream_core::CoreError>(())
+/// ```
+pub fn find_two_interior_disjoint_trees(
+    g: &Graph,
+    r: usize,
+) -> Option<(SpanningTree, SpanningTree)> {
+    assert!(r < g.n());
+    if g.n() == 1 {
+        let t = SpanningTree {
+            root: r,
+            parent: vec![r],
+        };
+        return Some((t.clone(), t));
+    }
+    let pool = g.full_mask() & !(1 << r);
+    // Enumerate W₁ ⊆ pool; for each valid W₁, enumerate W₂ over subsets of
+    // the remainder. Iterating supersets-last keeps witnesses small.
+    let mut w1 = 0u64;
+    loop {
+        if valid_cover(g, r, w1) {
+            let rem = pool & !w1;
+            // Enumerate subsets of rem (including 0).
+            let mut w2 = 0u64;
+            loop {
+                if valid_cover(g, r, w2) {
+                    return Some((build_tree(g, r, w1), build_tree(g, r, w2)));
+                }
+                if w2 == rem {
+                    break;
+                }
+                w2 = (w2.wrapping_sub(rem)) & rem; // next subset
+            }
+        }
+        if w1 == pool {
+            return None;
+        }
+        w1 = (w1.wrapping_sub(pool)) & pool;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Graph {
+        let mut g = Graph::new(n).unwrap();
+        for a in 0..n {
+            for b in a + 1..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graphs_always_have_two_trees() {
+        for n in 2..=8 {
+            let g = complete(n);
+            let (t1, t2) = find_two_interior_disjoint_trees(&g, 0)
+                .unwrap_or_else(|| panic!("K_{n} must admit two trees"));
+            assert!(verify_interior_disjoint(&g, &t1, &t2));
+        }
+    }
+
+    #[test]
+    fn star_rooted_at_center_works() {
+        let mut g = Graph::new(6).unwrap();
+        for v in 1..6 {
+            g.add_edge(0, v);
+        }
+        let (t1, t2) = find_two_interior_disjoint_trees(&g, 0).unwrap();
+        assert!(verify_interior_disjoint(&g, &t1, &t2));
+        // Both trees are the star itself: interiors are empty (root only).
+        assert_eq!(t1.interior(), 0);
+        assert_eq!(t2.interior(), 0);
+    }
+
+    #[test]
+    fn star_rooted_at_leaf_fails() {
+        // r — c — {others}: every tree must route through c, so c is
+        // interior in both. No two interior-disjoint trees.
+        let mut g = Graph::new(5).unwrap();
+        for v in [0usize, 2, 3, 4] {
+            g.add_edge(1, v);
+        }
+        assert!(find_two_interior_disjoint_trees(&g, 0).is_none());
+    }
+
+    #[test]
+    fn path_rooted_at_end_fails() {
+        let mut g = Graph::new(3).unwrap();
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(find_two_interior_disjoint_trees(&g, 0).is_none());
+    }
+
+    #[test]
+    fn cycle_rooted_anywhere_works() {
+        // C_5: W₁ = one arc's interior, W₂ = the other arc's.
+        let mut g = Graph::new(5).unwrap();
+        for v in 0..5 {
+            g.add_edge(v, (v + 1) % 5);
+        }
+        let (t1, t2) = find_two_interior_disjoint_trees(&g, 0).unwrap();
+        assert!(verify_interior_disjoint(&g, &t1, &t2));
+    }
+
+    #[test]
+    fn two_vertex_graph() {
+        let mut g = Graph::new(2).unwrap();
+        g.add_edge(0, 1);
+        let (t1, t2) = find_two_interior_disjoint_trees(&g, 0).unwrap();
+        assert!(verify_interior_disjoint(&g, &t1, &t2));
+    }
+
+    #[test]
+    fn tree_verifier_rejects_broken_trees() {
+        let g = complete(4);
+        let good = SpanningTree {
+            root: 0,
+            parent: vec![0, 0, 0, 0],
+        };
+        assert!(good.is_valid(&g));
+        // 2 and 3 parent each other: a cycle.
+        let cyclic = SpanningTree {
+            root: 0,
+            parent: vec![0, 0, 3, 2],
+        };
+        assert!(!cyclic.is_valid(&g));
+        // Parent edge not in graph.
+        let mut sparse = Graph::new(3).unwrap();
+        sparse.add_edge(0, 1);
+        sparse.add_edge(1, 2);
+        let bad = SpanningTree {
+            root: 0,
+            parent: vec![0, 0, 0],
+        };
+        assert!(!bad.is_valid(&sparse));
+    }
+
+    #[test]
+    fn interiors_are_computed_correctly() {
+        // Path tree 0 ← 1 ← 2 ← 3 rooted at 0: interior = {1, 2}.
+        let t = SpanningTree {
+            root: 0,
+            parent: vec![0, 0, 1, 2],
+        };
+        assert_eq!(t.interior(), 0b0110);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests on the Two Interior-Disjoint Tree solver and the E-4
+//! Set Splitting reduction.
+
+use clustream_npc::{
+    find_two_interior_disjoint_trees, reduce, verify_interior_disjoint, E4SetSplitting, Graph,
+};
+use proptest::prelude::*;
+
+/// Random connected graph on n vertices: a random spanning tree plus
+/// random extra edges.
+fn random_connected(n: usize, extra: &[(usize, usize)], perm_seed: usize) -> Graph {
+    let mut g = Graph::new(n).unwrap();
+    for v in 1..n {
+        // Parent chosen pseudo-deterministically from the seed.
+        let p = (v * 31 + perm_seed) % v;
+        g.add_edge(v, p);
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            g.add_edge(a, b);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever the solver answers yes, the witness trees verify.
+    #[test]
+    fn witnesses_always_verify(
+        n in 2usize..10,
+        extra in proptest::collection::vec((0usize..10, 0usize..10), 0..12),
+        seed in 0usize..1000,
+        root in 0usize..10,
+    ) {
+        let g = random_connected(n, &extra, seed);
+        let root = root % n;
+        if let Some((t1, t2)) = find_two_interior_disjoint_trees(&g, root) {
+            prop_assert!(verify_interior_disjoint(&g, &t1, &t2));
+            prop_assert_eq!(t1.root, root);
+        }
+    }
+
+    /// Adding edges never turns a yes-instance into a no-instance
+    /// (validity of an interior cover is preserved under edge addition).
+    #[test]
+    fn solver_is_edge_monotone(
+        n in 3usize..9,
+        extra in proptest::collection::vec((0usize..9, 0usize..9), 0..8),
+        seed in 0usize..1000,
+        new_edge in (0usize..9, 0usize..9),
+    ) {
+        let g = random_connected(n, &extra, seed);
+        let had = find_two_interior_disjoint_trees(&g, 0).is_some();
+        let (a, b) = (new_edge.0 % n, new_edge.1 % n);
+        if a != b {
+            let mut g2 = g.clone();
+            g2.add_edge(a, b);
+            let has = find_two_interior_disjoint_trees(&g2, 0).is_some();
+            prop_assert!(!had || has, "adding an edge destroyed a solution");
+        }
+    }
+
+    /// The reduction preserves the answer on random E-4 instances
+    /// (both directions, via the two exact solvers).
+    #[test]
+    fn reduction_answer_preserving(
+        n_elems in 4usize..7,
+        raw_sets in proptest::collection::vec(proptest::collection::vec(0usize..7, 4), 1..5),
+    ) {
+        // Deduplicate elements inside each set; skip degenerate draws.
+        let mut sets = Vec::new();
+        for s in &raw_sets {
+            let mut v: Vec<usize> = s.iter().map(|&e| e % n_elems).collect();
+            v.sort_unstable();
+            v.dedup();
+            if v.len() == 4 {
+                sets.push([v[0], v[1], v[2], v[3]]);
+            }
+        }
+        prop_assume!(!sets.is_empty());
+        let inst = E4SetSplitting::new(n_elems, sets).unwrap();
+        let splittable = inst.solve_brute().is_some();
+        let (g, layout) = reduce(&inst);
+        let trees = find_two_interior_disjoint_trees(&g, layout.root);
+        prop_assert_eq!(splittable, trees.is_some());
+    }
+
+    /// Valid splits found by brute force always split every set.
+    #[test]
+    fn brute_force_solutions_are_valid(
+        n_elems in 4usize..8,
+        raw_sets in proptest::collection::vec(proptest::collection::vec(0usize..8, 4), 1..6),
+    ) {
+        let mut sets = Vec::new();
+        for s in &raw_sets {
+            let mut v: Vec<usize> = s.iter().map(|&e| e % n_elems).collect();
+            v.sort_unstable();
+            v.dedup();
+            if v.len() == 4 {
+                sets.push([v[0], v[1], v[2], v[3]]);
+            }
+        }
+        prop_assume!(!sets.is_empty());
+        let inst = E4SetSplitting::new(n_elems, sets).unwrap();
+        if let Some(v1) = inst.solve_brute() {
+            prop_assert!(inst.is_valid_split(v1));
+            prop_assert!(v1.count_ones() >= 1);
+            prop_assert!((v1.count_ones() as usize) < n_elems);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-cluster streaming (§2.1): the super-tree `τ` and the composed
+//! end-to-end session.
+//!
+//! Nodes live in `K` clusters; intra-cluster transmission takes `T_i = 1`
+//! slot, inter-cluster transmission takes `T_c > 1` slots. Each cluster
+//! `i` has two super nodes: `S_i` (capacity `D`, like the source) and
+//! `S'_i` (capacity `d`). The stream is distributed over a backbone tree
+//! on `S_1 … S_K` rooted at the source `S` (degree `D`, interior degree
+//! `≤ D − 1`); each `S_i` relays one packet per slot to its backbone
+//! children (latency `T_c`) and to `S'_i` (latency 1), and `S'_i` roots an
+//! intra-cluster scheme — interior-disjoint multi-trees or a hypercube
+//! chain — over the cluster's members.
+//!
+//! Theorem 1: worst-case playback delay is on the order of
+//! `T_c · log_{D−1} K + T_i · d(h−1)`.
+
+#![warn(missing_docs)]
+
+pub mod planner;
+pub mod session;
+pub mod supertree;
+
+pub use planner::{plan_cluster, plan_session, ClusterRequirement, PlannedCluster};
+pub use session::{ClusterSession, IntraScheme};
+pub use supertree::Backbone;

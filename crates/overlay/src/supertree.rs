@@ -1,0 +1,174 @@
+//! Construction of the backbone tree `τ` over the cluster super nodes
+//! (§2.1, Step 1 and Figure 1).
+//!
+//! The source `S` is the root with degree `D`; every other interior node
+//! has degree at most `D − 1` (one unit of each `S_i`'s capacity is
+//! reserved for feeding its own cluster through `S'_i`). Clusters are
+//! attached in BFS order, which keeps the tree tight: at most one interior
+//! node ends up with degree `< D − 1`, and it sits in the next-to-last
+//! layer.
+
+use clustream_core::CoreError;
+
+/// The backbone tree over clusters `0..K`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Backbone {
+    big_d: usize,
+    /// `parent[i]` = parent cluster of cluster `i`, or `None` if cluster
+    /// `i` hangs directly off the source.
+    parent: Vec<Option<usize>>,
+    /// `depth[i]` = number of inter-cluster hops from `S` to `S_i` (≥ 1).
+    depth: Vec<usize>,
+}
+
+impl Backbone {
+    /// Build the super-tree for `k ≥ 1` clusters with source degree
+    /// `d_cap = D ≥ 2`.
+    pub fn new(k: usize, d_cap: usize) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig("need at least one cluster".into()));
+        }
+        if d_cap < 2 {
+            return Err(CoreError::InvalidConfig(
+                "source degree D must be ≥ 2".into(),
+            ));
+        }
+        let mut parent = vec![None; k];
+        let mut depth = vec![0usize; k];
+        // First min(D, K) clusters are children of S.
+        let direct = k.min(d_cap);
+        for d in depth.iter_mut().take(direct) {
+            *d = 1;
+        }
+        // Remaining clusters attach BFS to the earliest cluster with spare
+        // backbone capacity (D − 1 children each).
+        let mut next_parent = 0usize;
+        let mut children = vec![0usize; k];
+        for i in direct..k {
+            while children[next_parent] == d_cap - 1 {
+                next_parent += 1;
+            }
+            parent[i] = Some(next_parent);
+            children[next_parent] += 1;
+            depth[i] = depth[next_parent] + 1;
+        }
+        Ok(Backbone {
+            big_d: d_cap,
+            parent,
+            depth,
+        })
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The source degree `D`.
+    pub fn degree(&self) -> usize {
+        self.big_d
+    }
+
+    /// Parent cluster of cluster `i` (`None` = directly under `S`).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Backbone children of cluster `i`.
+    pub fn children(&self, i: usize) -> Vec<usize> {
+        (0..self.k())
+            .filter(|&c| self.parent[c] == Some(i))
+            .collect()
+    }
+
+    /// Hops from the source to `S_i`.
+    pub fn depth(&self, i: usize) -> usize {
+        self.depth[i]
+    }
+
+    /// Maximum backbone depth, `≈ 1 + log_{D−1} K`.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1: K = 9 clusters, D = 3 — S feeds S_1..S_3; S_1 feeds
+    /// S_4, S_5; S_2 feeds S_6, S_7; S_3 feeds S_8, S_9 (0-indexed here).
+    #[test]
+    fn figure1_backbone_pinned() {
+        let b = Backbone::new(9, 3).unwrap();
+        for i in 0..3 {
+            assert_eq!(b.parent(i), None);
+            assert_eq!(b.depth(i), 1);
+        }
+        assert_eq!(b.children(0), vec![3, 4]);
+        assert_eq!(b.children(1), vec![5, 6]);
+        assert_eq!(b.children(2), vec![7, 8]);
+        for i in 3..9 {
+            assert_eq!(b.depth(i), 2);
+        }
+        assert_eq!(b.max_depth(), 2);
+    }
+
+    #[test]
+    fn source_degree_respected() {
+        for (k, d_cap) in [(1, 3), (5, 3), (20, 4), (64, 3), (100, 5)] {
+            let b = Backbone::new(k, d_cap).unwrap();
+            let direct = (0..k).filter(|&i| b.parent(i).is_none()).count();
+            assert!(direct <= d_cap, "K={k} D={d_cap}");
+            for i in 0..k {
+                assert!(
+                    b.children(i).len() < d_cap,
+                    "cluster {i} exceeds interior degree (K={k}, D={d_cap})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        // max_depth ≤ 1 + ⌈log_{D−1}(K)⌉ for a tight BFS tree.
+        for (k, d_cap) in [(9usize, 3usize), (40, 3), (100, 4), (500, 5)] {
+            let b = Backbone::new(k, d_cap).unwrap();
+            let bound = 1 + ((k as f64).ln() / ((d_cap - 1) as f64).ln()).ceil() as usize;
+            assert!(
+                b.max_depth() <= bound,
+                "K={k} D={d_cap}: depth {} > {bound}",
+                b.max_depth()
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_underfull_interior() {
+        let b = Backbone::new(23, 4).unwrap();
+        let interior_underfull = (0..23)
+            .filter(|&i| {
+                let c = b.children(i).len();
+                c > 0 && c < 3
+            })
+            .count();
+        assert!(interior_underfull <= 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Backbone::new(0, 3).is_err());
+        assert!(Backbone::new(4, 1).is_err());
+    }
+
+    #[test]
+    fn depths_are_parent_plus_one() {
+        let b = Backbone::new(50, 3).unwrap();
+        for i in 0..50 {
+            match b.parent(i) {
+                None => assert_eq!(b.depth(i), 1),
+                Some(p) => assert_eq!(b.depth(i), b.depth(p) + 1),
+            }
+        }
+    }
+}

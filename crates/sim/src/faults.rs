@@ -1,0 +1,140 @@
+//! Fault injection: link loss and node crashes.
+//!
+//! The paper's schemes have *no retransmission*: each packet travels one
+//! path to each receiver. Fault injection quantifies the consequences the
+//! paper's introduction argues about qualitatively — e.g. that a single
+//! tree is fragile (an interior crash starves its whole subtree of the
+//! *entire* stream) while the multi-tree overlay degrades gracefully (the
+//! crashed node is interior in only one of `d` trees, so its subtree loses
+//! only every `d`-th packet).
+//!
+//! With a [`FaultPlan`] installed, the engine:
+//!
+//! * drops each otherwise-valid transmission with probability
+//!   `loss_rate` (seeded, deterministic) — the send still spends uplink
+//!   capacity, the packet just never arrives;
+//! * suppresses all sends from a node from its crash slot onward;
+//! * converts `PacketNotHeld` from a *non-source* sender into a counted
+//!   suppression instead of a hard error (a node cannot forward what it
+//!   never received — exactly how loss propagates downstream);
+//! * reports per-node missing packets instead of failing playback
+//!   analysis.
+
+use clustream_core::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic fault schedule for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Probability each validated transmission is lost in flight.
+    pub loss_rate: f64,
+    /// Seed for the loss process.
+    pub seed: u64,
+    /// `(node, slot)`: the node sends nothing from `slot` onward. (It
+    /// still receives and plays; "fail-silent uplink", the worst case for
+    /// contribution-based overlays.)
+    pub crashes: Vec<(NodeId, u64)>,
+}
+
+impl FaultPlan {
+    /// Pure link loss.
+    pub fn loss(loss_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&loss_rate));
+        FaultPlan {
+            loss_rate,
+            seed,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A single crash, no link loss.
+    pub fn crash(node: NodeId, slot: u64) -> Self {
+        FaultPlan {
+            loss_rate: 0.0,
+            seed: 0,
+            crashes: vec![(node, slot)],
+        }
+    }
+
+    /// Whether `node` is crashed at `slot`.
+    pub fn crashed(&self, node: NodeId, slot: u64) -> bool {
+        self.crashes.iter().any(|&(n, s)| n == node && slot >= s)
+    }
+}
+
+/// Outcome of playback analysis when packets may be missing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossyPlayback {
+    /// The node analysed.
+    pub node: NodeId,
+    /// Packets of the tracked window that never arrived.
+    pub missing: usize,
+    /// Minimal safe playback start over the packets that *did* arrive
+    /// (missing packets would be skipped or concealed by the player).
+    pub playback_delay: u64,
+}
+
+/// Aggregate loss metrics of a faulty run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LossReport {
+    /// Transmissions dropped in flight by the loss process.
+    pub lost_in_flight: u64,
+    /// Sends suppressed because the sender had crashed.
+    pub crash_suppressed: u64,
+    /// Sends suppressed because the sender never received the packet
+    /// (loss propagating downstream).
+    pub propagation_suppressed: u64,
+    /// Per-node missing tracked packets (nodes with zero omitted).
+    pub missing: Vec<(NodeId, usize)>,
+}
+
+impl LossReport {
+    /// Total missing packet instances across nodes.
+    pub fn total_missing(&self) -> usize {
+        self.missing.iter().map(|(_, m)| m).sum()
+    }
+
+    /// Number of receivers that missed at least one tracked packet.
+    pub fn affected_nodes(&self) -> usize {
+        self.missing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_predicate() {
+        let p = FaultPlan::crash(NodeId(3), 10);
+        assert!(!p.crashed(NodeId(3), 9));
+        assert!(p.crashed(NodeId(3), 10));
+        assert!(p.crashed(NodeId(3), 99));
+        assert!(!p.crashed(NodeId(4), 99));
+    }
+
+    #[test]
+    fn loss_plan_validates_rate() {
+        let p = FaultPlan::loss(0.05, 7);
+        assert_eq!(p.crashes.len(), 0);
+        assert!((p.loss_rate - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_rate() {
+        let _ = FaultPlan::loss(1.5, 0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let r = LossReport {
+            lost_in_flight: 4,
+            crash_suppressed: 2,
+            propagation_suppressed: 7,
+            missing: vec![(NodeId(1), 3), (NodeId(5), 2)],
+        };
+        assert_eq!(r.total_missing(), 5);
+        assert_eq!(r.affected_nodes(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests on the playback analysis: compare against a brute-force
+//! reference and check invariances.
+
+use clustream_core::{NodeId, PacketId, Slot};
+use clustream_sim::ArrivalTable;
+use proptest::prelude::*;
+
+fn table_with(usables: &[u64]) -> ArrivalTable {
+    let mut t = ArrivalTable::new(1, usables.len() as u64);
+    for (j, &u) in usables.iter().enumerate() {
+        t.record(NodeId(0), PacketId(j as u64), Slot(u));
+    }
+    t
+}
+
+/// Brute-force reference: the minimal a such that playing packet j at slot
+/// a + j never precedes its usability.
+fn reference_delay(usables: &[u64]) -> u64 {
+    (0..=usables.iter().max().copied().unwrap_or(0))
+        .find(|&a| usables.iter().enumerate().all(|(j, &u)| u <= a + j as u64))
+        .expect("max(usable) always works")
+}
+
+/// Brute-force buffer: simulate slot by slot with playback start a.
+fn reference_buffer(usables: &[u64], a: u64) -> usize {
+    let last = usables
+        .iter()
+        .map(|&u| u.saturating_sub(1))
+        .max()
+        .unwrap_or(0);
+    let mut max_buf = 0usize;
+    for t in 0..=last {
+        // Received by slot t (receive slot = usable − 1), minus played
+        // strictly before slot t.
+        let arrived = usables
+            .iter()
+            .filter(|&&u| u.saturating_sub(1) <= t)
+            .count();
+        let played = if t > a {
+            ((t - a) as usize).min(usables.len())
+        } else {
+            0
+        };
+        max_buf = max_buf.max(arrived - played.min(arrived));
+    }
+    max_buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// analyze() equals the brute-force reference on arbitrary arrival
+    /// patterns.
+    #[test]
+    fn analyze_matches_reference(usables in proptest::collection::vec(0u64..60, 1..24)) {
+        let t = table_with(&usables);
+        let a = t.analyze(NodeId(0)).unwrap();
+        prop_assert_eq!(a.playback_delay, reference_delay(&usables));
+        prop_assert_eq!(a.max_buffer, reference_buffer(&usables, a.playback_delay));
+    }
+
+    /// Shifting every arrival by a constant shifts the delay by the same
+    /// constant and leaves the buffer unchanged.
+    #[test]
+    fn shift_invariance(usables in proptest::collection::vec(0u64..40, 1..16), c in 1u64..20) {
+        let base = table_with(&usables);
+        let shifted_v: Vec<u64> = usables.iter().map(|&u| u + c).collect();
+        let shifted = table_with(&shifted_v);
+        let a0 = base.analyze(NodeId(0)).unwrap();
+        let a1 = shifted.analyze(NodeId(0)).unwrap();
+        prop_assert_eq!(a1.playback_delay, a0.playback_delay + c);
+        prop_assert_eq!(a1.max_buffer, a0.max_buffer);
+    }
+
+    /// In-order arrivals with unit gaps need at most a 2-packet buffer.
+    #[test]
+    fn in_order_buffers_tiny(start in 0u64..30, len in 1usize..30) {
+        let usables: Vec<u64> = (0..len as u64).map(|j| start + j).collect();
+        let t = table_with(&usables);
+        let a = t.analyze(NodeId(0)).unwrap();
+        prop_assert!(a.max_buffer <= 2);
+        prop_assert_eq!(a.playback_delay, start);
+    }
+
+    /// Lossy analysis: delay over received packets never exceeds the
+    /// complete-table delay, and missing counts are exact.
+    #[test]
+    fn lossy_analysis_consistent(
+        usables in proptest::collection::vec(0u64..40, 2..20),
+        drop_idx in 0usize..20,
+    ) {
+        let full = table_with(&usables);
+        let full_delay = full.analyze(NodeId(0)).unwrap().playback_delay;
+
+        let mut lossy = ArrivalTable::new(1, usables.len() as u64);
+        let dropped = drop_idx % usables.len();
+        for (j, &u) in usables.iter().enumerate() {
+            if j != dropped {
+                lossy.record(NodeId(0), PacketId(j as u64), Slot(u));
+            }
+        }
+        let l = lossy.analyze_lossy(NodeId(0));
+        prop_assert_eq!(l.missing, 1);
+        prop_assert!(l.playback_delay <= full_delay);
+        prop_assert!(lossy.analyze(NodeId(0)).is_err());
+    }
+
+    /// Duplicate recordings never improve (or change) the first arrival.
+    #[test]
+    fn first_arrival_wins(u1 in 0u64..50, u2 in 0u64..50) {
+        let mut t = ArrivalTable::new(1, 1);
+        t.record(NodeId(0), PacketId(0), Slot(u1));
+        t.record(NodeId(0), PacketId(0), Slot(u2));
+        prop_assert_eq!(t.usable_slot(NodeId(0), PacketId(0)), Some(Slot(u1)));
+    }
+}

@@ -1,0 +1,16 @@
+//! Deterministic workload generation for `clustream` experiments.
+//!
+//! * [`churn`] — churn traces (Poisson arrivals, exponential lifetimes)
+//!   driving the multi-tree dynamics experiments; fully seeded and
+//!   serde-serializable so runs are replayable;
+//! * [`sweep`] — population grids for the Figure 4 / Table 1 sweeps.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod populations;
+pub mod sweep;
+
+pub use churn::{ChurnAction, ChurnEvent, ChurnTrace, ChurnTraceConfig};
+pub use populations::{adversarial_ns, boundary_ns, complete_ns, special_ns};
+pub use sweep::{geometric_grid, linear_grid};

@@ -1,0 +1,129 @@
+//! Special and adversarial population sizes.
+//!
+//! Scheme behaviour is size-sensitive: hypercube chains are fastest at
+//! `N = 2^k − 1` and slowest just above (a fresh tiny cube is appended to
+//! the chain); multi-trees jump in delay when a new level opens
+//! (`N` crosses `d + d² + … + d^h`). Experiments that only sample round
+//! numbers miss these edges; this module enumerates them.
+
+/// Hypercube-friendly populations `2^k − 1` up to `max_n`.
+pub fn special_ns(max_n: usize) -> Vec<usize> {
+    (1..)
+        .map(|k| (1usize << k) - 1)
+        .take_while(|&n| n <= max_n)
+        .collect()
+}
+
+/// Hypercube-adversarial populations `2^k` (one past special: the chain
+/// gains a second cube of size 1) and `2^k − 2` (the largest cube shrinks)
+/// up to `max_n`.
+pub fn adversarial_ns(max_n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for k in 2.. {
+        let special = (1usize << k) - 1;
+        if special > max_n {
+            break;
+        }
+        if special >= 2 {
+            out.push(special - 1);
+        }
+        if special < max_n {
+            out.push(special + 1);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Complete multi-tree populations `d + d² + … + d^h` for a given degree,
+/// up to `max_n` — where Theorem 2's bound is tight.
+pub fn complete_ns(d: usize, max_n: usize) -> Vec<usize> {
+    assert!(d >= 2);
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    let mut level = 1usize;
+    while let Some(l) = level.checked_mul(d) {
+        level = l;
+        match n.checked_add(level) {
+            Some(s) if s <= max_n => n = s,
+            _ => break,
+        }
+        out.push(n);
+    }
+    out
+}
+
+/// Level-boundary populations for a degree: each complete population and
+/// its successor (where the delay staircase steps).
+pub fn boundary_ns(d: usize, max_n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for n in complete_ns(d, max_n) {
+        out.push(n);
+        if n < max_n {
+            out.push(n + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_powers_minus_one() {
+        assert_eq!(special_ns(100), vec![1, 3, 7, 15, 31, 63]);
+        assert_eq!(
+            special_ns(1023),
+            vec![1, 3, 7, 15, 31, 63, 127, 255, 511, 1023]
+        );
+    }
+
+    #[test]
+    fn adversarials_straddle_specials() {
+        let a = adversarial_ns(40);
+        assert!(a.contains(&2) && a.contains(&4));
+        assert!(a.contains(&14) && a.contains(&16));
+        assert!(!a.contains(&15));
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn complete_populations_match_geometric_sums() {
+        assert_eq!(complete_ns(2, 100), vec![2, 6, 14, 30, 62]);
+        assert_eq!(complete_ns(3, 200), vec![3, 12, 39, 120]);
+        assert_eq!(complete_ns(5, 10), vec![5]);
+    }
+
+    #[test]
+    fn boundaries_step_the_staircase() {
+        let b = boundary_ns(3, 50);
+        assert_eq!(b, vec![3, 4, 12, 13, 39, 40]);
+        // The delay bound indeed steps at each boundary.
+        for pair in b.chunks(2) {
+            if let [complete, next] = pair {
+                let a = clustream_core_stub::height(*complete, 3);
+                let c = clustream_core_stub::height(*next, 3);
+                assert!(c > a, "no step at {complete}→{next}");
+            }
+        }
+    }
+
+    /// Minimal local height computation to keep this crate independent of
+    /// clustream-analysis (test-only).
+    mod clustream_core_stub {
+        pub fn height(n: usize, d: usize) -> u64 {
+            let n_pad = n.div_ceil(d) * d;
+            let mut h = 0u64;
+            let mut level = 1usize;
+            let mut covered = 0usize;
+            while covered < n_pad {
+                level *= d;
+                covered += level;
+                h += 1;
+            }
+            h
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Parameter grids for the experiment sweeps.
+
+/// Linearly spaced population sizes `min..=max` (inclusive, `steps ≥ 2`
+/// points, deduplicated, ascending). Figure 4 sweeps N linearly to 2000.
+pub fn linear_grid(min: usize, max: usize, steps: usize) -> Vec<usize> {
+    assert!(min >= 1 && max >= min && steps >= 2);
+    let mut out: Vec<usize> = (0..steps)
+        .map(|i| min + (max - min) * i / (steps - 1))
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Geometrically spaced sizes from `min` to `max` (inclusive endpoints,
+/// deduplicated). Useful for log-x sweeps like Table 1's N axis.
+pub fn geometric_grid(min: usize, max: usize, steps: usize) -> Vec<usize> {
+    assert!(min >= 1 && max >= min && steps >= 2);
+    let ratio = (max as f64 / min as f64).powf(1.0 / (steps - 1) as f64);
+    let mut out: Vec<usize> = (0..steps)
+        .map(|i| ((min as f64) * ratio.powi(i as i32)).round() as usize)
+        .collect();
+    out[0] = min;
+    *out.last_mut().expect("steps ≥ 2") = max;
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_endpoints_and_spacing() {
+        let g = linear_grid(100, 2000, 20);
+        assert_eq!(*g.first().unwrap(), 100);
+        assert_eq!(*g.last().unwrap(), 2000);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn geometric_endpoints_and_growth() {
+        let g = geometric_grid(10, 10_000, 13);
+        assert_eq!(*g.first().unwrap(), 10);
+        assert_eq!(*g.last().unwrap(), 10_000);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        // Ratio roughly constant.
+        let r1 = g[1] as f64 / g[0] as f64;
+        let r2 = g[g.len() - 1] as f64 / g[g.len() - 2] as f64;
+        assert!((r1 / r2 - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(linear_grid(5, 5, 4), vec![5]);
+        assert_eq!(geometric_grid(7, 7, 3), vec![7]);
+    }
+}

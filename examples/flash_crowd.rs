@@ -1,0 +1,64 @@
+//! A flash crowd hits a live stream: hundreds of viewers join over a few
+//! thousand slots, then churn away. The multi-tree dynamics (paper
+//! appendix) absorb every join/leave while preserving all structural
+//! invariants; we compare the eager and lazy maintenance variants.
+//!
+//! ```sh
+//! cargo run --example flash_crowd
+//! ```
+
+use clustream::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let d = 3;
+    let cfg = ChurnTraceConfig {
+        initial_members: 30,
+        slots: 3000,
+        join_rate: 0.15,   // flash crowd: ~450 expected joins
+        leave_rate: 0.001, // and a slow trickle of departures
+        seed: 2026,
+    };
+    let trace = ChurnTrace::generate(cfg);
+    println!(
+        "churn trace: {} events over {} slots (N₀ = {})",
+        trace.events.len(),
+        cfg.slots,
+        cfg.initial_members
+    );
+
+    for lazy in [false, true] {
+        let mut forest = DynamicForest::new(cfg.initial_members, d, Construction::Greedy, lazy)?;
+        let mut rebuilds = 0;
+        let mut displaced_total = 0usize;
+        for e in &trace.events {
+            let report = match e.action {
+                ChurnAction::Join => forest.add().1,
+                ChurnAction::Leave { victim_rank } => {
+                    let members = forest.members();
+                    forest.remove(members[victim_rank])?
+                }
+            };
+            if matches!(report.resized, Some(r) if r < 0) {
+                rebuilds += 1;
+            }
+            displaced_total += report.displaced.len();
+        }
+        forest.validate()?;
+
+        // The surviving overlay still delivers the paper's guarantees.
+        let (snapshot, _) = forest.snapshot()?;
+        let scheme = MultiTreeScheme::new(snapshot, StreamMode::PreRecorded);
+        let profile = DelayProfile::compute(&scheme)?;
+        let n = forest.n_real();
+        println!(
+            "{:>5}: final N = {n}, swaps = {:>5}, rebuilds = {rebuilds}, displaced = {displaced_total}, \
+             post-churn max delay {} ≤ h·d = {}",
+            if lazy { "lazy" } else { "eager" },
+            forest.total_swaps(),
+            profile.max_delay(),
+            thm2_worst_delay_bound(n, d),
+        );
+        assert!(profile.max_delay() <= thm2_worst_delay_bound(n, d));
+    }
+    Ok(())
+}

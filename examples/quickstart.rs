@@ -1,0 +1,52 @@
+//! Quickstart: stream to one cluster with both of the paper's schemes and
+//! compare the delay/buffer/neighbor tradeoff.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clustream::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let n = 100;
+
+    // --- Multi-tree (§2): d interior-disjoint d-ary trees. -------------
+    let d = optimal_degree(n, 8); // the paper proves this is 2 or 3
+    println!("optimal tree degree for N = {n}: d = {d}");
+
+    let forest = greedy_forest(n, d)?;
+    let mut multitree = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+    let run = Simulator::run(&mut multitree, &SimConfig::until_complete(64, 10_000))?;
+    println!(
+        "multi-tree : max delay {:>3} slots (bound h·d = {}), avg {:>5.1}, \
+         buffer {:>2} packets, ≤ {} neighbors",
+        run.qos.max_delay(),
+        thm2_worst_delay_bound(n, d),
+        run.qos.avg_delay(),
+        run.qos.max_buffer(),
+        run.qos.max_neighbors(),
+    );
+
+    // --- Hypercube (§3): chained cubes, O(1) buffers. -------------------
+    let mut cube = HypercubeStream::new(n)?;
+    let run = Simulator::run(&mut cube, &SimConfig::until_complete(64, 10_000))?;
+    println!(
+        "hypercube  : max delay {:>3} slots (predicted {}), avg {:>5.1}, \
+         buffer {:>2} packets, ≤ {} neighbors",
+        run.qos.max_delay(),
+        chained_worst_delay(n),
+        run.qos.avg_delay(),
+        run.qos.max_buffer(),
+        run.qos.max_neighbors(),
+    );
+
+    // --- The baseline the paper opens with. -----------------------------
+    let mut chain = ChainScheme::new(n);
+    let run = Simulator::run(&mut chain, &SimConfig::until_complete(16, 10_000))?;
+    println!(
+        "chain      : max delay {:>3} slots — why structure matters",
+        run.qos.max_delay()
+    );
+
+    Ok(())
+}

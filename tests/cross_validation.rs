@@ -1,0 +1,145 @@
+//! Cross-crate integration: closed-form analysis vs full simulation, and
+//! the Table 1 orderings between schemes.
+
+use clustream::prelude::*;
+
+fn sim(scheme: &mut dyn Scheme, track: u64) -> RunResult {
+    Simulator::run(scheme, &SimConfig::until_complete(track, 200_000)).expect("model holds")
+}
+
+#[test]
+fn multitree_closed_form_equals_simulation_across_grid() {
+    for n in [7usize, 15, 40, 100, 255] {
+        for d in [2usize, 3, 4] {
+            for c in [Construction::Structured, Construction::Greedy] {
+                let forest = build_forest(n, d, c).unwrap();
+                let scheme = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+                let profile = DelayProfile::compute(&scheme).unwrap();
+                let mut live = scheme.clone();
+                let run = sim(&mut live, profile.arrivals().track_packets());
+                assert_eq!(
+                    run.qos.max_delay(),
+                    profile.max_delay(),
+                    "max delay N={n} d={d} {c:?}"
+                );
+                assert_eq!(
+                    run.qos.max_buffer(),
+                    profile.max_buffer(),
+                    "buffer N={n} d={d} {c:?}"
+                );
+                assert!((run.qos.avg_delay() - profile.avg_delay()).abs() < 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn hypercube_simulation_matches_analysis_predictions() {
+    for n in [3usize, 7, 20, 63, 100, 500] {
+        let mut s = HypercubeStream::new(n).unwrap();
+        let predicted_worst = chained_worst_delay(n);
+        let predicted_avg = chained_avg_delay(n);
+        let run = sim(&mut s, 2 * predicted_worst + 8);
+        assert!(run.qos.max_delay() <= predicted_worst, "N={n}");
+        assert!(run.qos.avg_delay() <= predicted_avg + 1e-9, "N={n}");
+        assert!(run.qos.avg_delay() <= thm4_avg_bound(n) + 1.0, "N={n}");
+    }
+}
+
+#[test]
+fn table1_tradeoff_orderings() {
+    // At a non-special population the paper's Table 1 orderings hold:
+    // multi-tree wins worst-case delay, hypercube wins buffer space,
+    // multi-tree talks to O(d) neighbors vs the hypercube's O(log N).
+    let n = 200usize;
+    let d = 2usize;
+
+    let mut mt = MultiTreeScheme::new(greedy_forest(n, d).unwrap(), StreamMode::PreRecorded);
+    let mt_run = sim(&mut mt, 48);
+
+    let mut hc = HypercubeStream::new(n).unwrap();
+    let hc_run = sim(&mut hc, 2 * chained_worst_delay(n) + 8);
+
+    assert!(
+        mt_run.qos.max_delay() < hc_run.qos.max_delay(),
+        "multi-tree {} vs hypercube {}",
+        mt_run.qos.max_delay(),
+        hc_run.qos.max_delay()
+    );
+    assert!(hc_run.qos.max_buffer() < mt_run.qos.max_buffer());
+    assert!(mt_run.qos.max_neighbors() <= 2 * d + 1);
+    assert!(hc_run.qos.max_neighbors() > mt_run.qos.max_neighbors());
+}
+
+#[test]
+fn multitree_neighbors_bounded_by_2d() {
+    // §1: "multi-tree-based schemes only require each node to communicate
+    // with at most 2d nodes in its cluster" (d parents + d children; the
+    // source can appear as several parents, reducing the count).
+    for (n, d) in [(50usize, 2usize), (60, 3), (80, 4)] {
+        let mut s = MultiTreeScheme::new(greedy_forest(n, d).unwrap(), StreamMode::PreRecorded);
+        let run = sim(&mut s, (4 * d * d) as u64);
+        assert!(
+            run.qos.max_neighbors() <= 2 * d,
+            "N={n} d={d}: {} neighbors",
+            run.qos.max_neighbors()
+        );
+    }
+}
+
+#[test]
+fn theorem2_bound_tight_on_some_population() {
+    // The bound h·d is achieved (equality) for complete populations where
+    // the last node of T_0 waits the full pipeline.
+    let mut hits = 0;
+    for n in [6usize, 14, 30, 12, 39] {
+        for d in [2usize, 3] {
+            let forest = greedy_forest(n, d).unwrap();
+            let p = DelayProfile::compute(&MultiTreeScheme::new(forest, StreamMode::PreRecorded))
+                .unwrap();
+            if p.max_delay() == thm2_worst_delay_bound(n, d) {
+                hits += 1;
+            }
+        }
+    }
+    assert!(hits > 0, "bound should be tight somewhere");
+}
+
+#[test]
+fn recommendation_is_simulation_consistent() {
+    use clustream::{recommend_scheme, SchemeChoice};
+    for (n, budget) in [(300usize, Some(3usize)), (300, None), (1000, Some(5))] {
+        match recommend_scheme(n, budget) {
+            SchemeChoice::Hypercube => {
+                let mut s = HypercubeStream::new(n).unwrap();
+                let run = sim(&mut s, 2 * chained_worst_delay(n) + 8);
+                // Resident budget + 1 in-slot transient.
+                assert!(run.qos.max_buffer() <= budget.unwrap() + 1);
+            }
+            SchemeChoice::MultiTree { d } => {
+                let mut s =
+                    MultiTreeScheme::new(greedy_forest(n, d).unwrap(), StreamMode::PreRecorded);
+                let run = sim(&mut s, 48);
+                assert!(run.qos.max_delay() <= thm2_worst_delay_bound(n, d));
+            }
+        }
+    }
+}
+
+#[test]
+fn baselines_bracket_the_schemes() {
+    // chain delay ≥ any structured scheme's; the elevated single tree is
+    // the (unrealistic) lower envelope.
+    let n = 120;
+    let mut chain = ChainScheme::new(n);
+    let chain_run = sim(&mut chain, 16);
+
+    let mut single = SingleTreeScheme::new(n, 2);
+    let single_run = sim(&mut single, 24);
+
+    let mut mt = MultiTreeScheme::new(greedy_forest(n, 2).unwrap(), StreamMode::PreRecorded);
+    let mt_run = sim(&mut mt, 48);
+
+    assert!(single_run.qos.max_delay() <= mt_run.qos.max_delay());
+    assert!(mt_run.qos.max_delay() < chain_run.qos.max_delay());
+}

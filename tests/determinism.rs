@@ -1,0 +1,90 @@
+//! Bit-for-bit determinism: identical inputs must give identical runs —
+//! the property every experiment in EXPERIMENTS.md relies on.
+
+use clustream::prelude::*;
+
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.qos, b.qos);
+    assert_eq!(a.total_transmissions, b.total_transmissions);
+    assert_eq!(a.slots_run, b.slots_run);
+    assert_eq!(a.arrivals, b.arrivals);
+    assert_eq!(a.upload_counts, b.upload_counts);
+}
+
+#[test]
+fn multitree_runs_are_reproducible() {
+    let run = || {
+        let mut s = MultiTreeScheme::new(greedy_forest(64, 3).unwrap(), StreamMode::PreRecorded);
+        Simulator::run(&mut s, &SimConfig::until_complete(32, 100_000)).unwrap()
+    };
+    assert_identical(&run(), &run());
+}
+
+#[test]
+fn hypercube_runs_are_reproducible() {
+    let run = || {
+        let mut s = HypercubeStream::new(77).unwrap();
+        Simulator::run(&mut s, &SimConfig::until_complete(48, 100_000)).unwrap()
+    };
+    assert_identical(&run(), &run());
+}
+
+#[test]
+fn sessions_are_reproducible() {
+    let run = || {
+        let mut s = ClusterSession::new(
+            &[8, 12, 10],
+            3,
+            6,
+            IntraScheme::MultiTree {
+                d: 2,
+                construction: Construction::Structured,
+            },
+        )
+        .unwrap();
+        Simulator::run(&mut s, &SimConfig::until_complete(20, 100_000)).unwrap()
+    };
+    assert_identical(&run(), &run());
+}
+
+#[test]
+fn lossy_runs_are_seed_deterministic() {
+    use clustream::sim::FaultPlan;
+    let run = |seed: u64| {
+        let mut s = MultiTreeScheme::new(greedy_forest(50, 2).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::with_faults(24, 300, FaultPlan::loss(0.03, seed));
+        Simulator::run(&mut s, &cfg).unwrap()
+    };
+    let (a, b, c) = (run(4), run(4), run(5));
+    assert_eq!(a.loss, b.loss);
+    assert_eq!(a.qos, b.qos);
+    assert_ne!(a.loss, c.loss, "different seeds must differ");
+}
+
+#[test]
+fn churn_traces_replay_identically_through_dynamics() {
+    let cfg = ChurnTraceConfig {
+        initial_members: 20,
+        slots: 400,
+        join_rate: 0.05,
+        leave_rate: 0.01,
+        seed: 11,
+    };
+    let replay = || {
+        let trace = ChurnTrace::generate(cfg);
+        let mut f = DynamicForest::new(20, 3, Construction::Greedy, true).unwrap();
+        for e in &trace.events {
+            match e.action {
+                ChurnAction::Join => {
+                    f.add();
+                }
+                ChurnAction::Leave { victim_rank } => {
+                    let m = f.members();
+                    f.remove(m[victim_rank]).unwrap();
+                }
+            }
+        }
+        (f.members(), f.total_swaps())
+    };
+    assert_eq!(replay(), replay());
+}

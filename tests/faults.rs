@@ -1,0 +1,110 @@
+//! Cross-crate fault-injection properties: loss/crash behaviour of every
+//! scheme family under the shared engine.
+
+use clustream::prelude::*;
+use clustream::sim::FaultPlan;
+use clustream::NodeId;
+
+#[test]
+fn loss_free_fault_runs_match_clean_runs_everywhere() {
+    // A fault plan with zero loss must not perturb any scheme's QoS.
+    let clean_vs_lossless = |mk: &dyn Fn() -> Box<dyn Scheme>| {
+        let mut a = mk();
+        let clean = Simulator::run(a.as_mut(), &SimConfig::until_complete(24, 100_000)).unwrap();
+        let mut b = mk();
+        let cfg = SimConfig::with_faults(24, 4 * clean.slots_run + 32, FaultPlan::loss(0.0, 5));
+        let lossless = Simulator::run(b.as_mut(), &cfg).unwrap();
+        for q in &clean.qos.nodes {
+            assert_eq!(
+                lossless.qos.node(q.node).unwrap().playback_delay,
+                q.playback_delay,
+                "{} node {}",
+                clean.scheme,
+                q.node
+            );
+        }
+        assert_eq!(
+            lossless.loss.unwrap().total_missing(),
+            0,
+            "{}",
+            clean.scheme
+        );
+    };
+    clean_vs_lossless(&|| {
+        Box::new(MultiTreeScheme::new(
+            greedy_forest(40, 3).unwrap(),
+            StreamMode::PreRecorded,
+        ))
+    });
+    clean_vs_lossless(&|| Box::new(HypercubeStream::new(40).unwrap()));
+    clean_vs_lossless(&|| Box::new(ChainScheme::new(20)));
+}
+
+#[test]
+fn crashing_an_all_leaf_node_is_harmless_in_multitrees() {
+    // An all-leaf (G_d) node uploads nothing: crashing it starves nobody.
+    let forest = greedy_forest(15, 3).unwrap();
+    let all_leaf = forest.node_at(0, 15); // tail of T_0 is in G_d
+    let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+    let cfg = SimConfig::with_faults(24, 200, FaultPlan::crash(NodeId(all_leaf), 0));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    let loss = r.loss.unwrap();
+    assert_eq!(loss.total_missing(), 0, "leaf crash starved someone");
+    assert_eq!(loss.crash_suppressed, 0, "leaves never send anyway");
+}
+
+#[test]
+fn crashing_the_interior_node_starves_only_its_tree_share() {
+    // The multi-tree resilience claim, asserted per node: a T_0 interior
+    // crash costs its descendants only the T_0 packet share (1/d-ish),
+    // never the whole stream.
+    let d = 3;
+    let track = 30u64;
+    let forest = greedy_forest(39, d).unwrap();
+    let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+    let cfg = SimConfig::with_faults(track, 400, FaultPlan::crash(NodeId(1), 2));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    let loss = r.loss.unwrap();
+    assert!(loss.affected_nodes() > 0, "node 1 has descendants");
+    for &(node, missing) in &loss.missing {
+        assert!(
+            (missing as u64) <= track / d as u64 + 2,
+            "{node} lost {missing} > one tree's share"
+        );
+    }
+}
+
+#[test]
+fn hypercube_loses_nothing_before_the_crash_slot() {
+    let crash_at = 12u64;
+    let mut s = HypercubeStream::new(31).unwrap();
+    let cfg = SimConfig::with_faults(24, 300, FaultPlan::crash(NodeId(5), crash_at));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    // Packets consumed before the crash were fully distributed: packet p
+    // is everywhere by slot p + k + 1 = p + 6; so packets with
+    // p + 6 ≤ 12 are safe.
+    for node in 1..=31u32 {
+        for p in 0..(crash_at - 6) {
+            assert!(
+                r.arrivals
+                    .usable_slot(NodeId(node), clustream::PacketId(p))
+                    .is_some(),
+                "node {node} lost pre-crash packet {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_crash_severs_everything_downstream() {
+    let mut s = ChainScheme::new(10);
+    let cfg = SimConfig::with_faults(16, 100, FaultPlan::crash(NodeId(5), 0));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    let loss = r.loss.unwrap();
+    // Nodes 6..10 get nothing at all; nodes 1..5 everything.
+    assert_eq!(loss.affected_nodes(), 5);
+    for &(node, missing) in &loss.missing {
+        assert!(node.0 >= 6);
+        assert_eq!(missing, 16, "{node} should miss the whole window");
+    }
+}

@@ -1,0 +1,121 @@
+//! Workspace-level property tests: random populations, degrees, churn
+//! sequences and cluster layouts must always satisfy the paper's
+//! invariants end to end.
+
+use clustream::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (N, d, construction): the forest satisfies all §2.2 structural
+    /// invariants and the schedule beats Theorem 2.
+    #[test]
+    fn multitree_invariants_hold(
+        n in 1usize..200,
+        d in 1usize..7,
+        structured in any::<bool>(),
+    ) {
+        let c = if structured { Construction::Structured } else { Construction::Greedy };
+        let forest = build_forest(n, d, c).unwrap();
+        forest.validate().unwrap();
+        let p = DelayProfile::compute(&MultiTreeScheme::new(forest, StreamMode::PreRecorded)).unwrap();
+        prop_assert!(p.max_delay() <= tree_height(n, d) * d as u64);
+        prop_assert!(p.max_buffer() as u64 <= tree_height(n, d) * d as u64 + 1);
+    }
+
+    /// Any N: the hypercube chain streams hiccup-free within its
+    /// predicted delay, with O(1) buffers, under full engine validation.
+    #[test]
+    fn hypercube_invariants_hold(n in 1usize..300) {
+        let mut s = HypercubeStream::new(n).unwrap();
+        let worst = chained_worst_delay(n);
+        let run = Simulator::run(&mut s, &SimConfig::until_complete(2 * worst + 8, 200_000)).unwrap();
+        prop_assert_eq!(run.duplicate_deliveries, 0);
+        prop_assert!(run.qos.max_delay() <= worst);
+        prop_assert!(run.qos.max_buffer() <= 3);
+    }
+
+    /// Any d-group split: still valid, delays no worse than the single
+    /// chain's prediction for the largest group.
+    #[test]
+    fn hypercube_groups_hold(n in 2usize..200, d in 1usize..6) {
+        let d = d.min(n);
+        let mut s = HypercubeStream::with_groups(n, d).unwrap();
+        let worst = s.cubes().map(|c| c.predicted_delay()).max().unwrap();
+        let run = Simulator::run(&mut s, &SimConfig::until_complete(2 * worst + 8, 200_000)).unwrap();
+        prop_assert!(run.qos.max_delay() <= worst);
+        prop_assert!(run.qos.max_buffer() <= 3);
+    }
+
+    /// Any churn sequence: invariants preserved, snapshots schedulable,
+    /// and the paper's d² displacement bound holds for incremental ops.
+    #[test]
+    fn churn_sequences_preserve_invariants(
+        n0 in 4usize..40,
+        d in 2usize..5,
+        lazy in any::<bool>(),
+        ops in proptest::collection::vec((any::<bool>(), 0usize..1000), 1..60),
+    ) {
+        let mut f = DynamicForest::new(n0, d, Construction::Greedy, lazy).unwrap();
+        for (join, pick) in ops {
+            if join || f.n_real() <= 1 {
+                f.add();
+            } else {
+                let members = f.members();
+                let victim = members[pick % members.len()];
+                let rep = f.remove(victim).unwrap();
+                if !matches!(rep.resized, Some(r) if r < 0) {
+                    prop_assert!(rep.displaced.len() <= d * d);
+                }
+            }
+            f.validate().unwrap();
+        }
+        let (snapshot, map) = f.snapshot().unwrap();
+        snapshot.validate().unwrap();
+        prop_assert_eq!(map.len(), f.n_real());
+        let p = DelayProfile::compute(&MultiTreeScheme::new(snapshot, StreamMode::PreRecorded)).unwrap();
+        prop_assert!(p.max_delay() <= tree_height(f.n_real(), d) * d as u64);
+    }
+
+    /// Any cluster layout: the composed session streams hiccup-free and
+    /// within the Theorem 1 bound.
+    #[test]
+    fn sessions_respect_theorem1(
+        sizes in proptest::collection::vec(2usize..12, 1..6),
+        t_c in 2u32..12,
+        hypercube_intra in any::<bool>(),
+    ) {
+        let intra = if hypercube_intra {
+            IntraScheme::Hypercube { d: 2 }
+        } else {
+            IntraScheme::MultiTree { d: 2, construction: Construction::Greedy }
+        };
+        let mut s = ClusterSession::new(&sizes, 3, t_c, intra).unwrap();
+        let max_size = *sizes.iter().max().unwrap();
+        let mt_bound = thm1_delay_bound(sizes.len(), 3, t_c, 2, max_size);
+        // Hypercube intra replaces h·d + d with the chain delay.
+        let hc_bound = clustream::analysis::overlay::backbone_depth(sizes.len(), 3)
+            * t_c as u64 + 1 + chained_worst_delay(max_size);
+        let bound = if hypercube_intra { hc_bound } else { mt_bound };
+        let run = Simulator::run(&mut s, &SimConfig::until_complete(16, 500_000)).unwrap();
+        prop_assert_eq!(run.duplicate_deliveries, 0);
+        prop_assert!(
+            run.qos.max_delay() <= bound,
+            "measured {} > bound {} (sizes {:?}, T_c {})",
+            run.qos.max_delay(), bound, sizes, t_c
+        );
+    }
+
+    /// Live modes never undercut pre-recorded and cost at most ~2d extra.
+    #[test]
+    fn live_modes_bracketed(n in 2usize..150, d in 2usize..5) {
+        let f = greedy_forest(n, d).unwrap();
+        let pre = DelayProfile::compute(&MultiTreeScheme::new(f.clone(), StreamMode::PreRecorded)).unwrap();
+        let buffered = DelayProfile::compute(&MultiTreeScheme::new(f.clone(), StreamMode::LivePrebuffered)).unwrap();
+        let pipelined = DelayProfile::compute(&MultiTreeScheme::new(f, StreamMode::LivePipelined)).unwrap();
+        prop_assert_eq!(buffered.max_delay(), pre.max_delay() + d as u64);
+        prop_assert!(pipelined.max_delay() >= pre.max_delay());
+        prop_assert!(pipelined.max_delay() <= pre.max_delay() + 2 * d as u64);
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end observability: trace a multi-cluster session and verify the
+//! full delivery pipeline S → S_i → S'_i → intra-cluster overlay.
+
+use clustream::prelude::*;
+use clustream::{NodeId, PacketId};
+
+#[test]
+fn traced_session_shows_backbone_and_intra_hops() {
+    let mut session = ClusterSession::new(
+        &[9, 9],
+        3,
+        4,
+        IntraScheme::MultiTree {
+            d: 2,
+            construction: Construction::Greedy,
+        },
+    )
+    .unwrap();
+    let (s_1, s_1p) = session.supers_of(0);
+    let member = NodeId(session.members_of(0).next().unwrap());
+
+    let cfg = SimConfig::until_complete(16, 100_000).traced();
+    let r = Simulator::run(&mut session, &cfg).unwrap();
+    let trace = r.trace.as_ref().unwrap();
+
+    // Packet 0 reaches a cluster-0 member via S → S_1 → S'_1 → … .
+    let path = trace.path_to(member, PacketId(0)).expect("delivered");
+    assert_eq!(path[0], 0, "starts at the source");
+    assert_eq!(path[1], s_1.0, "first hop is the cluster super node");
+    assert_eq!(path[2], s_1p.0, "second hop is S'_1");
+    assert!(path.len() >= 4, "then the intra-cluster overlay: {path:?}");
+
+    // The backbone edge S → S_1 carries every packet exactly once.
+    let backbone_sends = trace
+        .events
+        .iter()
+        .filter(|e| e.from == 0 && e.to == s_1.0)
+        .count();
+    let distinct_packets: std::collections::BTreeSet<u64> = trace
+        .events
+        .iter()
+        .filter(|e| e.from == 0 && e.to == s_1.0)
+        .map(|e| e.packet)
+        .collect();
+    assert_eq!(backbone_sends, distinct_packets.len(), "no retransmissions");
+
+    // Inter-cluster latency is T_c on backbone edges, 1 inside.
+    for e in &trace.events {
+        if e.from == 0 {
+            assert_eq!(e.latency, 4, "S → S_i is an inter-cluster hop");
+        } else if e.from == s_1p.0 || e.to >= session.members_of(0).next().unwrap() {
+            assert_eq!(e.latency, 1, "intra-cluster hops take one slot");
+        }
+    }
+}
+
+#[test]
+fn traced_hypercube_paths_follow_cube_edges() {
+    let mut s = HypercubeStream::new(15).unwrap();
+    let cfg = SimConfig::until_complete(12, 10_000).traced();
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    let trace = r.trace.as_ref().unwrap();
+    // Every intra-cube hop flips exactly one bit (cube edge) — except
+    // source injections from vertex 0.
+    for e in &trace.events {
+        if e.from == 0 {
+            assert!(
+                e.to.is_power_of_two(),
+                "injection targets 2^j, got {}",
+                e.to
+            );
+        } else {
+            let x = e.from ^ e.to;
+            assert!(
+                x.is_power_of_two(),
+                "non-cube hop {} → {} in a single-cube run",
+                e.from,
+                e.to
+            );
+        }
+    }
+    // And a sample path to a far vertex exists.
+    assert!(trace.path_to(NodeId(15), PacketId(0)).is_some());
+}
