@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate for the clustream workspace. Everything here must pass
+# before merging; no network access is required (all external-looking
+# dependencies resolve to the in-tree `shims/` crates via path deps, and
+# Cargo.lock is committed).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== test =="
+cargo test --workspace -q --offline
+
+echo "== differential oracle =="
+cargo test -q --test differential --offline
+
+echo "CI gate passed."

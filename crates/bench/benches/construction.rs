@@ -1,44 +1,35 @@
-//! Criterion micro-benchmarks for the overlay constructions themselves:
-//! structured vs greedy forests, hypercube decomposition, backbone, and
-//! churn operations.
+//! Micro-benchmarks for the overlay constructions themselves: structured
+//! vs greedy forests, hypercube decomposition, backbone, and churn
+//! operations. Plain timing harness (criterion is unavailable offline).
 
+use clustream_bench::timing::bench;
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, structured_forest, Construction, DynamicForest};
 use clustream_overlay::Backbone;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_constructions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("forest_construction");
-    for &n in &[100usize, 1000, 10_000] {
-        g.bench_with_input(BenchmarkId::new("structured_d3", n), &n, |b, &n| {
-            b.iter(|| structured_forest(n, 3).unwrap())
+fn main() {
+    println!("== forest_construction ==");
+    for n in [100usize, 1000, 10_000] {
+        bench(&format!("structured_d3_n{n}"), 20, || {
+            structured_forest(n, 3).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("greedy_d3", n), &n, |b, &n| {
-            b.iter(|| greedy_forest(n, 3).unwrap())
-        });
-    }
-    g.finish();
-
-    let mut g = c.benchmark_group("hypercube_build");
-    for &n in &[1000usize, 100_000] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| HypercubeStream::new(n).unwrap())
+        bench(&format!("greedy_d3_n{n}"), 20, || {
+            greedy_forest(n, 3).unwrap()
         });
     }
-    g.finish();
 
-    c.bench_function("backbone_k1000_d3", |b| {
-        b.iter(|| Backbone::new(1000, 3).unwrap())
-    });
+    println!("== hypercube_build ==");
+    for n in [1000usize, 100_000] {
+        bench(&format!("hypercube_n{n}"), 20, || {
+            HypercubeStream::new(n).unwrap()
+        });
+    }
 
-    c.bench_function("churn_add_remove_cycle_n300_d3", |b| {
-        let mut f = DynamicForest::new(300, 3, Construction::Greedy, true).unwrap();
-        b.iter(|| {
-            let (id, _) = f.add();
-            f.remove(id).unwrap();
-        })
+    bench("backbone_k1000_d3", 20, || Backbone::new(1000, 3).unwrap());
+
+    let mut f = DynamicForest::new(300, 3, Construction::Greedy, true).unwrap();
+    bench("churn_add_remove_cycle_n300_d3", 1000, || {
+        let (id, _) = f.add();
+        f.remove(id).unwrap();
     });
 }
-
-criterion_group!(benches, bench_constructions);
-criterion_main!(benches);

@@ -1,63 +1,71 @@
-//! Criterion benchmarks of the slot engine itself: validated simulation
-//! throughput per scheme, closed-form profiling at scale, and the cost of
-//! tracing/fault machinery.
+//! Benchmarks of the slot engine itself: validated simulation throughput
+//! per scheme, closed-form profiling at scale, and the cost of
+//! tracing/fault machinery. Plain timing harness (criterion is
+//! unavailable offline).
 
 use clustream_bench::simulate;
+use clustream_bench::timing::bench;
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
-use clustream_sim::{FaultPlan, SimConfig, Simulator};
-use criterion::{criterion_group, criterion_main, Criterion};
+use clustream_sim::{FastEngine, FaultPlan, SimConfig, Simulator};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine_throughput");
-    g.sample_size(10);
+fn main() {
+    println!("== engine_throughput (reference) ==");
 
-    g.bench_function("multitree_n2000_d3_track48", |b| {
-        b.iter(|| {
-            let mut s =
-                MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
-            simulate(&mut s, 48).total_transmissions
-        })
+    bench("multitree_n2000_d3_track48", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+        simulate(&mut s, 48).total_transmissions
     });
 
-    g.bench_function("hypercube_n2000_track64", |b| {
-        b.iter(|| {
-            let mut s = HypercubeStream::new(2000).unwrap();
-            simulate(&mut s, 64).total_transmissions
-        })
+    bench("hypercube_n2000_track64", 10, || {
+        let mut s = HypercubeStream::new(2000).unwrap();
+        simulate(&mut s, 64).total_transmissions
     });
 
-    g.bench_function("multitree_n2000_traced", |b| {
-        b.iter(|| {
-            let mut s =
-                MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
-            let cfg = SimConfig::until_complete(48, 1_000_000).traced();
-            Simulator::run(&mut s, &cfg).unwrap().total_transmissions
-        })
+    bench("multitree_n2000_traced", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::until_complete(48, 1_000_000).traced();
+        Simulator::run(&mut s, &cfg).unwrap().total_transmissions
     });
 
-    g.bench_function("multitree_n500_lossy", |b| {
-        b.iter(|| {
-            let mut s =
-                MultiTreeScheme::new(greedy_forest(500, 3).unwrap(), StreamMode::PreRecorded);
-            let cfg = SimConfig::with_faults(48, 400, FaultPlan::loss(0.01, 7));
-            Simulator::run(&mut s, &cfg).unwrap().total_transmissions
-        })
+    bench("multitree_n500_lossy", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(500, 3).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::with_faults(48, 400, FaultPlan::loss(0.01, 7));
+        Simulator::run(&mut s, &cfg).unwrap().total_transmissions
     });
-    g.finish();
 
-    let mut g = c.benchmark_group("closed_form_profile");
-    g.sample_size(10);
-    for &n in &[10_000usize, 100_000] {
-        g.bench_function(format!("delay_profile_d3_n{n}"), |b| {
-            b.iter(|| {
-                let s = MultiTreeScheme::new(greedy_forest(n, 3).unwrap(), StreamMode::PreRecorded);
-                DelayProfile::compute(&s).unwrap().max_delay()
-            })
+    println!("== engine_throughput (fast, reused arena) ==");
+    let mut engine = FastEngine::new();
+
+    bench("multitree_n2000_d3_track48_fast", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::until_complete(48, 1_000_000);
+        engine.run(&mut s, &cfg).unwrap().total_transmissions
+    });
+
+    bench("hypercube_n2000_track64_fast", 10, || {
+        let mut s = HypercubeStream::new(2000).unwrap();
+        let cfg = SimConfig::until_complete(64, 1_000_000);
+        engine.run(&mut s, &cfg).unwrap().total_transmissions
+    });
+
+    bench("multitree_n2000_traced_fast", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(2000, 3).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::until_complete(48, 1_000_000).traced();
+        engine.run(&mut s, &cfg).unwrap().total_transmissions
+    });
+
+    bench("multitree_n500_lossy_fast", 10, || {
+        let mut s = MultiTreeScheme::new(greedy_forest(500, 3).unwrap(), StreamMode::PreRecorded);
+        let cfg = SimConfig::with_faults(48, 400, FaultPlan::loss(0.01, 7));
+        engine.run(&mut s, &cfg).unwrap().total_transmissions
+    });
+
+    println!("== closed_form_profile ==");
+    for n in [10_000usize, 100_000] {
+        bench(&format!("delay_profile_d3_n{n}"), 10, || {
+            let s = MultiTreeScheme::new(greedy_forest(n, 3).unwrap(), StreamMode::PreRecorded);
+            DelayProfile::compute(&s).unwrap().max_delay()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

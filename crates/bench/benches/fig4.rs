@@ -1,32 +1,43 @@
-//! Criterion bench for the Figure 4 pipeline: forest construction plus
-//! closed-form delay profiling across degrees.
+//! Bench for the Figure 4 pipeline: forest construction plus closed-form
+//! delay profiling across degrees, and the fully-simulated validation of
+//! the same grid on the fast engine via the parallel sweep runner. Plain
+//! timing harness (criterion is unavailable offline).
 
+use clustream_bench::timing::bench;
 use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use clustream_sim::SimConfig;
 
-fn bench_fig4_point(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_point");
-    for &(n, d) in &[
+fn main() {
+    println!("== fig4_point (closed form) ==");
+    for (n, d) in [
         (500usize, 2usize),
         (500, 3),
         (2000, 2),
         (2000, 3),
         (2000, 5),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new(format!("d{d}"), n),
-            &(n, d),
-            |b, &(n, d)| {
-                b.iter(|| {
-                    let forest = greedy_forest(n, d).unwrap();
-                    let scheme = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
-                    DelayProfile::compute(&scheme).unwrap().max_delay()
-                })
-            },
-        );
+        bench(&format!("fig4_point_d{d}_n{n}"), 20, || {
+            let forest = greedy_forest(n, d).unwrap();
+            let scheme = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+            DelayProfile::compute(&scheme).unwrap().max_delay()
+        });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_fig4_point);
-criterion_main!(benches);
+    println!("== fig4_grid_validated_sim (fast engine, parallel sweep) ==");
+    let grid: Vec<(usize, usize)> = [2usize, 3]
+        .iter()
+        .flat_map(|&d| [(d, 500), (d, 2000)])
+        .collect();
+    bench("fig4_grid_d23_n500_2000_sim_sweep", 5, || {
+        let delays = clustream_sim::sweep(&grid, |engine, &(d, n)| {
+            let forest = greedy_forest(n, d).unwrap();
+            let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+            engine
+                .run(&mut s, &SimConfig::until_complete(48, 1_000_000))
+                .unwrap()
+                .qos
+                .max_delay()
+        });
+        delays.iter().sum::<u64>()
+    });
+}

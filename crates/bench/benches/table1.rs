@@ -1,36 +1,55 @@
-//! Criterion bench for the Table 1 pipeline: full validated simulation of
-//! each scheme at N ≈ 1000.
+//! Bench for the Table 1 pipeline: full validated simulation of each
+//! scheme at N ≈ 1000, on the reference engine and the fast engine.
+//! Plain timing harness (criterion is unavailable offline).
 
 use clustream_baselines::ChainScheme;
 use clustream_bench::simulate;
+use clustream_bench::timing::bench;
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
-use criterion::{criterion_group, criterion_main, Criterion};
+use clustream_sim::{FastEngine, SimConfig};
 
-fn bench_table1_schemes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_scheme_sim");
-    g.sample_size(10);
-    g.bench_function("multitree_d3_n1023", |b| {
-        b.iter(|| {
-            let forest = greedy_forest(1023, 3).unwrap();
-            let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
-            simulate(&mut s, 64).qos.max_delay()
-        })
+fn main() {
+    println!("== table1_scheme_sim (reference engine) ==");
+    bench("multitree_d3_n1023", 10, || {
+        let forest = greedy_forest(1023, 3).unwrap();
+        let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+        simulate(&mut s, 64).qos.max_delay()
     });
-    g.bench_function("hypercube_n1023", |b| {
-        b.iter(|| {
-            let mut s = HypercubeStream::new(1023).unwrap();
-            simulate(&mut s, 64).qos.max_delay()
-        })
+    bench("hypercube_n1023", 10, || {
+        let mut s = HypercubeStream::new(1023).unwrap();
+        simulate(&mut s, 64).qos.max_delay()
     });
-    g.bench_function("chain_n1023", |b| {
-        b.iter(|| {
-            let mut s = ChainScheme::new(1023);
-            simulate(&mut s, 8).qos.max_delay()
-        })
+    bench("chain_n1023", 10, || {
+        let mut s = ChainScheme::new(1023);
+        simulate(&mut s, 8).qos.max_delay()
     });
-    g.finish();
+
+    println!("== table1_scheme_sim (fast engine, reused arena) ==");
+    let mut engine = FastEngine::new();
+    bench("multitree_d3_n1023_fast", 10, || {
+        let forest = greedy_forest(1023, 3).unwrap();
+        let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
+        engine
+            .run(&mut s, &SimConfig::until_complete(64, 1_000_000))
+            .unwrap()
+            .qos
+            .max_delay()
+    });
+    bench("hypercube_n1023_fast", 10, || {
+        let mut s = HypercubeStream::new(1023).unwrap();
+        engine
+            .run(&mut s, &SimConfig::until_complete(64, 1_000_000))
+            .unwrap()
+            .qos
+            .max_delay()
+    });
+    bench("chain_n1023_fast", 10, || {
+        let mut s = ChainScheme::new(1023);
+        engine
+            .run(&mut s, &SimConfig::until_complete(8, 1_000_000))
+            .unwrap()
+            .qos
+            .max_delay()
+    });
 }
-
-criterion_group!(benches, bench_table1_schemes);
-criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Reference-vs-fast engine comparison on the Figure 4 / Table 1 /
+//! scale-sweep simulation workloads.
+//!
+//! Each workload is simulated by both engines (results are first checked
+//! field-by-field for equality), timed, and reported as slots/sec plus
+//! the fast-engine speedup. A machine-readable summary is written to
+//! `BENCH_engine.json` in the current directory.
+
+use clustream_baselines::ChainScheme;
+use clustream_bench::render_table;
+use clustream_bench::timing::bench;
+use clustream_core::Scheme;
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
+use clustream_sim::{diff_fields, FastEngine, SimConfig, Simulator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EngineRow {
+    workload: String,
+    slots_run: u64,
+    transmissions: u64,
+    samples: usize,
+    reference_min_ns: u64,
+    fast_min_ns: u64,
+    reference_slots_per_sec: f64,
+    fast_slots_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EngineReport {
+    build: String,
+    threads: usize,
+    rows: Vec<EngineRow>,
+    min_speedup: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    track: u64,
+    samples: usize,
+    make: Box<dyn Fn() -> Box<dyn Scheme>>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fig4_multitree_n2000_d3_track48",
+            track: 48,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "fig4_multitree_n2000_d2_track48",
+            track: 48,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 2).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "table1_multitree_n1023_d3_track64",
+            track: 64,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(1023, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "table1_hypercube_n1023_track64",
+            track: 64,
+            samples: 10,
+            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
+        },
+        Workload {
+            name: "table1_chain_n1023_track8",
+            track: 8,
+            samples: 5,
+            make: Box::new(|| Box::new(ChainScheme::new(1023))),
+        },
+        Workload {
+            name: "scale_hypercube_n20000_track64",
+            track: 64,
+            samples: 3,
+            make: Box::new(|| Box::new(HypercubeStream::new(20_000).unwrap())),
+        },
+    ]
+}
+
+fn main() {
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    if build == "debug" {
+        eprintln!("warning: debug build — speedups are not representative");
+    }
+
+    let mut engine = FastEngine::new();
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let cfg = SimConfig::until_complete(w.track, 1_000_000);
+
+        // Correctness first: both engines must agree bit for bit.
+        let reference = Simulator::run((w.make)().as_mut(), &cfg).unwrap();
+        let fast = engine.run((w.make)().as_mut(), &cfg).unwrap();
+        let diffs = diff_fields(&reference, &fast);
+        assert!(diffs.is_empty(), "{}: engines diverge on {diffs:?}", w.name);
+
+        let m_ref = bench(&format!("{}_reference", w.name), w.samples, || {
+            Simulator::run((w.make)().as_mut(), &cfg).unwrap().slots_run
+        });
+        let m_fast = bench(&format!("{}_fast", w.name), w.samples, || {
+            engine.run((w.make)().as_mut(), &cfg).unwrap().slots_run
+        });
+
+        let ref_s = m_ref.min().as_secs_f64();
+        let fast_s = m_fast.min().as_secs_f64();
+        rows.push(EngineRow {
+            workload: w.name.to_string(),
+            slots_run: reference.slots_run,
+            transmissions: reference.total_transmissions,
+            samples: w.samples,
+            reference_min_ns: m_ref.min().as_nanos() as u64,
+            fast_min_ns: m_fast.min().as_nanos() as u64,
+            reference_slots_per_sec: reference.slots_run as f64 / ref_s,
+            fast_slots_per_sec: reference.slots_run as f64 / fast_s,
+            speedup: ref_s / fast_s,
+        });
+    }
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "workload",
+                "slots",
+                "ref slots/s",
+                "fast slots/s",
+                "speedup"
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.slots_run.to_string(),
+                        format!("{:.0}", r.reference_slots_per_sec),
+                        format!("{:.0}", r.fast_slots_per_sec),
+                        format!("{:.2}x", r.speedup),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+    println!("minimum speedup across workloads: {min_speedup:.2}x");
+
+    let report = EngineReport {
+        build: build.to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows,
+        min_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_engine.json", json + "\n").expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

@@ -4,8 +4,10 @@
 
 use clustream_analysis as analysis;
 use clustream_bench::{render_table, simulate};
+use clustream_core::Scheme;
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, DelayProfile, MultiTreeScheme, StreamMode};
+use clustream_sim::{diff_fields, FastEngine, SimConfig};
 use std::time::Instant;
 
 fn main() {
@@ -42,27 +44,45 @@ fn main() {
         t0.elapsed()
     );
 
-    // Fully validated simulations at N = 20000.
-    for mk in ["multitree", "hypercube"] {
-        let t0 = Instant::now();
-        let (name, tx) = match mk {
-            "multitree" => {
-                let mut s = MultiTreeScheme::new(
+    // Fully validated simulations at N = 20000, on both engines: the
+    // readable reference and the allocation-light fast path (identical
+    // results, checked field by field on every run).
+    let mut engine = FastEngine::new();
+    type SchemeFactory = Box<dyn Fn() -> Box<dyn Scheme>>;
+    let cells: [(&str, u64, SchemeFactory); 2] = [
+        (
+            "multitree",
+            48,
+            Box::new(|| {
+                Box::new(MultiTreeScheme::new(
                     greedy_forest(20_000, 3).unwrap(),
                     StreamMode::PreRecorded,
-                );
-                let r = simulate(&mut s, 48);
-                (r.scheme, r.total_transmissions)
-            }
-            _ => {
-                let mut s = HypercubeStream::new(20_000).unwrap();
-                let r = simulate(&mut s, 64);
-                (r.scheme, r.total_transmissions)
-            }
-        };
+                ))
+            }),
+        ),
+        (
+            "hypercube",
+            64,
+            Box::new(|| Box::new(HypercubeStream::new(20_000).unwrap())),
+        ),
+    ];
+    for (_, track, make) in &cells {
+        let t0 = Instant::now();
+        let reference = simulate(make().as_mut(), *track);
+        let t_ref = t0.elapsed();
+        let cfg = SimConfig::until_complete(*track, 1_000_000);
+        let t0 = Instant::now();
+        let fast = engine.run(make().as_mut(), &cfg).unwrap();
+        let t_fast = t0.elapsed();
+        let diffs = diff_fields(&reference, &fast);
+        assert!(diffs.is_empty(), "engines diverge on {diffs:?}");
         println!(
-            "validated sim, N = 20000 ({name}): {tx} transmissions in {:.2?}",
-            t0.elapsed()
+            "validated sim, N = 20000 ({}): {} transmissions — reference {:.2?}, fast {:.2?} ({:.2}x)",
+            reference.scheme,
+            reference.total_transmissions,
+            t_ref,
+            t_fast,
+            t_ref.as_secs_f64() / t_fast.as_secs_f64()
         );
     }
 }

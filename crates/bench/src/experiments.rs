@@ -9,7 +9,7 @@ use clustream_multitree::{
     MultiTreeScheme, StreamMode,
 };
 use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
-use clustream_sim::{RunResult, SimConfig, Simulator};
+use clustream_sim::{FastEngine, RunResult, SimConfig, Simulator};
 use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -18,6 +18,35 @@ use serde::Serialize;
 pub fn simulate(scheme: &mut dyn Scheme, track: u64) -> RunResult {
     Simulator::run(scheme, &SimConfig::until_complete(track, 1_000_000))
         .expect("scheme violates the communication model")
+}
+
+/// Like [`simulate`], on the fast engine with a reusable arena.
+///
+/// Takes a scheme *factory* (schemes are stateful). Debug builds
+/// re-run every simulation through the reference engine and assert the
+/// two results are bit-identical — every `cargo test` / debug invocation
+/// of an experiment binary doubles as a differential check.
+pub fn simulate_fast(
+    engine: &mut FastEngine,
+    mut make: impl FnMut() -> Box<dyn Scheme>,
+    track: u64,
+) -> RunResult {
+    let cfg = SimConfig::until_complete(track, 1_000_000);
+    let result = engine
+        .run(make().as_mut(), &cfg)
+        .expect("scheme violates the communication model");
+    #[cfg(debug_assertions)]
+    {
+        let reference =
+            Simulator::run(make().as_mut(), &cfg).expect("scheme violates the communication model");
+        let diffs = clustream_sim::diff_fields(&reference, &result);
+        assert!(
+            diffs.is_empty(),
+            "fast engine diverges from reference on {diffs:?} ({})",
+            result.scheme
+        );
+    }
+    result
 }
 
 /// Enough tracked packets to reach steady state for any scheme here.
@@ -93,43 +122,63 @@ fn row_from(name: &str, n: usize, qos: &QosReport) -> Table1Row {
 /// `N' = 2^k − 1 ≤ N`, the arbitrary-`N` hypercube chain, and the chain
 /// baseline.
 pub fn table1(ns: &[usize]) -> Vec<Table1Row> {
-    ns.par_iter()
-        .flat_map(|&n| {
-            let mut rows = Vec::new();
-            for d in [2usize, 3] {
-                let forest = greedy_forest(n, d).expect("valid");
-                let mut s = MultiTreeScheme::new(forest, StreamMode::PreRecorded);
-                let r = simulate(&mut s, track_for(analysis::thm2_worst_delay_bound(n, d)));
-                rows.push(row_from(&format!("multi-tree d={d}"), n, &r.qos));
-            }
-            {
-                // Special N: largest 2^k − 1 ≤ N.
-                let k = usize::BITS as usize - 1 - (n + 1).leading_zeros() as usize;
-                let n_special = (1usize << k) - 1;
-                let mut s = HypercubeStream::new(n_special).expect("valid");
-                let r = simulate(&mut s, track_for(k as u64 + 1));
-                rows.push(row_from("hypercube special", n_special, &r.qos));
-            }
-            {
-                let mut s = HypercubeStream::new(n).expect("valid");
-                let r = simulate(&mut s, track_for(analysis::chained_worst_delay(n)));
-                rows.push(row_from("hypercube arbitrary", n, &r.qos));
-            }
-            {
-                let mut s = ChainScheme::new(n);
-                let r = simulate(&mut s, track_for(n as u64));
-                rows.push(row_from("chain baseline", n, &r.qos));
-            }
-            {
-                // Elevated-capacity single tree: the paper's §1 strawman
-                // (interior upload = d× stream rate).
-                let mut s = SingleTreeScheme::new(n, 2);
-                let r = simulate(&mut s, track_for(2 * analysis::tree_height(n, 2)));
-                rows.push(row_from("single-tree d=2 (d× upload)", n, &r.qos));
-            }
-            rows
-        })
-        .collect()
+    clustream_sim::sweep(ns, |engine, &n| {
+        let mut rows = Vec::new();
+        for d in [2usize, 3] {
+            let r = simulate_fast(
+                engine,
+                || {
+                    Box::new(MultiTreeScheme::new(
+                        greedy_forest(n, d).expect("valid"),
+                        StreamMode::PreRecorded,
+                    ))
+                },
+                track_for(analysis::thm2_worst_delay_bound(n, d)),
+            );
+            rows.push(row_from(&format!("multi-tree d={d}"), n, &r.qos));
+        }
+        {
+            // Special N: largest 2^k − 1 ≤ N.
+            let k = usize::BITS as usize - 1 - (n + 1).leading_zeros() as usize;
+            let n_special = (1usize << k) - 1;
+            let r = simulate_fast(
+                engine,
+                || Box::new(HypercubeStream::new(n_special).expect("valid")),
+                track_for(k as u64 + 1),
+            );
+            rows.push(row_from("hypercube special", n_special, &r.qos));
+        }
+        {
+            let r = simulate_fast(
+                engine,
+                || Box::new(HypercubeStream::new(n).expect("valid")),
+                track_for(analysis::chained_worst_delay(n)),
+            );
+            rows.push(row_from("hypercube arbitrary", n, &r.qos));
+        }
+        {
+            let r = simulate_fast(
+                engine,
+                || Box::new(ChainScheme::new(n)),
+                track_for(n as u64),
+            );
+            rows.push(row_from("chain baseline", n, &r.qos));
+        }
+        {
+            // Elevated-capacity single tree: the paper's §1 strawman
+            // (interior upload = d× stream rate).
+            let r = simulate_fast(
+                engine,
+                || Box::new(SingleTreeScheme::new(n, 2)),
+                track_for(2 * analysis::tree_height(n, 2)),
+            );
+            rows.push(row_from("single-tree d=2 (d× upload)", n, &r.qos));
+        }
+        rows
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 // --------------------------------------------------------------- Theorem 1
@@ -275,21 +324,22 @@ pub struct Prop1Row {
 
 /// Proposition 1: delay `k + 1`, `O(1)` buffer, `k` neighbors.
 pub fn prop1(ks: &[usize]) -> Vec<Prop1Row> {
-    ks.par_iter()
-        .map(|&k| {
-            let n = (1usize << k) - 1;
-            let mut s = HypercubeStream::new(n).expect("valid");
-            let r = simulate(&mut s, track_for(k as u64 + 1));
-            Prop1Row {
-                k,
-                n,
-                measured_max_delay: r.qos.max_delay(),
-                predicted_delay: k as u64 + 1,
-                measured_buffer: r.qos.max_buffer(),
-                measured_neighbors: r.qos.max_neighbors(),
-            }
-        })
-        .collect()
+    clustream_sim::sweep(ks, |engine, &k| {
+        let n = (1usize << k) - 1;
+        let r = simulate_fast(
+            engine,
+            || Box::new(HypercubeStream::new(n).expect("valid")),
+            track_for(k as u64 + 1),
+        );
+        Prop1Row {
+            k,
+            n,
+            measured_max_delay: r.qos.max_delay(),
+            predicted_delay: k as u64 + 1,
+            measured_buffer: r.qos.max_buffer(),
+            measured_neighbors: r.qos.max_neighbors(),
+        }
+    })
 }
 
 /// Proposition 2 / Theorem 4 check for arbitrary `N`.
@@ -307,24 +357,25 @@ pub struct Prop2Row {
 
 /// Proposition 2 + Theorem 4: chained hypercubes across populations.
 pub fn prop2_thm4(ns: &[usize]) -> Vec<Prop2Row> {
-    ns.par_iter()
-        .map(|&n| {
-            let mut s = HypercubeStream::new(n).expect("valid");
-            let cubes = s.cubes().count();
-            let predicted = analysis::chained_worst_delay(n);
-            let r = simulate(&mut s, track_for(predicted));
-            Prop2Row {
-                n,
-                cubes,
-                measured_max_delay: r.qos.max_delay(),
-                predicted_max_delay: predicted,
-                measured_avg_delay: r.qos.avg_delay(),
-                thm4_bound: analysis::thm4_avg_bound(n),
-                measured_buffer: r.qos.max_buffer(),
-                measured_neighbors: r.qos.max_neighbors(),
-            }
-        })
-        .collect()
+    clustream_sim::sweep(ns, |engine, &n| {
+        let cubes = HypercubeStream::new(n).expect("valid").cubes().count();
+        let predicted = analysis::chained_worst_delay(n);
+        let r = simulate_fast(
+            engine,
+            || Box::new(HypercubeStream::new(n).expect("valid")),
+            track_for(predicted),
+        );
+        Prop2Row {
+            n,
+            cubes,
+            measured_max_delay: r.qos.max_delay(),
+            predicted_max_delay: predicted,
+            measured_avg_delay: r.qos.avg_delay(),
+            thm4_bound: analysis::thm4_avg_bound(n),
+            measured_buffer: r.qos.max_buffer(),
+            measured_neighbors: r.qos.max_neighbors(),
+        }
+    })
 }
 
 // ------------------------------------------------------ Extension sweeps
@@ -521,6 +572,7 @@ pub struct UtilizationRow {
 /// interior; the interior-disjoint multi-trees leave only the `d` all-leaf
 /// nodes idle at unit upload; the hypercube spreads upload evenly.
 pub fn ext_utilization(n: usize, d: usize, track: u64) -> Vec<UtilizationRow> {
+    let mut engine = FastEngine::new();
     let mut rows = Vec::new();
     let mut push = |name: &str, r: &RunResult| {
         let slots = r.slots_run as f64;
@@ -534,24 +586,32 @@ pub fn ext_utilization(n: usize, d: usize, track: u64) -> Vec<UtilizationRow> {
         });
     };
     {
-        let mut s =
-            MultiTreeScheme::new(greedy_forest(n, d).expect("valid"), StreamMode::PreRecorded);
-        let r = simulate(&mut s, track);
+        let r = simulate_fast(
+            &mut engine,
+            || {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(n, d).expect("valid"),
+                    StreamMode::PreRecorded,
+                ))
+            },
+            track,
+        );
         push(&format!("multi-tree d={d}"), &r);
     }
     {
-        let mut s = HypercubeStream::new(n).expect("valid");
-        let r = simulate(&mut s, track);
+        let r = simulate_fast(
+            &mut engine,
+            || Box::new(HypercubeStream::new(n).expect("valid")),
+            track,
+        );
         push("hypercube", &r);
     }
     {
-        let mut s = SingleTreeScheme::new(n, d);
-        let r = simulate(&mut s, track);
+        let r = simulate_fast(&mut engine, || Box::new(SingleTreeScheme::new(n, d)), track);
         push(&format!("single-tree d={d}"), &r);
     }
     {
-        let mut s = ChainScheme::new(n);
-        let r = simulate(&mut s, track);
+        let r = simulate_fast(&mut engine, || Box::new(ChainScheme::new(n)), track);
         push("chain", &r);
     }
     rows

@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod timing;
 
 pub use experiments::*;
 pub use table::render_table;

@@ -1,0 +1,69 @@
+//! Dependency-free timing harness used by the `benches/` binaries and the
+//! engine-comparison benchmark (criterion is unavailable offline).
+
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement: per-iteration wall times over `samples`
+/// runs after a warmup iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Per-iteration wall time, one entry per sample.
+    pub times: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest observed iteration — the least noisy single-thread
+    /// estimator of the true cost.
+    pub fn min(&self) -> Duration {
+        self.times.iter().copied().min().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean iteration time.
+    pub fn mean(&self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.iter().sum::<Duration>() / self.times.len() as u32
+    }
+}
+
+/// Time `f` over `samples` iterations (plus one untimed warmup), print a
+/// one-line summary, and return the measurement.
+///
+/// The closure's return value is passed through `std::hint::black_box` so
+/// the computation cannot be optimized away.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Measurement {
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        times.push(start.elapsed());
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        times,
+    };
+    println!(
+        "{:<44} min {:>12?}   mean {:>12?}   ({} samples)",
+        m.name,
+        m.min(),
+        m.mean(),
+        m.times.len()
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_samples() {
+        let m = bench("noop", 3, || 1 + 1);
+        assert_eq!(m.times.len(), 3);
+        assert!(m.min() <= m.mean() || m.times.len() == 1);
+    }
+}

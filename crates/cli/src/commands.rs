@@ -6,7 +6,7 @@ use clustream_core::{NodeId, PacketId, Scheme};
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, node_calendar, MultiTreeScheme, StreamMode};
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
-use clustream_sim::{RunResult, SimConfig, Simulator};
+use clustream_sim::{DiffHarness, FastSimulator, RunResult, SimConfig, Simulator};
 use std::fmt::Write as _;
 
 fn parse_mode(args: &ArgMap) -> Result<StreamMode, CliError> {
@@ -16,6 +16,28 @@ fn parse_mode(args: &ArgMap) -> Result<StreamMode, CliError> {
         "pipelined" => Ok(StreamMode::LivePipelined),
         other => Err(CliError::Usage(format!(
             "--mode must be pre|buffered|pipelined, got `{other}`"
+        ))),
+    }
+}
+
+/// Which slot engine executes the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    /// The readable reference engine.
+    Reference,
+    /// The allocation-light fast engine (bit-identical results).
+    Fast,
+    /// Both engines, with a field-by-field equality check.
+    Checked,
+}
+
+fn parse_engine(args: &ArgMap) -> Result<EngineChoice, CliError> {
+    match args.optional("engine").unwrap_or("fast") {
+        "reference" => Ok(EngineChoice::Reference),
+        "fast" => Ok(EngineChoice::Fast),
+        "checked" => Ok(EngineChoice::Checked),
+        other => Err(CliError::Usage(format!(
+            "--engine must be reference|fast|checked, got `{other}`"
         ))),
     }
 }
@@ -55,11 +77,44 @@ fn run_scheme(scheme: &mut dyn Scheme, track: u64, traced: bool) -> Result<RunRe
 
 /// `clustream simulate`.
 pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
-    let mut scheme = build_scheme(args)?;
+    // Validate the scheme parameters once up front, so the factory used
+    // by the checked engine cannot fail.
+    let _ = build_scheme(args)?;
     let track = args.usize_or("track", 48)? as u64;
-    let r = run_scheme(scheme.as_mut(), track, false)?;
+    let engine = parse_engine(args)?;
+    let cfg = SimConfig::until_complete(track, 1_000_000);
+    let (engine_name, r) = match engine {
+        EngineChoice::Reference => (
+            "reference",
+            Simulator::run(build_scheme(args)?.as_mut(), &cfg)?,
+        ),
+        EngineChoice::Fast => (
+            "fast",
+            FastSimulator::run(build_scheme(args)?.as_mut(), &cfg)?,
+        ),
+        EngineChoice::Checked => {
+            let r = match DiffHarness::check(|| build_scheme(args).expect("validated above"), &cfg)
+            {
+                Ok(r) => r,
+                Err(Some(divergence)) => {
+                    return Err(CliError::Model(format!(
+                        "differential check failed: {divergence}"
+                    )))
+                }
+                // Both engines rejected the run identically: surface the
+                // actual model error.
+                Err(None) => {
+                    let err = Simulator::run(build_scheme(args)?.as_mut(), &cfg)
+                        .expect_err("both engines failed");
+                    return Err(err.into());
+                }
+            };
+            ("checked (reference ≡ fast)", r)
+        }
+    };
     let mut out = String::new();
     let _ = writeln!(out, "scheme      : {}", r.scheme);
+    let _ = writeln!(out, "engine      : {engine_name}");
     let _ = writeln!(out, "receivers   : {}", r.qos.n);
     let _ = writeln!(out, "slots run   : {}", r.slots_run);
     let _ = writeln!(out, "max delay   : {} slots", r.qos.max_delay());
@@ -243,6 +298,54 @@ mod tests {
             let out = run(&argv(&["simulate", "--scheme", s, "--n", "12"])).unwrap();
             assert!(out.contains("receivers   : 12"), "{s}: {out}");
         }
+    }
+
+    #[test]
+    fn engine_flag_selects_engine() {
+        for (flag, label) in [
+            ("fast", "engine      : fast"),
+            ("reference", "engine      : reference"),
+            ("checked", "engine      : checked (reference ≡ fast)"),
+        ] {
+            let out = run(&argv(&[
+                "simulate",
+                "--scheme",
+                "hypercube",
+                "--n",
+                "25",
+                "--engine",
+                flag,
+            ]))
+            .unwrap();
+            assert!(out.contains(label), "{flag}: {out}");
+        }
+        // All three engines agree on the QoS numbers.
+        let runs: Vec<String> = ["fast", "reference", "checked"]
+            .iter()
+            .map(|f| {
+                let out = run(&argv(&[
+                    "simulate",
+                    "--scheme",
+                    "multitree",
+                    "--n",
+                    "30",
+                    "--engine",
+                    f,
+                ]))
+                .unwrap();
+                out.lines()
+                    .filter(|l| !l.starts_with("engine"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        // Unknown engine is a usage error.
+        assert!(run(&argv(&[
+            "simulate", "--scheme", "chain", "--n", "5", "--engine", "warp"
+        ]))
+        .is_err());
     }
 
     #[test]

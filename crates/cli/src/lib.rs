@@ -46,6 +46,7 @@ pub fn usage() -> &'static str {
 USAGE:
   clustream simulate --scheme <multitree|hypercube|chain|singletree> --n <N>
                      [--d <D>] [--mode <pre|buffered|pipelined>] [--track <P>]
+                     [--engine <fast|reference|checked>]
   clustream analyze  --n <N> [--max-d <D>]
   clustream plan     --clusters <size[:budget],size[:budget],…> [--tc <T>] [--bigd <D>]
   clustream trace    --scheme <multitree|hypercube|chain> --n <N> [--d <D>]

@@ -1,0 +1,221 @@
+//! Differential-testing oracle: reference engine vs fast engine.
+//!
+//! [`crate::FastEngine`] promises *bit-identical* results to
+//! [`crate::Simulator`]. This module holds the two engines to that
+//! contract: run the same scheme under the same configuration through
+//! both, then compare the outcomes **field by field** — arrivals, QoS,
+//! traffic statistics, loss reports, traces, everything on
+//! [`RunResult`] — or, for failing runs, compare the rendered errors.
+//!
+//! Schemes are stateful (they mutate as slots advance), so the harness
+//! takes a *factory* and builds one fresh scheme instance per engine.
+//!
+//! Used three ways:
+//!
+//! * as the oracle inside the property-based differential suite
+//!   (`tests/differential.rs` at the workspace root);
+//! * as a `#[cfg(debug_assertions)]` cross-check inside the experiment
+//!   binaries (debug builds re-validate every fast-engine result);
+//! * ad hoc, when debugging a divergence.
+
+use crate::engine::{RunResult, SimConfig, Simulator};
+use crate::fast::FastEngine;
+use clustream_core::Scheme;
+
+/// Names of [`RunResult`] fields that differ between two results.
+/// Empty iff the results are identical.
+pub fn diff_fields(reference: &RunResult, fast: &RunResult) -> Vec<&'static str> {
+    let mut d = Vec::new();
+    if reference.scheme != fast.scheme {
+        d.push("scheme");
+    }
+    if reference.slots_run != fast.slots_run {
+        d.push("slots_run");
+    }
+    if reference.arrivals != fast.arrivals {
+        d.push("arrivals");
+    }
+    if reference.qos != fast.qos {
+        d.push("qos");
+    }
+    if reference.total_transmissions != fast.total_transmissions {
+        d.push("total_transmissions");
+    }
+    if reference.duplicate_deliveries != fast.duplicate_deliveries {
+        d.push("duplicate_deliveries");
+    }
+    if reference.loss != fast.loss {
+        d.push("loss");
+    }
+    if reference.trace != fast.trace {
+        d.push("trace");
+    }
+    if reference.upload_counts != fast.upload_counts {
+        d.push("upload_counts");
+    }
+    d
+}
+
+/// The differential harness. Stateless; see [`DiffHarness::check`].
+pub struct DiffHarness;
+
+impl DiffHarness {
+    /// Run one fresh scheme from `factory` through each engine and
+    /// demand identical outcomes.
+    ///
+    /// * Both succeed with equal results → `Ok(result)`.
+    /// * Both fail with identically-rendered errors → `Ok` is not
+    ///   possible, so the divergence-free failure is reported as
+    ///   `Err(None)`.
+    /// * Any divergence → `Err(Some(description))`.
+    #[allow(clippy::type_complexity)]
+    pub fn check<F>(mut factory: F, cfg: &SimConfig) -> Result<RunResult, Option<String>>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        let reference = Simulator::run(factory().as_mut(), cfg);
+        let fast = FastEngine::new().run(factory().as_mut(), cfg);
+        match (reference, fast) {
+            (Ok(r), Ok(f)) => {
+                let diffs = diff_fields(&r, &f);
+                if diffs.is_empty() {
+                    Ok(f)
+                } else {
+                    Err(Some(format!(
+                        "engines diverge on {} fields {:?} for scheme {} \
+                         (slots {} vs {}, delay {} vs {}, buffer {} vs {})",
+                        diffs.len(),
+                        diffs,
+                        r.scheme,
+                        r.slots_run,
+                        f.slots_run,
+                        r.qos.max_delay(),
+                        f.qos.max_delay(),
+                        r.qos.max_buffer(),
+                        f.qos.max_buffer(),
+                    )))
+                }
+            }
+            (Err(re), Err(fe)) => {
+                let (rs, fs) = (re.to_string(), fe.to_string());
+                if rs == fs {
+                    Err(None)
+                } else {
+                    Err(Some(format!(
+                        "engines fail differently: reference `{rs}` vs fast `{fs}`"
+                    )))
+                }
+            }
+            (Ok(r), Err(fe)) => Err(Some(format!(
+                "reference succeeds ({}) but fast errors: {fe}",
+                r.scheme
+            ))),
+            (Err(re), Ok(f)) => Err(Some(format!(
+                "fast succeeds ({}) but reference errors: {re}",
+                f.scheme
+            ))),
+        }
+    }
+
+    /// Like [`DiffHarness::check`] but panics on divergence and unwraps
+    /// the run: the assertion form used by tests and the
+    /// `debug_assertions` cross-check in experiment binaries.
+    pub fn run_checked<F>(factory: F, cfg: &SimConfig) -> Result<RunResult, String>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        match Self::check(factory, cfg) {
+            Ok(r) => Ok(r),
+            Err(None) => Err("both engines failed identically".into()),
+            Err(Some(divergence)) => panic!("differential oracle: {divergence}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_core::{NodeId, PacketId, Slot, StateView, Transmission, SOURCE};
+
+    /// Chain scheme (same shape as the engine's test scheme): S → 1 → … → N.
+    struct Chain {
+        n: usize,
+    }
+
+    impl Scheme for Chain {
+        fn name(&self) -> String {
+            format!("chain({})", self.n)
+        }
+        fn num_receivers(&self) -> usize {
+            self.n
+        }
+        fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+            let t = slot.t();
+            out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+            for i in 1..self.n as u64 {
+                if t >= i {
+                    out.push(Transmission::local(
+                        NodeId(i as u32),
+                        NodeId(i as u32 + 1),
+                        PacketId(t - i),
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_clean_runs_agree() {
+        let r = DiffHarness::check(
+            || Box::new(Chain { n: 6 }),
+            &SimConfig::until_complete(16, 200),
+        )
+        .expect("engines must agree");
+        assert_eq!(r.qos.max_delay(), 6);
+    }
+
+    #[test]
+    fn chain_traced_runs_agree() {
+        let cfg = SimConfig::until_complete(10, 200).traced();
+        let r = DiffHarness::check(|| Box::new(Chain { n: 4 }), &cfg).expect("engines must agree");
+        assert_eq!(
+            r.trace.as_ref().unwrap().events.len() as u64,
+            r.total_transmissions
+        );
+    }
+
+    #[test]
+    fn chain_lossy_runs_agree() {
+        let cfg = SimConfig::with_faults(24, 80, crate::FaultPlan::loss(0.25, 42));
+        let r = DiffHarness::check(|| Box::new(Chain { n: 6 }), &cfg).expect("engines must agree");
+        assert!(r.loss.as_ref().unwrap().lost_in_flight > 0);
+    }
+
+    #[test]
+    fn identical_errors_are_not_a_divergence() {
+        // Horizon far too short: both engines report the same hiccup.
+        let cfg = SimConfig {
+            max_slots: 2,
+            track_packets: 4,
+            ..SimConfig::default()
+        };
+        match DiffHarness::check(|| Box::new(Chain { n: 5 }), &cfg) {
+            Err(None) => {}
+            other => panic!("expected identical failures, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diff_fields_pinpoints_mutation() {
+        let cfg = SimConfig::until_complete(8, 100);
+        let a = Simulator::run(&mut Chain { n: 3 }, &cfg).unwrap();
+        let mut b = a.clone();
+        assert!(diff_fields(&a, &b).is_empty());
+        b.total_transmissions += 1;
+        b.slots_run += 1;
+        assert_eq!(
+            diff_fields(&a, &b),
+            vec!["slots_run", "total_transmissions"]
+        );
+    }
+}

@@ -73,7 +73,7 @@ impl SimConfig {
 }
 
 /// Outcome of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Scheme identifier.
     pub scheme: String,
@@ -338,7 +338,7 @@ impl Simulator {
                 if pb.missing > 0 {
                     loss_report.missing.push((*r, pb.missing));
                 }
-                (pb.playback_delay, 0)
+                (pb.playback_delay, pb.max_buffer)
             } else {
                 let pb = arrivals.analyze(*r)?;
                 (pb.playback_delay, pb.max_buffer)

@@ -72,6 +72,12 @@ pub struct LossyPlayback {
     /// Minimal safe playback start over the packets that *did* arrive
     /// (missing packets would be skipped or concealed by the player).
     pub playback_delay: u64,
+    /// Buffer high-water mark over the packets that did arrive, under the
+    /// same playback schedule as the clean analysis (start at
+    /// `playback_delay`, one packet-slot consumed per slot, missing
+    /// packets concealed). Equals the clean `max_buffer` when nothing is
+    /// missing.
+    pub max_buffer: usize,
 }
 
 /// Aggregate loss metrics of a faulty run.

@@ -15,16 +15,30 @@
 //!
 //! The simulator is fully deterministic: same scheme, same config, same
 //! result, bit for bit.
+//!
+//! Two engines implement these semantics: the readable reference
+//! ([`Simulator`]) and an allocation-light fast path ([`FastEngine`],
+//! module [`fast`]) built on dense bitsets, a ring-buffer arrival queue
+//! and reusable arenas. Their results are bit-identical; the
+//! differential harness in [`diff`] enforces that, and [`parallel`]
+//! farms experiment grids across worker threads with deterministic
+//! input-order results.
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod engine;
+pub mod fast;
 pub mod faults;
 pub mod metrics;
+pub mod parallel;
 pub mod playback;
 pub mod trace;
 
+pub use diff::{diff_fields, DiffHarness};
 pub use engine::{RunResult, SimConfig, Simulator};
+pub use fast::{FastEngine, FastSimulator};
 pub use faults::{FaultPlan, LossReport, LossyPlayback};
+pub use parallel::sweep;
 pub use playback::{ArrivalTable, PlaybackAnalysis};
 pub use trace::{EventTrace, TraceEvent};

@@ -139,6 +139,13 @@ impl ArrivalTable {
     /// Playback analysis tolerating missing packets (fault-injection
     /// runs): the delay is computed over the packets that did arrive, and
     /// the number of tracked packets that never arrived is reported.
+    ///
+    /// The buffer high-water mark uses the same playback schedule as
+    /// [`ArrivalTable::analyze`] — playback starts at `a` and advances one
+    /// packet per slot, with missing packets concealed (their slot is
+    /// consumed but nothing is buffered for them) — and counts only
+    /// packets that actually arrived. On a loss-free table it therefore
+    /// equals `analyze(..).max_buffer` exactly.
     pub fn analyze_lossy(&self, node: NodeId) -> crate::faults::LossyPlayback {
         let row = &self.slots[node.index()];
         let mut a = 0u64;
@@ -150,10 +157,47 @@ impl ArrivalTable {
                 a = a.max(s.saturating_sub(j as u64));
             }
         }
+
+        // Occupancy before playing in slot t, over arrived packets only:
+        //   B(t) = #{arrived j : recv(j) ≤ t} − #{arrived j : j < t − a}.
+        // arrived_below[k] = #{arrived j : j < k} turns the second term
+        // into a lookup; the first term sweeps sorted receive slots as in
+        // `analyze`.
+        let mut arrived_below = Vec::with_capacity(row.len() + 1);
+        arrived_below.push(0usize);
+        for &s in row.iter() {
+            arrived_below.push(arrived_below.last().unwrap() + usize::from(s != NEVER));
+        }
+        let mut by_recv: Vec<u64> = row
+            .iter()
+            .filter(|&&s| s != NEVER)
+            .map(|&u| u.saturating_sub(1))
+            .collect();
+        by_recv.sort_unstable();
+        let mut max_buf = 0usize;
+        if let Some(&last) = by_recv.last() {
+            let mut arrived = 0usize;
+            let mut idx = 0usize;
+            for t in 0..=last {
+                while idx < by_recv.len() && by_recv[idx] <= t {
+                    arrived += 1;
+                    idx += 1;
+                }
+                let played_through = if t > a {
+                    ((t - a).min(self.track_packets)) as usize
+                } else {
+                    0
+                };
+                let played = arrived_below[played_through.min(row.len())];
+                max_buf = max_buf.max(arrived - played.min(arrived));
+            }
+        }
+
         crate::faults::LossyPlayback {
             node,
             missing,
             playback_delay: a,
+            max_buffer: max_buf,
         }
     }
 

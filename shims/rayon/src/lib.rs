@@ -1,0 +1,189 @@
+//! Hermetic in-tree stand-in for the `rayon` crate.
+//!
+//! Implements the slice `par_iter().map(..).flat_map(..).collect()`
+//! pipeline this workspace uses. Work is split into contiguous index
+//! chunks across `std::thread::scope` threads (one per available core)
+//! and results are concatenated in input order, so output is
+//! deterministic regardless of thread count — the same guarantee real
+//! rayon's `collect` provides for indexed iterators.
+
+#![allow(clippy::all)]
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads: one per available core.
+fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, fanning contiguous chunks across scoped
+/// threads; the output preserves input order.
+fn chunked_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n_threads = threads().min(items.len().max(1));
+    if n_threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(n_threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    out
+}
+
+/// Types with a by-reference parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Sync + 'a;
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> SlicePar<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct SlicePar<'a, T> {
+    items: &'a [T],
+}
+
+/// The adapter surface: `map`, `flat_map`, `collect`.
+pub trait ParallelIterator: Sized {
+    /// Element type flowing through the pipeline.
+    type Item: Send;
+
+    /// Evaluate the pipeline into an ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Transform each element with `f`.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Transform each element into an iterable and flatten, preserving
+    /// element order.
+    fn flat_map<I, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Collect into any container buildable from an ordered `Vec`.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        C::from(self.run())
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// `map` adapter; created by [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        chunked_map(self.base.run(), &self.f)
+    }
+}
+
+/// `flat_map` adapter; created by [`ParallelIterator::flat_map`].
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, I, F> ParallelIterator for FlatMap<B, F>
+where
+    B: ParallelIterator,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(B::Item) -> I + Sync,
+{
+    type Item = I::Item;
+    fn run(self) -> Vec<I::Item> {
+        let per_item: Vec<Vec<I::Item>> =
+            chunked_map(self.base.run(), &|x| (self.f)(x).into_iter().collect());
+        per_item.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_preserves_order() {
+        let xs = vec![1usize, 2, 3];
+        let out: Vec<usize> = xs.par_iter().flat_map(|&x| vec![x; x]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chained_map_flat_map() {
+        let xs: Vec<usize> = (0..50).collect();
+        let out: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| x + 1)
+            .flat_map(|x| (0..x).map(move |y| x * 100 + y).collect::<Vec<_>>())
+            .collect();
+        let expect: Vec<usize> = (0..50)
+            .map(|x| x + 1)
+            .flat_map(|x| (0..x).map(move |y| x * 100 + y))
+            .collect();
+        assert_eq!(out, expect);
+    }
+}

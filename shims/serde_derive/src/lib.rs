@@ -1,0 +1,377 @@
+//! Derive macros for the in-tree `serde` shim.
+//!
+//! Supports exactly the shapes this workspace derives on: non-generic
+//! structs (named, tuple, unit) and enums (unit, newtype, tuple and
+//! struct variants) without `#[serde(...)]` attributes. The generated
+//! impls target the shim's `Value`-based `Serialize`/`Deserialize`
+//! traits and follow serde-JSON conventions: newtype structs are
+//! transparent, unit variants serialize as their name, other variants as
+//! a single-key object.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenTree` (no `syn`/`quote`
+//! available offline); generated code is assembled as source text and
+//! re-parsed, which keeps the generator easy to audit.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct or of one enum variant's payload.
+enum Fields {
+    /// `struct S;` or a bare enum variant.
+    Unit,
+    /// `(T1, T2, …)` — the count of unnamed fields.
+    Tuple(usize),
+    /// `{ a: T, b: U, … }` — field names in declaration order.
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Derive the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated code parses")
+}
+
+/// Derive the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated code parses")
+}
+
+// --------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (type `{name}`)");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(tokens.get(i))),
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, got {other:?}"),
+            };
+            Kind::Enum(parse_variants(body))
+        }
+        other => panic!("serde shim derive supports struct/enum only, got `{other}`"),
+    };
+    Input { name, kind }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` then `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_body(tok: Option<&TokenTree>) -> Fields {
+    match tok {
+        None => Fields::Unit,
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(named_field_names(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        other => panic!("unexpected struct body: {other:?}"),
+    }
+}
+
+/// Field names of `{ a: T, b: U }`: within each top-level-comma chunk the
+/// field name is the identifier immediately before the first `:` (after
+/// attributes and visibility are skipped). Angle-bracket depth is tracked
+/// because commas inside `Foo<A, B>` are plain tokens, not groups.
+fn named_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        names.push(name);
+        // Skip to the comma that ends this field, at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in `(T1, T2, …)`: top-level commas + 1 (trailing
+/// comma tolerated).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if idx + 1 < tokens.len() {
+                    fields += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(named_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip discriminant (`= expr`) if present, then the comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => obj_literal(fields, "self."),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let payload = obj_literal(fields, "");
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Object(vec![("a", to_value(&PREFIXa)), …])` where `PREFIX` is
+/// `self.` for struct fields or empty for match bindings.
+fn obj_literal(fields: &[String], prefix: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&e[{i}])?"))
+                .collect();
+            format!(
+                "let e = v.elements()?;\n\
+                 if e.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {name}, got {{}}\", e.len()))); }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+                .collect();
+            format!("Ok({name} {{\n{}\n}})", items.join("\n"))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("\"{vname}\" => return Ok({name}::{vname}),"))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{vname}\" => return Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&e[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => {{\n\
+                             let e = payload.elements()?;\n\
+                             if e.len() != {n} {{ return Err(::serde::DeError(format!(\"expected {n} elements for {name}::{vname}, got {{}}\", e.len()))); }}\n\
+                             return Ok({name}::{vname}({items}));\n}}",
+                            items = items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => return Ok({name}::{vname} {{\n{}\n}}),",
+                            items.join("\n")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                 Err(::serde::DeError(format!(\"unknown variant `{{s}}` of {name}\")))\n\
+                 }}\n\
+                 ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (key, payload) = &pairs[0];\n\
+                 match key.as_str() {{\n{keyed_arms}\n_ => {{}}\n}}\n\
+                 Err(::serde::DeError(format!(\"unknown variant `{{key}}` of {name}\")))\n\
+                 }}\n\
+                 other => Err(::serde::DeError::expected(\"enum variant\", other)),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                keyed_arms = keyed_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -85,7 +85,10 @@ pub mod prelude {
         DynamicForest, MultiTreeScheme, StreamMode,
     };
     pub use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
-    pub use clustream_sim::{ArrivalTable, RunResult, SimConfig, Simulator};
+    pub use clustream_sim::{
+        diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, RunResult,
+        SimConfig, Simulator,
+    };
     pub use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
 }
 

@@ -4,6 +4,7 @@
 use clustream::prelude::*;
 use clustream::sim::FaultPlan;
 use clustream::NodeId;
+use proptest::prelude::*;
 
 #[test]
 fn loss_free_fault_runs_match_clean_runs_everywhere() {
@@ -107,4 +108,172 @@ fn chain_crash_severs_everything_downstream() {
         assert!(node.0 >= 6);
         assert_eq!(missing, 16, "{node} should miss the whole window");
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A zero-probability loss process must be a perfect no-op for
+    /// **every** scheme family: identical per-node playback delay *and*
+    /// buffer occupancy, and an all-zero loss report. Buffers matter
+    /// here — the lossy analysis path once pinned them at zero.
+    #[test]
+    fn zero_loss_runs_equal_clean_runs_for_every_family(
+        n in 2usize..60,
+        d in 1usize..5,
+        seed in any::<u64>(),
+        t_c in 2u32..20,
+    ) {
+        let cluster = n.clamp(2, 9);
+        let families: Vec<Box<dyn Fn() -> Box<dyn Scheme>>> = vec![
+            Box::new(move || {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(n, d).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+            Box::new(move || Box::new(HypercubeStream::new(n).unwrap())),
+            Box::new(move || Box::new(ChainScheme::new(n))),
+            Box::new(move || Box::new(SingleTreeScheme::new(n, d.max(2)))),
+            Box::new(move || {
+                Box::new(
+                    ClusterSession::new(
+                        &[cluster, cluster, cluster],
+                        3,
+                        t_c,
+                        IntraScheme::MultiTree {
+                            d,
+                            construction: Construction::Greedy,
+                        },
+                    )
+                    .unwrap(),
+                )
+            }),
+        ];
+        for mk in &families {
+            let mut a = mk();
+            let clean =
+                Simulator::run(a.as_mut(), &SimConfig::until_complete(16, 100_000)).unwrap();
+            let mut b = mk();
+            let cfg = SimConfig::with_faults(
+                16,
+                4 * clean.slots_run + 32,
+                FaultPlan::loss(0.0, seed),
+            );
+            let lossless = Simulator::run(b.as_mut(), &cfg).unwrap();
+            for q in &clean.qos.nodes {
+                let l = lossless.qos.node(q.node).unwrap();
+                prop_assert_eq!(
+                    (l.playback_delay, l.max_buffer),
+                    (q.playback_delay, q.max_buffer),
+                    "{} node {}",
+                    clean.scheme,
+                    q.node
+                );
+            }
+            let loss = lossless.loss.as_ref().unwrap();
+            prop_assert_eq!(loss.total_missing(), 0, "{}", clean.scheme);
+            prop_assert_eq!(loss.lost_in_flight, 0, "{}", clean.scheme);
+            prop_assert_eq!(loss.propagation_suppressed, 0, "{}", clean.scheme);
+        }
+    }
+}
+
+#[test]
+fn total_loss_starves_every_receiver_completely() {
+    // loss_rate = 1.0 drops every transmission in flight: no receiver
+    // ever holds anything, so all n nodes miss the entire window.
+    let track = 12u64;
+    type SchemeFactory = Box<dyn Fn() -> Box<dyn Scheme>>;
+    let runs: Vec<(usize, SchemeFactory)> = vec![
+        (
+            20,
+            Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(20, 2).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        ),
+        (15, Box::new(|| Box::new(HypercubeStream::new(15).unwrap()))),
+        (10, Box::new(|| Box::new(ChainScheme::new(10)))),
+    ];
+    for (n, mk) in &runs {
+        let mut s = mk();
+        let cfg = SimConfig::with_faults(track, 200, FaultPlan::loss(1.0, 11));
+        let r = Simulator::run(s.as_mut(), &cfg).unwrap();
+        let loss = r.loss.unwrap();
+        assert_eq!(loss.affected_nodes(), *n, "{}", r.scheme);
+        for &(node, missing) in &loss.missing {
+            assert_eq!(missing as u64, track, "{} node {node}", r.scheme);
+        }
+        assert!(loss.lost_in_flight > 0, "{}", r.scheme);
+    }
+}
+
+#[test]
+fn crash_at_slot_zero_silences_the_node_for_the_whole_run() {
+    // Node 1 uploads plenty in a clean run; crashed at slot 0 it must
+    // never send a single packet — everything it would have relayed is
+    // crash-suppressed instead.
+    let mk = || MultiTreeScheme::new(greedy_forest(30, 2).unwrap(), StreamMode::PreRecorded);
+    let mut clean_scheme = mk();
+    let clean = Simulator::run(&mut clean_scheme, &SimConfig::until_complete(16, 100_000)).unwrap();
+    assert!(clean.upload_counts[1] > 0, "node 1 is interior");
+
+    let mut s = mk();
+    let cfg = SimConfig::with_faults(16, 300, FaultPlan::crash(NodeId(1), 0));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    assert_eq!(r.upload_counts[1], 0, "crashed-at-0 node must never upload");
+    assert!(r.loss.as_ref().unwrap().crash_suppressed > 0);
+}
+
+#[test]
+fn source_adjacent_crash_severs_the_entire_chain() {
+    // Crashing the only node the source feeds is the largest possible
+    // blast radius: node 1 still receives, everyone downstream starves.
+    let n = 8u32;
+    let track = 10u64;
+    let mut s = ChainScheme::new(n as usize);
+    let cfg = SimConfig::with_faults(track, 100, FaultPlan::crash(NodeId(1), 0));
+    let r = Simulator::run(&mut s, &cfg).unwrap();
+    let loss = r.loss.unwrap();
+    assert_eq!(loss.affected_nodes(), n as usize - 1);
+    for &(node, missing) in &loss.missing {
+        assert!(node.0 >= 2, "node 1 itself keeps receiving");
+        assert_eq!(missing as u64, track, "{node} should miss the window");
+    }
+}
+
+#[test]
+fn lossy_runs_report_real_buffer_occupancy() {
+    // Pins the lossy-analysis fix: `max_buffer` comes from the actual
+    // playback simulation, not a hardwired zero.
+    let mk = || MultiTreeScheme::new(greedy_forest(40, 3).unwrap(), StreamMode::PreRecorded);
+    let mut clean_scheme = mk();
+    let clean = Simulator::run(&mut clean_scheme, &SimConfig::until_complete(32, 100_000)).unwrap();
+    assert!(clean.qos.max_buffer() > 0);
+
+    // Zero loss: buffers identical to the clean run, node by node.
+    let mut a = mk();
+    let cfg = SimConfig::with_faults(32, 4 * clean.slots_run + 32, FaultPlan::loss(0.0, 9));
+    let lossless = Simulator::run(&mut a, &cfg).unwrap();
+    for q in &clean.qos.nodes {
+        assert_eq!(
+            lossless.qos.node(q.node).unwrap().max_buffer,
+            q.max_buffer,
+            "node {}",
+            q.node
+        );
+    }
+
+    // Genuine loss: occupancy must still be reported, not zeroed.
+    let mut b = mk();
+    let cfg = SimConfig::with_faults(32, 400, FaultPlan::loss(0.15, 9));
+    let lossy = Simulator::run(&mut b, &cfg).unwrap();
+    assert!(lossy.loss.as_ref().unwrap().total_missing() > 0);
+    assert!(
+        lossy.qos.max_buffer() > 0,
+        "lossy runs must report real buffer occupancy"
+    );
 }
