@@ -23,4 +23,16 @@ cargo test --workspace -q --offline
 echo "== differential oracle =="
 cargo test -q --test differential --offline
 
+echo "== slot/DES differential oracle =="
+cargo test -q --test des_differential --offline
+
+echo "== DES smoke (slot-faithful equivalence, checked mode) =="
+cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+    simulate --scheme multitree --n 30 --d 3 --runtime des-checked
+cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+    simulate --scheme hypercube --n 25 --runtime des-checked
+cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+    simulate --scheme chain --n 12 --runtime des \
+    --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
+
 echo "CI gate passed."

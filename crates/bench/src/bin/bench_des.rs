@@ -1,0 +1,183 @@
+//! Discrete-event runtime benchmark: event throughput on the standard
+//! simulation workloads plus the delay/buffer inflation the relaxed
+//! network models introduce over the synchronous slot model.
+//!
+//! Every slot-faithful workload is first checked field-by-field against
+//! the fast slot engine (the PR's correctness anchor), then timed. The
+//! jitter table reuses `ext_jitter_sweep`: observed worst playback delay
+//! under uniform link jitter vs the Theorem 2 `h·d` bound. A
+//! machine-readable summary is written to `BENCH_des.json`.
+
+use clustream_baselines::ChainScheme;
+use clustream_bench::ext_jitter_sweep;
+use clustream_bench::render_table;
+use clustream_bench::timing::bench;
+use clustream_core::Scheme;
+use clustream_des::{DesConfig, DesEngine};
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
+use clustream_sim::{diff_fields, FastEngine, SimConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    workload: String,
+    slots_run: u64,
+    events: u64,
+    samples: usize,
+    des_min_ns: u64,
+    fast_min_ns: u64,
+    events_per_sec: f64,
+    /// DES wall time over fast-slot-engine wall time (the price of the
+    /// event queue; < 1.0 would mean the DES is somehow faster).
+    slowdown_vs_fast: f64,
+}
+
+#[derive(Serialize)]
+struct DesReport {
+    build: String,
+    threads: usize,
+    throughput: Vec<ThroughputRow>,
+    jitter_sweep: Vec<clustream_bench::JitterRow>,
+}
+
+struct Workload {
+    name: &'static str,
+    track: u64,
+    samples: usize,
+    make: Box<dyn Fn() -> Box<dyn Scheme>>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "multitree_n2000_d3_track48",
+            track: 48,
+            samples: 5,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "hypercube_n1023_track64",
+            track: 64,
+            samples: 5,
+            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
+        },
+        Workload {
+            name: "chain_n1023_track8",
+            track: 8,
+            samples: 3,
+            make: Box::new(|| Box::new(ChainScheme::new(1023))),
+        },
+    ]
+}
+
+fn main() {
+    let build = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    if build == "debug" {
+        eprintln!("warning: debug build — throughput is not representative");
+    }
+
+    let mut fast = FastEngine::new();
+    let mut throughput = Vec::new();
+    for w in workloads() {
+        let sim = SimConfig::until_complete(w.track, 1_000_000);
+        let des_cfg = DesConfig::slot_faithful(sim.clone());
+
+        // Correctness first: slot-faithful DES ≡ fast slot engine.
+        let reference = fast.run((w.make)().as_mut(), &sim).unwrap();
+        let mut engine = DesEngine::new();
+        let des = engine.run((w.make)().as_mut(), &des_cfg).unwrap();
+        let diffs = diff_fields(&reference, &des);
+        assert!(diffs.is_empty(), "{}: DES diverges on {diffs:?}", w.name);
+        let events = engine.stats().events_processed;
+
+        let m_des = bench(&format!("{}_des", w.name), w.samples, || {
+            engine.run((w.make)().as_mut(), &des_cfg).unwrap().slots_run
+        });
+        let m_fast = bench(&format!("{}_fast", w.name), w.samples, || {
+            fast.run((w.make)().as_mut(), &sim).unwrap().slots_run
+        });
+
+        let des_s = m_des.min().as_secs_f64();
+        throughput.push(ThroughputRow {
+            workload: w.name.to_string(),
+            slots_run: reference.slots_run,
+            events,
+            samples: w.samples,
+            des_min_ns: m_des.min().as_nanos() as u64,
+            fast_min_ns: m_fast.min().as_nanos() as u64,
+            events_per_sec: events as f64 / des_s,
+            slowdown_vs_fast: des_s / m_fast.min().as_secs_f64(),
+        });
+    }
+
+    println!(
+        "\n{}",
+        render_table(
+            &["workload", "slots", "events", "events/s", "vs fast"],
+            &throughput
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.slots_run.to_string(),
+                        r.events.to_string(),
+                        format!("{:.0}", r.events_per_sec),
+                        format!("{:.2}x", r.slowdown_vs_fast),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+
+    // Jitter sweep: how far observed delay drifts past Theorem 2's
+    // synchronous-model bound as link jitter grows.
+    let jitter_sweep = ext_jitter_sweep(500, 3, &[0.0, 0.25, 0.5, 1.0, 2.0, 4.0], 48, 1);
+    assert!(
+        (jitter_sweep[0].delay_inflation - 1.0).abs() < f64::EPSILON,
+        "jitter=0 must be slot-faithful"
+    );
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "jitter",
+                "max delay",
+                "thm2 bound",
+                "delay infl",
+                "buffer infl"
+            ],
+            &jitter_sweep
+                .iter()
+                .map(|r| {
+                    vec![
+                        format!("{:.2}", r.jitter_slots),
+                        r.max_delay.to_string(),
+                        r.thm2_bound.to_string(),
+                        format!("{:.2}x", r.delay_inflation),
+                        format!("{:.2}x", r.buffer_inflation),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+
+    let report = DesReport {
+        build: build.to_string(),
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        throughput,
+        jitter_sweep,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write("BENCH_des.json", json + "\n").expect("write BENCH_des.json");
+    println!("wrote BENCH_des.json");
+}

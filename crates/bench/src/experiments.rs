@@ -759,6 +759,79 @@ pub fn ext_crash(n: usize, d: usize, crash_slot: u64, track: u64) -> Vec<CrashRo
     rows
 }
 
+// ----------------------------------------------- DES jitter sweep (ext)
+
+/// One jitter level of the DES sweep: observed playback QoS under
+/// uniform link jitter vs the synchronous Theorem 2 `h·d` bound.
+#[derive(Debug, Clone, Serialize)]
+pub struct JitterRow {
+    pub jitter_slots: f64,
+    pub max_delay: u64,
+    pub avg_delay: f64,
+    pub max_buffer: usize,
+    /// Theorem 2 worst-delay bound `h·d` (synchronous model).
+    pub thm2_bound: u64,
+    /// `max_delay / slot-model max_delay` — how far jitter pushes the
+    /// observed delay past the idealized run.
+    pub delay_inflation: f64,
+    /// `max_buffer / slot-model max_buffer`.
+    pub buffer_inflation: f64,
+}
+
+/// DES jitter sweep: run a multi-tree overlay under growing uniform link
+/// jitter and chart observed worst playback delay against the paper's
+/// Theorem 2 `h·d` bound (which assumes the synchronous slot model).
+///
+/// At `jitter = 0` the DES is slot-faithful, so the first row doubles as
+/// an equivalence check: its inflations must be exactly 1.0.
+pub fn ext_jitter_sweep(
+    n: usize,
+    d: usize,
+    jitters: &[f64],
+    track: u64,
+    seed: u64,
+) -> Vec<JitterRow> {
+    use clustream_des::{DesConfig, DesEngine, LatencyModel};
+
+    let make = || {
+        Box::new(MultiTreeScheme::new(
+            greedy_forest(n, d).expect("valid parameters"),
+            StreamMode::PreRecorded,
+        )) as Box<dyn Scheme>
+    };
+    let sim = SimConfig::until_complete(track, 1_000_000);
+    let baseline = simulate(make().as_mut(), track);
+    let base_delay = baseline.qos.max_delay().max(1) as f64;
+    let base_buffer = baseline.qos.max_buffer().max(1) as f64;
+    let bound = analysis::thm2_worst_delay_bound(n, d);
+
+    jitters
+        .iter()
+        .map(|&jitter| {
+            let latency = if jitter == 0.0 {
+                LatencyModel::Fixed
+            } else {
+                LatencyModel::UniformJitter { jitter }
+            };
+            let cfg = DesConfig::slot_faithful(sim.clone())
+                .with_latency(latency)
+                .seeded(seed);
+            let r = DesEngine::new()
+                .run(make().as_mut(), &cfg)
+                .expect("model holds");
+            JitterRow {
+                jitter_slots: jitter,
+                max_delay: r.qos.max_delay(),
+                avg_delay: r.qos.avg_delay(),
+                max_buffer: r.qos.max_buffer(),
+                thm2_bound: bound,
+                delay_inflation: r.qos.max_delay() as f64 / base_delay,
+                buffer_inflation: r.qos.max_buffer() as f64 / base_buffer,
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------ Illustration reprints
 
 /// Figure 1: render the super-tree for K clusters.

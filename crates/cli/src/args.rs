@@ -83,6 +83,26 @@ impl ArgMap {
                 .map_err(|_| CliError::Usage(format!("--{key} must be an integer"))),
         }
     }
+
+    /// Optional `u64` with default (seeds, slot counts).
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} must be a non-negative integer"))),
+        }
+    }
+
+    /// Optional float with default (jitter spans, tail parameters).
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} must be a number"))),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +130,18 @@ mod tests {
         let a = ArgMap::parse(&argv(&["--n", "abc"])).unwrap();
         assert!(a.required_usize("n").is_err());
         assert!(a.required("d").is_err());
+    }
+
+    #[test]
+    fn numeric_helpers_parse_and_default() {
+        let a = ArgMap::parse(&argv(&["--seed", "42", "--jitter", "0.75"])).unwrap();
+        assert_eq!(a.u64_or("seed", 0).unwrap(), 42);
+        assert_eq!(a.u64_or("other-seed", 7).unwrap(), 7);
+        assert!((a.f64_or("jitter", 0.0).unwrap() - 0.75).abs() < 1e-12);
+        assert!((a.f64_or("alpha", 1.5).unwrap() - 1.5).abs() < 1e-12);
+
+        let bad = ArgMap::parse(&argv(&["--seed", "-3", "--jitter", "fast"])).unwrap();
+        assert!(bad.u64_or("seed", 0).is_err());
+        assert!(bad.f64_or("jitter", 0.0).is_err());
     }
 }

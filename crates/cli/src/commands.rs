@@ -3,6 +3,7 @@
 use crate::args::{ArgMap, CliError};
 use clustream_baselines::{ChainScheme, SingleTreeScheme};
 use clustream_core::{NodeId, PacketId, Scheme};
+use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel};
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, node_calendar, MultiTreeScheme, StreamMode};
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
@@ -37,7 +38,64 @@ fn parse_engine(args: &ArgMap) -> Result<EngineChoice, CliError> {
         "fast" => Ok(EngineChoice::Fast),
         "checked" => Ok(EngineChoice::Checked),
         other => Err(CliError::Usage(format!(
-            "--engine must be reference|fast|checked, got `{other}`"
+            "unknown --engine `{other}`; valid options are: reference, fast, checked"
+        ))),
+    }
+}
+
+/// Which runtime model drives the run: the synchronous slot engines or
+/// the asynchronous discrete-event simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuntimeChoice {
+    /// Lockstep slot execution (pick the engine with `--engine`).
+    Slot,
+    /// Discrete-event runtime with pluggable latency/uplink models.
+    Des,
+    /// DES in the slot-faithful configuration, field-checked against the
+    /// fast slot engine.
+    DesChecked,
+}
+
+fn parse_runtime(args: &ArgMap) -> Result<RuntimeChoice, CliError> {
+    match args.optional("runtime").unwrap_or("slot") {
+        "slot" => Ok(RuntimeChoice::Slot),
+        "des" => Ok(RuntimeChoice::Des),
+        "des-checked" => Ok(RuntimeChoice::DesChecked),
+        other => Err(CliError::Usage(format!(
+            "unknown --runtime `{other}`; valid options are: slot, des, des-checked"
+        ))),
+    }
+}
+
+/// Latency-model flags: `--latency fixed|jitter|heavytail` with
+/// `--jitter` (span, slots) or `--scale`/`--alpha`/`--cap`.
+fn parse_latency(args: &ArgMap) -> Result<LatencyModel, CliError> {
+    let model = match args.optional("latency").unwrap_or("fixed") {
+        "fixed" => LatencyModel::Fixed,
+        "jitter" => LatencyModel::UniformJitter {
+            jitter: args.f64_or("jitter", 0.5)?,
+        },
+        "heavytail" => LatencyModel::HeavyTail {
+            scale: args.f64_or("scale", 0.5)?,
+            alpha: args.f64_or("alpha", 1.5)?,
+            cap: args.f64_or("cap", 8.0)?,
+        },
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --latency `{other}`; valid options are: fixed, jitter, heavytail"
+            )))
+        }
+    };
+    model.validate().map_err(CliError::Usage)?;
+    Ok(model)
+}
+
+fn parse_uplink(args: &ArgMap) -> Result<UplinkModel, CliError> {
+    match args.optional("uplink").unwrap_or("unconstrained") {
+        "unconstrained" => Ok(UplinkModel::Unconstrained),
+        "serialized" => Ok(UplinkModel::Serialized),
+        other => Err(CliError::Usage(format!(
+            "unknown --uplink `{other}`; valid options are: unconstrained, serialized"
         ))),
     }
 }
@@ -81,35 +139,85 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     // by the checked engine cannot fail.
     let _ = build_scheme(args)?;
     let track = args.usize_or("track", 48)? as u64;
+    let runtime = parse_runtime(args)?;
     let engine = parse_engine(args)?;
+    let latency = parse_latency(args)?;
+    let uplink = parse_uplink(args)?;
     let cfg = SimConfig::until_complete(track, 1_000_000);
-    let (engine_name, r) = match engine {
-        EngineChoice::Reference => (
-            "reference",
-            Simulator::run(build_scheme(args)?.as_mut(), &cfg)?,
-        ),
-        EngineChoice::Fast => (
-            "fast",
-            FastSimulator::run(build_scheme(args)?.as_mut(), &cfg)?,
-        ),
-        EngineChoice::Checked => {
-            let r = match DiffHarness::check(|| build_scheme(args).expect("validated above"), &cfg)
-            {
+    let mut des_stats = None;
+    let (engine_name, r) = match runtime {
+        RuntimeChoice::Slot => {
+            if !latency.is_slot_exact() || uplink != UplinkModel::Unconstrained {
+                return Err(CliError::Usage(
+                    "--latency/--uplink models need --runtime des (the slot runtime is \
+                     synchronous by construction)"
+                        .into(),
+                ));
+            }
+            match engine {
+                EngineChoice::Reference => (
+                    "reference".to_string(),
+                    Simulator::run(build_scheme(args)?.as_mut(), &cfg)?,
+                ),
+                EngineChoice::Fast => (
+                    "fast".to_string(),
+                    FastSimulator::run(build_scheme(args)?.as_mut(), &cfg)?,
+                ),
+                EngineChoice::Checked => {
+                    let r = match DiffHarness::check(
+                        || build_scheme(args).expect("validated above"),
+                        &cfg,
+                    ) {
+                        Ok(r) => r,
+                        Err(Some(divergence)) => {
+                            return Err(CliError::Model(format!(
+                                "differential check failed: {divergence}"
+                            )))
+                        }
+                        // Both engines rejected the run identically: surface the
+                        // actual model error.
+                        Err(None) => {
+                            let err = Simulator::run(build_scheme(args)?.as_mut(), &cfg)
+                                .expect_err("both engines failed");
+                            return Err(err.into());
+                        }
+                    };
+                    ("checked (reference ≡ fast)".to_string(), r)
+                }
+            }
+        }
+        RuntimeChoice::Des => {
+            let des_cfg = DesConfig::slot_faithful(cfg.clone())
+                .with_latency(latency)
+                .with_uplink(uplink)
+                .seeded(args.u64_or("des-seed", 0)?);
+            let mut engine = DesEngine::new();
+            let r = engine.run(build_scheme(args)?.as_mut(), &des_cfg)?;
+            des_stats = Some(*engine.stats());
+            (format!("des ({})", describe_latency(&latency)), r)
+        }
+        RuntimeChoice::DesChecked => {
+            if !latency.is_slot_exact() || uplink != UplinkModel::Unconstrained {
+                return Err(CliError::Usage(
+                    "--runtime des-checked verifies the slot-faithful configuration; drop \
+                     --latency/--uplink or use --runtime des"
+                        .into(),
+                ));
+            }
+            let r = match DesOracle::check(|| build_scheme(args).expect("validated above"), &cfg) {
                 Ok(r) => r,
                 Err(Some(divergence)) => {
                     return Err(CliError::Model(format!(
-                        "differential check failed: {divergence}"
+                        "slot/DES differential check failed: {divergence}"
                     )))
                 }
-                // Both engines rejected the run identically: surface the
-                // actual model error.
                 Err(None) => {
                     let err = Simulator::run(build_scheme(args)?.as_mut(), &cfg)
                         .expect_err("both engines failed");
                     return Err(err.into());
                 }
             };
-            ("checked (reference ≡ fast)", r)
+            ("des-checked (slot ≡ des)".to_string(), r)
         }
     };
     let mut out = String::new();
@@ -122,7 +230,28 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     let _ = writeln!(out, "max buffer  : {} packets", r.qos.max_buffer());
     let _ = writeln!(out, "max peers   : {}", r.qos.max_neighbors());
     let _ = writeln!(out, "transmissions: {}", r.total_transmissions);
+    if let Some(s) = des_stats {
+        let _ = writeln!(out, "des events  : {}", s.events_processed);
+        if s.deferred_sends > 0 {
+            let _ = writeln!(
+                out,
+                "des deferred: {} sends ({} released on arrival)",
+                s.deferred_sends, s.released_sends
+            );
+        }
+    }
     Ok(out)
+}
+
+/// Human-readable latency-model label for the `engine` output line.
+fn describe_latency(latency: &LatencyModel) -> String {
+    match latency {
+        LatencyModel::Fixed => "fixed latency".to_string(),
+        LatencyModel::UniformJitter { jitter } => format!("jitter ≤ {jitter} slots"),
+        LatencyModel::HeavyTail { scale, alpha, cap } => {
+            format!("heavy tail scale={scale} α={alpha} cap={cap}")
+        }
+    }
 }
 
 /// `clustream analyze`.
@@ -344,6 +473,164 @@ mod tests {
         // Unknown engine is a usage error.
         assert!(run(&argv(&[
             "simulate", "--scheme", "chain", "--n", "5", "--engine", "warp"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_engine_error_lists_valid_options() {
+        let err = run(&argv(&[
+            "simulate", "--scheme", "chain", "--n", "5", "--engine", "warp",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown --engine `warp`"), "{err}");
+        for opt in ["reference", "fast", "checked"] {
+            assert!(err.contains(opt), "missing `{opt}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_runtime_error_lists_valid_options() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "5",
+            "--runtime",
+            "async",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown --runtime `async`"), "{err}");
+        for opt in ["slot", "des", "des-checked"] {
+            assert!(err.contains(opt), "missing `{opt}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn runtime_flag_selects_des() {
+        // The slot-faithful DES produces the same QoS lines as the slot
+        // engines (only the engine label and the event counter differ).
+        let strip = |out: &str| {
+            out.lines()
+                .filter(|l| !l.starts_with("engine") && !l.starts_with("des "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let slot = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "30",
+            "--d",
+            "3",
+        ]))
+        .unwrap();
+        for rt in ["des", "des-checked"] {
+            let out = run(&argv(&[
+                "simulate",
+                "--scheme",
+                "multitree",
+                "--n",
+                "30",
+                "--d",
+                "3",
+                "--runtime",
+                rt,
+            ]))
+            .unwrap();
+            assert!(out.contains("des"), "{rt}: {out}");
+            assert_eq!(strip(&slot), strip(&out), "{rt}");
+        }
+    }
+
+    #[test]
+    fn des_latency_flags_parse_and_slot_runtime_rejects_them() {
+        let out = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des",
+            "--latency",
+            "jitter",
+            "--jitter",
+            "1.5",
+            "--uplink",
+            "serialized",
+            "--des-seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(out.contains("jitter ≤ 1.5 slots"), "{out}");
+        assert!(out.contains("des events"), "{out}");
+
+        // Relaxed network models make no sense under the slot runtime…
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--latency",
+            "jitter",
+        ]))
+        .is_err());
+        // …or under the equivalence-checked DES.
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des-checked",
+            "--latency",
+            "jitter",
+        ]))
+        .is_err());
+        // Bad latency parameters are usage errors.
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des",
+            "--latency",
+            "jitter",
+            "--jitter",
+            "-2",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des",
+            "--latency",
+            "warp",
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des",
+            "--uplink",
+            "modem",
         ]))
         .is_err());
     }

@@ -46,7 +46,11 @@ pub fn usage() -> &'static str {
 USAGE:
   clustream simulate --scheme <multitree|hypercube|chain|singletree> --n <N>
                      [--d <D>] [--mode <pre|buffered|pipelined>] [--track <P>]
-                     [--engine <fast|reference|checked>]
+                     [--runtime <slot|des|des-checked>]
+                     [--engine <fast|reference|checked>]       (slot runtime)
+                     [--latency <fixed|jitter|heavytail>]      (des runtime)
+                     [--jitter <SLOTS>] [--scale <S>] [--alpha <A>] [--cap <C>]
+                     [--uplink <unconstrained|serialized>] [--des-seed <SEED>]
   clustream analyze  --n <N> [--max-d <D>]
   clustream plan     --clusters <size[:budget],size[:budget],…> [--tc <T>] [--bigd <D>]
   clustream trace    --scheme <multitree|hypercube|chain> --n <N> [--d <D>]

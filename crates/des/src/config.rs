@@ -1,0 +1,113 @@
+//! DES run configuration: a [`SimConfig`] plus network-model knobs.
+
+use crate::latency::LatencyModel;
+use crate::uplink::UplinkModel;
+use clustream_sim::SimConfig;
+use clustream_workloads::ChurnTrace;
+
+/// Configuration of a discrete-event run.
+///
+/// Embeds the slot-engine [`SimConfig`] (horizon, tracked window, faults,
+/// tracing) and adds the knobs the slot model cannot express: a per-link
+/// [`LatencyModel`], an uplink contention model, and an optional churn
+/// trace. The degenerate combination — fixed latency, unconstrained
+/// uplinks, no churn — is **slot-faithful**: the DES reproduces the fast
+/// engine's [`clustream_sim::RunResult`] field for field (see the crate
+/// docs for the argument, and `tests/des_differential.rs` for the
+/// enforcement).
+#[derive(Debug, Clone)]
+pub struct DesConfig {
+    /// Horizon, tracked window, early stop, faults, tracing.
+    pub sim: SimConfig,
+    /// Per-link wire-time model.
+    pub latency: LatencyModel,
+    /// Uplink contention model.
+    pub uplink: UplinkModel,
+    /// Seed for the latency model's noise process (unused by
+    /// [`LatencyModel::Fixed`]).
+    pub latency_seed: u64,
+    /// Optional churn trace; members leave fail-silent at slot boundaries.
+    pub churn: Option<ChurnTrace>,
+}
+
+impl DesConfig {
+    /// The degenerate configuration equivalent to the slot engines.
+    pub fn slot_faithful(sim: SimConfig) -> Self {
+        DesConfig {
+            sim,
+            latency: LatencyModel::Fixed,
+            uplink: UplinkModel::Unconstrained,
+            latency_seed: 0,
+            churn: None,
+        }
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replace the uplink model.
+    pub fn with_uplink(mut self, uplink: UplinkModel) -> Self {
+        self.uplink = uplink;
+        self
+    }
+
+    /// Install a churn trace.
+    pub fn with_churn(mut self, churn: ChurnTrace) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Set the latency-noise seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.latency_seed = seed;
+        self
+    }
+
+    /// Whether this configuration is in the degenerate slot-equivalent
+    /// regime (fixed latencies, no uplink contention, no churn) where the
+    /// engine runs in strict mode and must match the slot engines exactly.
+    pub fn is_slot_faithful(&self) -> bool {
+        self.latency.is_slot_exact()
+            && self.uplink == UplinkModel::Unconstrained
+            && self.churn.is_none()
+    }
+
+    /// Validate model parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.latency.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_faithful_detection() {
+        let cfg = DesConfig::slot_faithful(SimConfig::until_complete(8, 100));
+        assert!(cfg.is_slot_faithful());
+        assert!(cfg.validate().is_ok());
+
+        let jittered = cfg
+            .clone()
+            .with_latency(LatencyModel::UniformJitter { jitter: 0.25 });
+        assert!(!jittered.is_slot_faithful());
+
+        let gated = cfg.clone().with_uplink(UplinkModel::Serialized);
+        assert!(!gated.is_slot_faithful());
+
+        let churned = cfg.with_churn(ChurnTrace::generate(
+            clustream_workloads::ChurnTraceConfig {
+                initial_members: 4,
+                slots: 10,
+                join_rate: 0.0,
+                leave_rate: 0.1,
+                seed: 1,
+            },
+        ));
+        assert!(!churned.is_slot_faithful());
+    }
+}

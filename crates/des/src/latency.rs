@@ -1,0 +1,195 @@
+//! Pluggable per-link latency models.
+//!
+//! The slot engines hard-code a transmission's latency to its nominal
+//! `Transmission::latency` (1 slot intra-cluster, `T_c` slots
+//! inter-cluster). The DES treats that nominal figure as the *base*
+//! propagation time and lets a [`LatencyModel`] add link-level noise on
+//! top — the knob for measuring how far the paper's delay/buffer bounds
+//! degrade off the idealized synchronous model.
+//!
+//! All sampling is seeded and draws are consumed in event order, so DES
+//! runs are exactly reproducible.
+
+use crate::event::TICKS_PER_SLOT;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// How a transmission's wire time is derived from its nominal latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Exactly the nominal latency (`ℓ` slots). The degenerate model the
+    /// slot engines assume; DES runs with it are slot-faithful.
+    Fixed,
+    /// Nominal latency plus uniform jitter in `[0, jitter)` slots.
+    UniformJitter {
+        /// Jitter span in slots (fractional values allowed).
+        jitter: f64,
+    },
+    /// Nominal latency plus a shifted-Pareto heavy tail:
+    /// `scale · (u^(-1/alpha) − 1)` extra slots, capped at `cap` slots.
+    /// With `alpha ≤ 2` occasional stragglers dominate — the regime where
+    /// in-order playback suffers most.
+    HeavyTail {
+        /// Pareto scale (median-ish extra delay is `scale · (2^(1/alpha) − 1)`).
+        scale: f64,
+        /// Tail index; smaller = heavier tail. Must be positive.
+        alpha: f64,
+        /// Hard cap on the extra delay, in slots.
+        cap: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Whether this model never perturbs the nominal latency.
+    pub fn is_slot_exact(&self) -> bool {
+        matches!(self, LatencyModel::Fixed)
+    }
+
+    /// Whether sampling consumes randomness (i.e. the engine must seed a
+    /// latency RNG for this model).
+    pub fn needs_rng(&self) -> bool {
+        !self.is_slot_exact()
+    }
+
+    /// Wire time in ticks for a transmission with nominal latency
+    /// `base_slots`. `rng` must be `Some` iff [`LatencyModel::needs_rng`].
+    pub fn sample_ticks(&self, base_slots: u32, rng: &mut Option<ChaCha8Rng>) -> u64 {
+        let base = base_slots as u64 * TICKS_PER_SLOT;
+        let extra_slots = match self {
+            LatencyModel::Fixed => return base,
+            LatencyModel::UniformJitter { jitter } => {
+                let u: f64 = rng
+                    .as_mut()
+                    .expect("jitter model needs rng")
+                    .gen_range(0.0..1.0);
+                jitter * u
+            }
+            LatencyModel::HeavyTail { scale, alpha, cap } => {
+                let u: f64 = rng
+                    .as_mut()
+                    .expect("heavy-tail model needs rng")
+                    .gen_range(f64::EPSILON..1.0);
+                (scale * (u.powf(-1.0 / alpha) - 1.0)).min(*cap)
+            }
+        };
+        base + (extra_slots.max(0.0) * TICKS_PER_SLOT as f64).round() as u64
+    }
+
+    /// Validate parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            LatencyModel::Fixed => Ok(()),
+            LatencyModel::UniformJitter { jitter } => {
+                if jitter.is_finite() && jitter >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!("jitter span must be finite and ≥ 0, got {jitter}"))
+                }
+            }
+            LatencyModel::HeavyTail { scale, alpha, cap } => {
+                if !(scale.is_finite() && scale >= 0.0) {
+                    Err(format!(
+                        "heavy-tail scale must be finite and ≥ 0, got {scale}"
+                    ))
+                } else if !(alpha.is_finite() && alpha > 0.0) {
+                    Err(format!(
+                        "heavy-tail alpha must be finite and > 0, got {alpha}"
+                    ))
+                } else if !(cap.is_finite() && cap >= 0.0) {
+                    Err(format!("heavy-tail cap must be finite and ≥ 0, got {cap}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_exact_and_needs_no_rng() {
+        let m = LatencyModel::Fixed;
+        assert!(m.is_slot_exact());
+        assert!(!m.needs_rng());
+        let mut rng = None;
+        assert_eq!(m.sample_ticks(1, &mut rng), TICKS_PER_SLOT);
+        assert_eq!(m.sample_ticks(7, &mut rng), 7 * TICKS_PER_SLOT);
+    }
+
+    #[test]
+    fn jitter_stays_within_span_and_is_deterministic() {
+        let m = LatencyModel::UniformJitter { jitter: 0.5 };
+        let draw = |seed: u64| {
+            let mut rng = Some(ChaCha8Rng::seed_from_u64(seed));
+            (0..200)
+                .map(|_| m.sample_ticks(1, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(9);
+        for &t in &a {
+            assert!(t >= TICKS_PER_SLOT);
+            assert!(t <= TICKS_PER_SLOT + TICKS_PER_SLOT / 2);
+        }
+        assert_eq!(a, draw(9), "same seed ⇒ same latencies");
+        assert_ne!(a, draw(10), "different seed ⇒ different latencies");
+        // Zero span degenerates to Fixed timing (but still draws).
+        let z = LatencyModel::UniformJitter { jitter: 0.0 };
+        let mut rng = Some(ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(z.sample_ticks(3, &mut rng), 3 * TICKS_PER_SLOT);
+    }
+
+    #[test]
+    fn heavy_tail_is_capped() {
+        let m = LatencyModel::HeavyTail {
+            scale: 0.5,
+            alpha: 1.2,
+            cap: 4.0,
+        };
+        let mut rng = Some(ChaCha8Rng::seed_from_u64(3));
+        let mut saw_tail = false;
+        for _ in 0..2000 {
+            let t = m.sample_ticks(1, &mut rng);
+            assert!(t >= TICKS_PER_SLOT);
+            assert!(t <= TICKS_PER_SLOT + 4 * TICKS_PER_SLOT);
+            if t > 2 * TICKS_PER_SLOT {
+                saw_tail = true;
+            }
+        }
+        assert!(
+            saw_tail,
+            "a heavy tail should exceed one extra slot sometimes"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(LatencyModel::Fixed.validate().is_ok());
+        assert!(LatencyModel::UniformJitter { jitter: 0.25 }
+            .validate()
+            .is_ok());
+        assert!(LatencyModel::UniformJitter { jitter: -1.0 }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::UniformJitter { jitter: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(LatencyModel::HeavyTail {
+            scale: 0.3,
+            alpha: 0.0,
+            cap: 8.0
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyModel::HeavyTail {
+            scale: 0.3,
+            alpha: 1.5,
+            cap: 8.0
+        }
+        .validate()
+        .is_ok());
+    }
+}

@@ -1,0 +1,50 @@
+//! Discrete-event network runtime for `clustream` overlays.
+//!
+//! The paper's analysis — and both slot engines — assume a synchronous
+//! world: slots are perfectly aligned, intra-cluster transfers take
+//! exactly one slot (`T_i = 1`), inter-cluster transfers exactly `T_c`,
+//! and capacity is enforced by fiat. Real networks are none of that. This
+//! crate executes the *same* schemes (multi-tree, hypercube, overlay,
+//! baselines — anything implementing [`clustream_core::Scheme`]) on an
+//! asynchronous event loop so the gap can be measured:
+//!
+//! * **Event queue** ([`event`]) — a binary min-heap of `Send`,
+//!   `Deliver`, `PlaybackTick` and `Churn` events over fixed-point tick
+//!   time ([`TICKS_PER_SLOT`] ticks per slot), deterministically ordered
+//!   by `(time, class, insertion)`.
+//! * **Latency models** ([`latency`]) — fixed (the paper's model),
+//!   uniform jitter, shifted-heavy-tail; seeded and reproducible.
+//! * **Uplink gates** ([`uplink`]) — per-node serialization: capacity-`c`
+//!   uplinks fit `c` sends per slot, later sends queue.
+//! * **Churn** — [`clustream_workloads::ChurnTrace`]s resolve to concrete
+//!   departures (never the source or a super node) applied at slot
+//!   boundaries; departed members fall silent mid-run.
+//!
+//! # The equivalence anchor
+//!
+//! In the degenerate configuration ([`DesConfig::slot_faithful`]: fixed
+//! latencies, unconstrained uplinks, no churn) every event lands on a
+//! slot boundary and the DES replicates the slot engines' semantics
+//! *exactly* — same validation order, same RNG draw order, same
+//! [`clustream_sim::RunResult`] field for field, same rendered errors.
+//! [`DesOracle`] enforces this continuously (property-based suite in
+//! `tests/des_differential.rs`, smoke run in `ci.sh`, CLI runtime
+//! `des-checked`), which is what licenses trusting the *relaxed* results:
+//! any delay/buffer inflation measured under jitter or contention is
+//! attributable to the network model, not to engine drift.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod latency;
+pub mod oracle;
+pub mod uplink;
+
+pub use config::DesConfig;
+pub use engine::{DesEngine, DesStats};
+pub use event::{Event, EventKind, EventQueue, TICKS_PER_SLOT};
+pub use latency::LatencyModel;
+pub use oracle::DesOracle;
+pub use uplink::{UplinkGate, UplinkModel};

@@ -1,0 +1,156 @@
+//! Differential oracle: DES (slot-faithful) vs the fast slot engine.
+//!
+//! The same contract [`clustream_sim::DiffHarness`] enforces between the
+//! two slot engines, extended to the third: in the degenerate
+//! configuration ([`DesConfig::slot_faithful`]) a DES run must reproduce
+//! the fast engine's [`RunResult`] **field for field**, or fail with an
+//! identically-rendered error. `tests/des_differential.rs` drives this
+//! over all four scheme families; the CLI's `--runtime des-checked` and
+//! `ci.sh` run it on every gate.
+
+use crate::config::DesConfig;
+use crate::engine::DesEngine;
+use clustream_core::Scheme;
+use clustream_sim::{diff_fields, FastEngine, RunResult, SimConfig};
+
+/// The DES-vs-slot differential harness. Stateless; see
+/// [`DesOracle::check`].
+pub struct DesOracle;
+
+impl DesOracle {
+    /// Run one fresh scheme from `factory` through the fast slot engine
+    /// and through the DES in slot-faithful mode, demanding identical
+    /// outcomes.
+    ///
+    /// * Both succeed with equal results → `Ok(result)`.
+    /// * Both fail with identically-rendered errors → `Err(None)`.
+    /// * Any divergence → `Err(Some(description))`.
+    #[allow(clippy::type_complexity)]
+    pub fn check<F>(mut factory: F, cfg: &SimConfig) -> Result<RunResult, Option<String>>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        let slot = FastEngine::new().run(factory().as_mut(), cfg);
+        let des = DesEngine::new().run(factory().as_mut(), &DesConfig::slot_faithful(cfg.clone()));
+        match (slot, des) {
+            (Ok(s), Ok(d)) => {
+                let diffs = diff_fields(&s, &d);
+                if diffs.is_empty() {
+                    Ok(d)
+                } else {
+                    Err(Some(format!(
+                        "slot and DES engines diverge on {} fields {:?} for scheme {} \
+                         (slots {} vs {}, delay {} vs {}, buffer {} vs {})",
+                        diffs.len(),
+                        diffs,
+                        s.scheme,
+                        s.slots_run,
+                        d.slots_run,
+                        s.qos.max_delay(),
+                        d.qos.max_delay(),
+                        s.qos.max_buffer(),
+                        d.qos.max_buffer(),
+                    )))
+                }
+            }
+            (Err(se), Err(de)) => {
+                let (ss, ds) = (se.to_string(), de.to_string());
+                if ss == ds {
+                    Err(None)
+                } else {
+                    Err(Some(format!(
+                        "engines fail differently: slot `{ss}` vs DES `{ds}`"
+                    )))
+                }
+            }
+            (Ok(s), Err(de)) => Err(Some(format!(
+                "slot engine succeeds ({}) but DES errors: {de}",
+                s.scheme
+            ))),
+            (Err(se), Ok(d)) => Err(Some(format!(
+                "DES succeeds ({}) but slot engine errors: {se}",
+                d.scheme
+            ))),
+        }
+    }
+
+    /// Like [`DesOracle::check`] but panics on divergence: the assertion
+    /// form used by tests and the CLI's checked runtime.
+    pub fn run_checked<F>(factory: F, cfg: &SimConfig) -> Result<RunResult, String>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        match Self::check(factory, cfg) {
+            Ok(r) => Ok(r),
+            Err(None) => Err("both engines failed identically".into()),
+            Err(Some(divergence)) => panic!("DES differential oracle: {divergence}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_core::{NodeId, PacketId, Slot, StateView, Transmission, SOURCE};
+
+    struct Chain {
+        n: usize,
+    }
+    impl Scheme for Chain {
+        fn name(&self) -> String {
+            format!("chain({})", self.n)
+        }
+        fn num_receivers(&self) -> usize {
+            self.n
+        }
+        fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+            let t = slot.t();
+            out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+            for i in 1..self.n as u64 {
+                if t >= i {
+                    out.push(Transmission::local(
+                        NodeId(i as u32),
+                        NodeId(i as u32 + 1),
+                        PacketId(t - i),
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_clean_runs_agree() {
+        let r = DesOracle::check(
+            || Box::new(Chain { n: 6 }),
+            &SimConfig::until_complete(16, 200),
+        )
+        .expect("engines must agree");
+        assert_eq!(r.qos.max_delay(), 6);
+    }
+
+    #[test]
+    fn chain_traced_and_lossy_runs_agree() {
+        let cfg = SimConfig::until_complete(10, 200).traced();
+        let r = DesOracle::check(|| Box::new(Chain { n: 4 }), &cfg).expect("engines must agree");
+        assert_eq!(
+            r.trace.as_ref().unwrap().events.len() as u64,
+            r.total_transmissions
+        );
+        let cfg = SimConfig::with_faults(24, 80, clustream_sim::FaultPlan::loss(0.25, 42));
+        let r = DesOracle::check(|| Box::new(Chain { n: 6 }), &cfg).expect("engines must agree");
+        assert!(r.loss.as_ref().unwrap().lost_in_flight > 0);
+    }
+
+    #[test]
+    fn identical_errors_are_not_a_divergence() {
+        let cfg = SimConfig {
+            max_slots: 2,
+            track_packets: 4,
+            ..SimConfig::default()
+        };
+        match DesOracle::check(|| Box::new(Chain { n: 5 }), &cfg) {
+            Err(None) => {}
+            other => panic!("expected identical failures, got {other:?}"),
+        }
+    }
+}

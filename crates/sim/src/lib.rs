@@ -39,6 +39,6 @@ pub use diff::{diff_fields, DiffHarness};
 pub use engine::{RunResult, SimConfig, Simulator};
 pub use fast::{FastEngine, FastSimulator};
 pub use faults::{FaultPlan, LossReport, LossyPlayback};
-pub use parallel::sweep;
+pub use parallel::{sweep, sweep_threads, sweep_with_threads};
 pub use playback::{ArrivalTable, PlaybackAnalysis};
 pub use trace::{EventTrace, TraceEvent};

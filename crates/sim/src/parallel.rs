@@ -38,7 +38,21 @@ where
     R: Send,
     F: Fn(&mut FastEngine, &I) -> R + Sync,
 {
-    let threads = sweep_threads(cells.len());
+    sweep_with_threads(cells, sweep_threads(cells.len()), run_cell)
+}
+
+/// [`sweep`] with an explicit worker-pool size.
+///
+/// Results are in input order and bit-identical at every pool size —
+/// the property the determinism tests pin down. `threads` is clamped to
+/// at least 1; sizes beyond the cell count just idle.
+pub fn sweep_with_threads<I, R, F>(cells: &[I], threads: usize, run_cell: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&mut FastEngine, &I) -> R + Sync,
+{
+    let threads = threads.max(1).min(cells.len().max(1));
     if threads <= 1 {
         let mut engine = FastEngine::new();
         return cells.iter().map(|c| run_cell(&mut engine, c)).collect();
@@ -141,5 +155,35 @@ mod tests {
         let cells: Vec<usize> = Vec::new();
         let results = sweep(&cells, |_, _| 0u32);
         assert!(results.is_empty());
+    }
+
+    /// The sweep contract: input-order, bit-identical results at every
+    /// pool size — 1 worker, 2 workers, and whatever `sweep_threads`
+    /// would pick for the grid.
+    #[test]
+    fn results_are_deterministic_across_pool_sizes() {
+        let cells: Vec<(usize, u64)> = (1..24).map(|n| (n, 4 + (n as u64 % 7))).collect();
+        let run = |engine: &mut FastEngine, &(n, track): &(usize, u64)| {
+            let mut s = Chain { n };
+            engine
+                .run(&mut s, &SimConfig::until_complete(track, 500))
+                .unwrap()
+        };
+        let auto = sweep_threads(cells.len());
+        let baseline = sweep_with_threads(&cells, 1, run);
+        for threads in [2usize, auto] {
+            let got = sweep_with_threads(&cells, threads, run);
+            assert_eq!(got.len(), baseline.len());
+            for (i, (want, have)) in baseline.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    crate::diff::diff_fields(want, have),
+                    Vec::<&str>::new(),
+                    "cell {i} diverged at {threads} threads"
+                );
+            }
+        }
+        // Oversized pools are clamped, not a panic.
+        let oversized = sweep_with_threads(&cells, cells.len() * 4, run);
+        assert_eq!(oversized.len(), baseline.len());
     }
 }

@@ -93,6 +93,21 @@ impl EventTrace {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Parse a JSON-lines export back into a trace. Blank lines are
+    /// skipped; the first malformed line aborts with its line number.
+    pub fn from_jsonl(input: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev: TraceEvent = serde_json::from_str(line)
+                .map_err(|e| format!("line {}: invalid trace event: {e}", i + 1))?;
+            events.push(ev);
+        }
+        Ok(EventTrace { events })
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +154,24 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(lines, t.events);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_from_jsonl() {
+        let mut t = EventTrace::default();
+        t.push(0, &tx(0, 1, 0));
+        t.push(1, &tx(1, 2, 0));
+        t.push(3, &tx(1, 2, 7));
+        let back = EventTrace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t);
+
+        // Empty and blank-line inputs are fine.
+        assert_eq!(EventTrace::from_jsonl("").unwrap(), EventTrace::default());
+        let padded = format!("\n{}\n\n", t.to_jsonl());
+        assert_eq!(EventTrace::from_jsonl(&padded).unwrap(), t);
+
+        // Malformed lines are reported with their line number.
+        let err = EventTrace::from_jsonl("{\"slot\":0,").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

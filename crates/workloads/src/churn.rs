@@ -56,6 +56,33 @@ pub struct ChurnTrace {
     pub events: Vec<ChurnEvent>,
 }
 
+/// A churn action resolved against a concrete membership: abstract
+/// victim *ranks* become external node ids. Produced by
+/// [`ChurnTrace::resolve`]; consumed by runtimes that need to know *who*
+/// left (e.g. the DES engine silencing a departed member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResolvedChurnAction {
+    /// A new node joined and was assigned this external id.
+    Join {
+        /// The id assigned to the joiner (greater than every prior id).
+        ext: u64,
+    },
+    /// The member with this external id left.
+    Leave {
+        /// The departing member's id.
+        ext: u64,
+    },
+}
+
+/// One timestamped resolved churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResolvedChurnEvent {
+    /// Slot at which the event fires.
+    pub slot: u64,
+    /// The resolved action.
+    pub action: ResolvedChurnAction,
+}
+
 /// Exponential sample with rate `lambda` (mean `1/lambda`).
 fn exp_sample(rng: &mut ChaCha8Rng, lambda: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -102,6 +129,55 @@ impl ChurnTrace {
             }
         }
         ChurnTrace { config, events }
+    }
+
+    /// Resolve abstract ranks against a concrete membership.
+    ///
+    /// `initial` is the external ids of the members present at slot 0;
+    /// joins are assigned fresh ids above every id seen so far. Members
+    /// listed in `protected` (the source, super nodes — anything whose
+    /// departure the replaying structure cannot absorb) are **never**
+    /// chosen as departure victims: the victim is picked among the
+    /// unprotected members by `victim_rank % eligible`, and a `Leave`
+    /// with no eligible victim is dropped. Deterministic: same trace,
+    /// same inputs, same resolution.
+    pub fn resolve(&self, initial: &[u64], protected: &[u64]) -> Vec<ResolvedChurnEvent> {
+        let mut members: Vec<u64> = initial.to_vec();
+        members.sort_unstable();
+        let mut next = members.last().map_or(1, |m| m + 1);
+        let mut out = Vec::with_capacity(self.events.len());
+        for e in &self.events {
+            match e.action {
+                ChurnAction::Join => {
+                    // Fresh ids grow monotonically, so pushing keeps the
+                    // member list sorted.
+                    members.push(next);
+                    out.push(ResolvedChurnEvent {
+                        slot: e.slot,
+                        action: ResolvedChurnAction::Join { ext: next },
+                    });
+                    next += 1;
+                }
+                ChurnAction::Leave { victim_rank } => {
+                    let eligible: Vec<usize> = members
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| !protected.contains(m))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if eligible.is_empty() {
+                        continue;
+                    }
+                    let idx = eligible[victim_rank % eligible.len()];
+                    let ext = members.remove(idx);
+                    out.push(ResolvedChurnEvent {
+                        slot: e.slot,
+                        action: ResolvedChurnAction::Leave { ext },
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Net membership at the end of the trace.
@@ -198,6 +274,148 @@ mod tests {
         let t = ChurnTrace::generate(cfg(5));
         let back = ChurnTrace::from_json(&t.to_json()).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn resolve_maps_ranks_to_ids() {
+        // Members 1..=4, no protection: Leave{rank 1} at the start names
+        // id 2; a join gets id 5.
+        let t = ChurnTrace {
+            config: ChurnTraceConfig {
+                initial_members: 4,
+                slots: 10,
+                join_rate: 0.0,
+                leave_rate: 0.0,
+                seed: 0,
+            },
+            events: vec![
+                ChurnEvent {
+                    slot: 1,
+                    action: ChurnAction::Leave { victim_rank: 1 },
+                },
+                ChurnEvent {
+                    slot: 2,
+                    action: ChurnAction::Join,
+                },
+                ChurnEvent {
+                    slot: 3,
+                    action: ChurnAction::Leave { victim_rank: 0 },
+                },
+            ],
+        };
+        let resolved = t.resolve(&[1, 2, 3, 4], &[]);
+        assert_eq!(
+            resolved,
+            vec![
+                ResolvedChurnEvent {
+                    slot: 1,
+                    action: ResolvedChurnAction::Leave { ext: 2 },
+                },
+                ResolvedChurnEvent {
+                    slot: 2,
+                    action: ResolvedChurnAction::Join { ext: 5 },
+                },
+                ResolvedChurnEvent {
+                    slot: 3,
+                    action: ResolvedChurnAction::Leave { ext: 1 },
+                },
+            ]
+        );
+        // Protecting id 2 deflects the first departure to the next
+        // eligible member.
+        let shielded = t.resolve(&[1, 2, 3, 4], &[2]);
+        assert_eq!(
+            shielded[0].action,
+            ResolvedChurnAction::Leave { ext: 3 },
+            "rank 1 among eligible [1, 3, 4] is id 3"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Generated traces are time-sorted — the contract slot
+            /// replay (and the DES event queue) relies on.
+            #[test]
+            fn generated_traces_are_time_sorted(
+                initial in 2usize..40,
+                slots in 1u64..400,
+                join_permille in 0u32..500,
+                leave_permille in 0u32..50,
+                seed in any::<u64>(),
+            ) {
+                let t = ChurnTrace::generate(ChurnTraceConfig {
+                    initial_members: initial,
+                    slots,
+                    join_rate: join_permille as f64 / 1000.0,
+                    leave_rate: leave_permille as f64 / 1000.0,
+                    seed,
+                });
+                for w in t.events.windows(2) {
+                    prop_assert!(w[0].slot <= w[1].slot, "events out of order");
+                }
+                for e in &t.events {
+                    prop_assert!(e.slot < slots);
+                }
+            }
+
+            /// Resolution never departs the source or a protected super
+            /// node, joins get fresh ids, and event times are preserved
+            /// in order — the guarantees DES churn handling builds on.
+            #[test]
+            fn resolution_never_removes_protected_nodes(
+                initial in 2usize..40,
+                slots in 1u64..400,
+                join_permille in 0u32..500,
+                leave_permille in 1u32..80,
+                seed in any::<u64>(),
+                n_protected in 0usize..5,
+            ) {
+                let t = ChurnTrace::generate(ChurnTraceConfig {
+                    initial_members: initial,
+                    slots,
+                    join_rate: join_permille as f64 / 1000.0,
+                    leave_rate: leave_permille as f64 / 1000.0,
+                    seed,
+                });
+                // Members 1..=initial; the source is id 0 (never a
+                // member), supers are the first few receivers.
+                let members: Vec<u64> = (1..=initial as u64).collect();
+                let mut protected: Vec<u64> = vec![0];
+                protected.extend(1..=(n_protected.min(initial) as u64));
+                let resolved = t.resolve(&members, &protected);
+
+                let mut seen = std::collections::HashSet::new();
+                let mut last_slot = 0u64;
+                let mut max_id = initial as u64;
+                for e in &resolved {
+                    prop_assert!(e.slot >= last_slot, "resolution reordered events");
+                    last_slot = e.slot;
+                    match e.action {
+                        ResolvedChurnAction::Leave { ext } => {
+                            prop_assert!(
+                                !protected.contains(&ext),
+                                "protected node {ext} departed"
+                            );
+                            prop_assert!(
+                                seen.insert(ext),
+                                "node {ext} departed twice"
+                            );
+                        }
+                        ResolvedChurnAction::Join { ext } => {
+                            prop_assert!(ext > max_id, "join id {ext} not fresh");
+                            max_id = ext;
+                        }
+                    }
+                }
+                // Determinism.
+                prop_assert_eq!(resolved, t.resolve(&members, &protected));
+            }
+        }
     }
 
     #[test]

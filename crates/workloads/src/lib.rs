@@ -11,6 +11,8 @@ pub mod churn;
 pub mod populations;
 pub mod sweep;
 
-pub use churn::{ChurnAction, ChurnEvent, ChurnTrace, ChurnTraceConfig};
+pub use churn::{
+    ChurnAction, ChurnEvent, ChurnTrace, ChurnTraceConfig, ResolvedChurnAction, ResolvedChurnEvent,
+};
 pub use populations::{adversarial_ns, boundary_ns, complete_ns, special_ns};
 pub use sweep::{geometric_grid, linear_grid};

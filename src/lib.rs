@@ -38,6 +38,9 @@
 //! * [`core`](mod@core) — ids, the [`Scheme`]
 //!   trait, QoS types;
 //! * [`sim`](mod@sim) — the validating slot simulator;
+//! * [`des`](mod@des) — the asynchronous discrete-event runtime
+//!   (latency models, uplink gates, churn) with a slot-equivalence
+//!   oracle;
 //! * [`multitree`](mod@multitree) — §2: interior-disjoint trees,
 //!   schedules, churn dynamics;
 //! * [`hypercube`](mod@hypercube) — §3: the `O(1)`-buffer exchange
@@ -56,6 +59,7 @@
 pub use clustream_analysis as analysis;
 pub use clustream_baselines as baselines;
 pub use clustream_core as core;
+pub use clustream_des as des;
 pub use clustream_hypercube as hypercube;
 pub use clustream_multitree as multitree;
 pub use clustream_npc as npc;
@@ -79,6 +83,7 @@ pub mod prelude {
         Availability, CoreError, NodeId, NodeQos, PacketId, QosReport, Scheme, Slot, StateView,
         Transmission, SOURCE,
     };
+    pub use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel};
     pub use clustream_hypercube::HypercubeStream;
     pub use clustream_multitree::{
         build_forest, greedy_forest, structured_forest, Construction, DelayProfile, DisjointTrees,
