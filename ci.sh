@@ -35,4 +35,23 @@ cargo run -q --release --offline -p clustream-cli --bin clustream -- \
     simulate --scheme chain --n 12 --runtime des \
     --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
 
+echo "== recovery fault-matrix smoke =="
+# Every recovery tier across a small churn/loss matrix, plus the
+# duration-unit flags, through the real CLI.
+for rec in off repair repair+nack; do
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 30 --d 3 --track 32 --runtime des \
+        --recovery "$rec" --churn-leave 0.002 --churn-rejoin 0.001 \
+        --churn-slots 160 --churn-seed 7 \
+        --suspect-timeout 6slots --nack-timeout 4slots
+done
+
+echo "== recovery-off DES equivalence regression =="
+# With recovery off (even with knobs set) the DES must stay bit-identical
+# to the slot engines; the checked runtime enforces it field-by-field.
+cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+    simulate --scheme multitree --n 40 --d 3 --runtime des-checked
+cargo test -q --test recovery --offline
+cargo test -q --test faults --offline
+
 echo "CI gate passed."

@@ -94,6 +94,7 @@ fn main() {
             slots: 2000,
             join_rate: 0.05,
             leave_rate: 0.01,
+            rejoin_rate: 0.0,
             seed: 2,
         },
         3,

@@ -20,6 +20,7 @@ fn main() {
             slots: 300,
             join_rate,
             leave_rate,
+            rejoin_rate: 0.0,
             seed,
         };
         let trace = ChurnTrace::generate(cfg);

@@ -11,6 +11,7 @@ fn main() {
             slots: 2000,
             join_rate: 0.05,
             leave_rate,
+            rejoin_rate: 0.0,
             seed,
         };
         let rows = ext_churn(cfg, 3);

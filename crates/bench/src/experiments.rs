@@ -441,7 +441,9 @@ pub fn ext_churn(cfg: ChurnTraceConfig, d: usize) -> Vec<ChurnRow> {
             let mut before = f.member_delays().expect("schedulable");
             for e in &trace.events {
                 let rep = match e.action {
-                    ChurnAction::Join => f.add().1,
+                    // Rejoin re-enters as a fresh member here; identity
+                    // continuity is the recovery layer's concern.
+                    ChurnAction::Join | ChurnAction::Rejoin { .. } => f.add().1,
                     ChurnAction::Leave { victim_rank } => {
                         let members = f.members();
                         f.remove(members[victim_rank]).expect("valid victim")
@@ -1025,6 +1027,7 @@ mod tests {
             slots: 300,
             join_rate: 0.05,
             leave_rate: 0.004,
+            rejoin_rate: 0.0,
             seed: 3,
         };
         let rows = ext_churn(cfg, 3);

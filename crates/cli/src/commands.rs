@@ -3,11 +3,15 @@
 use crate::args::{ArgMap, CliError};
 use clustream_baselines::{ChainScheme, SingleTreeScheme};
 use clustream_core::{NodeId, PacketId, Scheme};
-use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel};
+use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel, TICKS_PER_SLOT};
 use clustream_hypercube::HypercubeStream;
-use clustream_multitree::{greedy_forest, node_calendar, MultiTreeScheme, StreamMode};
+use clustream_multitree::{
+    greedy_forest, node_calendar, Construction, MultiTreeScheme, StreamMode,
+};
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
+use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
 use clustream_sim::{DiffHarness, FastSimulator, RunResult, SimConfig, Simulator};
+use clustream_workloads::{ChurnTrace, ChurnTraceConfig};
 use std::fmt::Write as _;
 
 fn parse_mode(args: &ArgMap) -> Result<StreamMode, CliError> {
@@ -90,6 +94,71 @@ fn parse_latency(args: &ArgMap) -> Result<LatencyModel, CliError> {
     Ok(model)
 }
 
+/// Recovery-layer flags: `--recovery off|repair|repair+nack` plus the
+/// detection / NACK knobs. Durations take a unit (`--suspect-timeout
+/// 2.5slots`, `--nack-jitter 300ticks`).
+fn parse_recovery(args: &ArgMap) -> Result<RecoveryConfig, CliError> {
+    let mut rec = match args.optional("recovery").unwrap_or("off") {
+        "off" => RecoveryConfig::default(),
+        "repair" => RecoveryConfig::repair(),
+        "repair+nack" => RecoveryConfig::repair_nack(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --recovery `{other}`; valid options are: off, repair, repair+nack"
+            )))
+        }
+    };
+    rec.suspect_timeout_ticks =
+        args.duration_ticks_or("suspect-timeout", TICKS_PER_SLOT, rec.suspect_timeout_ticks)?;
+    rec.suspicion_threshold = args.usize_or("suspect-threshold", rec.suspicion_threshold)?;
+    rec.nack_timeout_ticks =
+        args.duration_ticks_or("nack-timeout", TICKS_PER_SLOT, rec.nack_timeout_ticks)?;
+    rec.nack_backoff = args.f64_or("nack-backoff", rec.nack_backoff)?;
+    rec.nack_cap_ticks = args.duration_ticks_or("nack-cap", TICKS_PER_SLOT, rec.nack_cap_ticks)?;
+    rec.nack_jitter_ticks =
+        args.duration_ticks_or("nack-jitter", TICKS_PER_SLOT, rec.nack_jitter_ticks)?;
+    rec.max_retries = args.u64_or("nack-retries", rec.max_retries as u64)? as u32;
+    rec.repair_buffer = args.usize_or("repair-buffer", rec.repair_buffer)?;
+    rec.gap_slack = args.u64_or("gap-slack", rec.gap_slack)?;
+    rec.seed = args.u64_or("recovery-seed", rec.seed)?;
+    rec.validate().map_err(CliError::Usage)?;
+    Ok(rec)
+}
+
+/// Churn flags: `--churn-leave/--churn-join/--churn-rejoin` (per-slot
+/// per-member probabilities) generate a seeded trace over
+/// `--churn-slots`. Returns `None` when no churn flag is given.
+fn parse_churn(args: &ArgMap, n: usize) -> Result<Option<ChurnTrace>, CliError> {
+    let leave = args.f64_or("churn-leave", 0.0)?;
+    let join = args.f64_or("churn-join", 0.0)?;
+    let rejoin = args.f64_or("churn-rejoin", 0.0)?;
+    let requested = [leave, join, rejoin].iter().any(|&r| r != 0.0)
+        || args.optional("churn-slots").is_some()
+        || args.optional("churn-seed").is_some();
+    if !requested {
+        return Ok(None);
+    }
+    for (name, r) in [
+        ("churn-leave", leave),
+        ("churn-join", join),
+        ("churn-rejoin", rejoin),
+    ] {
+        if !(r.is_finite() && (0.0..=1.0).contains(&r)) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be a probability in [0, 1], got {r}"
+            )));
+        }
+    }
+    Ok(Some(ChurnTrace::generate(ChurnTraceConfig {
+        initial_members: n,
+        slots: args.u64_or("churn-slots", 200)?,
+        join_rate: join,
+        leave_rate: leave,
+        rejoin_rate: rejoin,
+        seed: args.u64_or("churn-seed", 0)?,
+    })))
+}
+
 fn parse_uplink(args: &ArgMap) -> Result<UplinkModel, CliError> {
     match args.optional("uplink").unwrap_or("unconstrained") {
         "unconstrained" => Ok(UplinkModel::Unconstrained),
@@ -143,7 +212,29 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     let engine = parse_engine(args)?;
     let latency = parse_latency(args)?;
     let uplink = parse_uplink(args)?;
-    let cfg = SimConfig::until_complete(track, 1_000_000);
+    let recovery = parse_recovery(args)?;
+    let churn = parse_churn(args, args.required_usize("n")?)?;
+    if (recovery.mode.enabled() || churn.is_some()) && runtime != RuntimeChoice::Des {
+        return Err(CliError::Usage(
+            "--recovery/--churn-* need --runtime des (failure detection and churn are \
+             asynchronous processes)"
+                .into(),
+        ));
+    }
+    if recovery.mode.enabled() && args.required("scheme")? != "multitree" {
+        return Err(CliError::Usage(
+            "--recovery repair heals the appendix multi-tree dynamics; it requires \
+             --scheme multitree"
+                .into(),
+        ));
+    }
+    // Churned runs never "complete" (departed members stay incomplete),
+    // so they run to a finite horizon instead.
+    let horizon = match &churn {
+        Some(trace) => args.u64_or("horizon", trace.config.slots.max(4 * track))?,
+        None => 1_000_000,
+    };
+    let cfg = SimConfig::until_complete(track, horizon);
     let mut des_stats = None;
     let (engine_name, r) = match runtime {
         RuntimeChoice::Slot => {
@@ -187,14 +278,40 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
             }
         }
         RuntimeChoice::Des => {
-            let des_cfg = DesConfig::slot_faithful(cfg.clone())
+            let mut des_cfg = DesConfig::slot_faithful(cfg.clone())
                 .with_latency(latency)
                 .with_uplink(uplink)
-                .seeded(args.u64_or("des-seed", 0)?);
+                .seeded(args.u64_or("des-seed", 0)?)
+                .with_recovery(recovery);
+            if let Some(trace) = churn.clone() {
+                des_cfg = des_cfg.with_churn(trace);
+            }
+            des_cfg.validate().map_err(CliError::Usage)?;
             let mut engine = DesEngine::new();
-            let r = engine.run(build_scheme(args)?.as_mut(), &des_cfg)?;
+            let r = if recovery.mode.enabled() {
+                // The recovery layer repairs the tree online — it needs
+                // the self-healing wrapper, not the static scheme.
+                let mut scheme = SelfHealingMultiTree::new(
+                    args.required_usize("n")?,
+                    args.usize_or("d", 2)?,
+                    parse_mode(args)?,
+                    Construction::Greedy,
+                )?;
+                engine.run(&mut scheme, &des_cfg)?
+            } else {
+                engine.run(build_scheme(args)?.as_mut(), &des_cfg)?
+            };
             des_stats = Some(*engine.stats());
-            (format!("des ({})", describe_latency(&latency)), r)
+            let label = if recovery.mode.enabled() {
+                format!(
+                    "des ({}, self-healing {})",
+                    describe_latency(&latency),
+                    args.optional("recovery").unwrap_or("off")
+                )
+            } else {
+                format!("des ({})", describe_latency(&latency))
+            };
+            (label, r)
         }
         RuntimeChoice::DesChecked => {
             if !latency.is_slot_exact() || uplink != UplinkModel::Unconstrained {
@@ -239,6 +356,36 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                 s.deferred_sends, s.released_sends
             );
         }
+    }
+    if let Some(loss) = &r.loss {
+        let _ = writeln!(
+            out,
+            "missing     : {} packets across {} nodes",
+            loss.total_missing(),
+            loss.missing.len()
+        );
+    }
+    if let Some(res) = &r.resilience {
+        let _ = writeln!(out, "stalls      : {}", res.stall_events);
+        let _ = writeln!(out, "failures det: {}", res.failures_detected);
+        let _ = writeln!(
+            out,
+            "repairs     : {} committed, {} nodes displaced",
+            res.repairs_committed, res.displaced_total
+        );
+        if let Some(avg) = res.avg_recovery_latency_slots(TICKS_PER_SLOT) {
+            let _ = writeln!(
+                out,
+                "recovery lat: {avg:.2} slots avg, {:.2} slots max",
+                res.recovery_latency_max_ticks as f64 / TICKS_PER_SLOT as f64
+            );
+        }
+        let _ = writeln!(
+            out,
+            "nacks       : {} sent, {} retransmissions, {} repaired, {} abandoned",
+            res.nacks_sent, res.retransmissions, res.repaired_packets, res.abandoned_packets
+        );
+        let _ = writeln!(out, "control msgs: {}", res.control_messages);
     }
     Ok(out)
 }
@@ -633,6 +780,204 @@ mod tests {
             "modem",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn unknown_recovery_error_lists_valid_options() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--runtime",
+            "des",
+            "--recovery",
+            "magic",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown --recovery `magic`"), "{err}");
+        for opt in ["off", "repair", "repair+nack"] {
+            assert!(err.contains(opt), "missing `{opt}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn recovery_needs_des_runtime_and_multitree() {
+        // Recovery (and churn) are asynchronous — the slot runtime
+        // rejects them.
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--recovery",
+            "repair",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--runtime des"), "{err}");
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--churn-leave",
+            "0.01",
+        ]))
+        .is_err());
+        // Self-healing repair is a multi-tree mechanism.
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("multitree"), "{err}");
+        // Bad churn probabilities are usage errors.
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--runtime",
+            "des",
+            "--churn-leave",
+            "1.5",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn recovery_duration_knobs_parse_with_units() {
+        // `2.5slots` parses; an unknown unit is a usage error listing
+        // the valid units.
+        let out = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "24",
+            "--d",
+            "3",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair",
+            "--suspect-timeout",
+            "2.5slots",
+            "--nack-jitter",
+            "300ticks",
+        ]))
+        .unwrap();
+        assert!(out.contains("self-healing repair"), "{out}");
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "24",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair",
+            "--suspect-timeout",
+            "3yr",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown unit `yr`"), "{err}");
+        assert!(err.contains("slots, ticks"), "{err}");
+        // Knob values the model rejects surface the validation message.
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "24",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair",
+            "--suspect-threshold",
+            "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn recovery_run_reports_resilience() {
+        let out = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "30",
+            "--d",
+            "3",
+            "--track",
+            "32",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair+nack",
+            "--churn-leave",
+            "0.002",
+            "--churn-slots",
+            "160",
+            "--churn-seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("self-healing repair+nack"), "{out}");
+        for line in [
+            "missing     :",
+            "stalls      :",
+            "failures det:",
+            "repairs     :",
+            "nacks       :",
+            "control msgs:",
+        ] {
+            assert!(out.contains(line), "missing `{line}` in: {out}");
+        }
+    }
+
+    #[test]
+    fn recovery_off_des_output_is_unchanged() {
+        // `--recovery off` plus knobs is inert: the DES output matches a
+        // run with no recovery flags at all.
+        let base = argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "24",
+            "--d",
+            "3",
+            "--runtime",
+            "des",
+        ]);
+        let mut with_knobs = base.clone();
+        with_knobs.extend(argv(&[
+            "--recovery",
+            "off",
+            "--suspect-timeout",
+            "1slot",
+            "--recovery-seed",
+            "99",
+        ]));
+        assert_eq!(run(&base).unwrap(), run(&with_knobs).unwrap());
     }
 
     #[test]

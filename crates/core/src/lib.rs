@@ -29,4 +29,4 @@ pub mod scheme;
 pub use error::CoreError;
 pub use ids::{NodeId, PacketId, Slot, SOURCE};
 pub use qos::{NodeQos, QosReport};
-pub use scheme::{Availability, Scheme, StateView, Transmission};
+pub use scheme::{Availability, MembershipEvent, RepairOutcome, Scheme, StateView, Transmission};

@@ -93,6 +93,28 @@ pub trait StateView {
     fn slot(&self) -> Slot;
 }
 
+/// A runtime membership change reported to a scheme by the engine's
+/// recovery layer (see `clustream-recovery`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// The node has been confirmed crashed; the scheme should route
+    /// around it from the current slot onward.
+    Failed,
+    /// A previously failed node has come back and should be readmitted.
+    Rejoined,
+}
+
+/// What a self-healing scheme did in response to a [`MembershipEvent`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Label/position swaps performed by the repair (the appendix
+    /// dynamics' work measure).
+    pub swaps: usize,
+    /// Nodes whose schedule positions changed — each may suffer a
+    /// transient gap bounded by the paper's `d²` displacement bound.
+    pub displaced: Vec<NodeId>,
+}
+
 /// A streaming overlay: topology plus per-slot transmission schedule.
 pub trait Scheme {
     /// Human-readable identifier used in reports (e.g. `"multi-tree(d=3)"`).
@@ -135,6 +157,17 @@ pub trait Scheme {
     /// returned) so the simulator can reuse one allocation across the whole
     /// run.
     fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>);
+
+    /// Notify the scheme of a confirmed membership change at runtime.
+    ///
+    /// Self-healing schemes (see `clustream-recovery`) rewire their
+    /// topology and return what the repair displaced; static schemes keep
+    /// the default no-op and return `None` (the engine then treats the
+    /// failure as permanently fail-silent, PR 2 behavior).
+    fn membership_event(&mut self, node: NodeId, event: MembershipEvent) -> Option<RepairOutcome> {
+        let _ = (node, event);
+        None
+    }
 }
 
 #[cfg(test)]

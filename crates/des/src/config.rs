@@ -2,6 +2,7 @@
 
 use crate::latency::LatencyModel;
 use crate::uplink::UplinkModel;
+use clustream_recovery::RecoveryConfig;
 use clustream_sim::SimConfig;
 use clustream_workloads::ChurnTrace;
 
@@ -28,6 +29,11 @@ pub struct DesConfig {
     pub latency_seed: u64,
     /// Optional churn trace; members leave fail-silent at slot boundaries.
     pub churn: Option<ChurnTrace>,
+    /// Recovery layer: failure detection, tree repair, NACK
+    /// retransmission. Defaults to [`clustream_recovery::RecoveryMode::Off`],
+    /// which schedules no recovery events and keeps runs bit-identical to
+    /// the fail-silent engine.
+    pub recovery: RecoveryConfig,
 }
 
 impl DesConfig {
@@ -39,6 +45,7 @@ impl DesConfig {
             uplink: UplinkModel::Unconstrained,
             latency_seed: 0,
             churn: None,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -60,6 +67,12 @@ impl DesConfig {
         self
     }
 
+    /// Enable the recovery layer.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Set the latency-noise seed.
     pub fn seeded(mut self, seed: u64) -> Self {
         self.latency_seed = seed;
@@ -73,11 +86,13 @@ impl DesConfig {
         self.latency.is_slot_exact()
             && self.uplink == UplinkModel::Unconstrained
             && self.churn.is_none()
+            && !self.recovery.mode.enabled()
     }
 
     /// Validate model parameters.
     pub fn validate(&self) -> Result<(), String> {
-        self.latency.validate()
+        self.latency.validate()?;
+        self.recovery.validate()
     }
 }
 
@@ -99,15 +114,29 @@ mod tests {
         let gated = cfg.clone().with_uplink(UplinkModel::Serialized);
         assert!(!gated.is_slot_faithful());
 
+        let recovering = cfg
+            .clone()
+            .with_recovery(clustream_recovery::RecoveryConfig::repair());
+        assert!(!recovering.is_slot_faithful());
+
         let churned = cfg.with_churn(ChurnTrace::generate(
             clustream_workloads::ChurnTraceConfig {
                 initial_members: 4,
                 slots: 10,
                 join_rate: 0.0,
                 leave_rate: 0.1,
+                rejoin_rate: 0.0,
                 seed: 1,
             },
         ));
         assert!(!churned.is_slot_faithful());
+    }
+
+    #[test]
+    fn validation_covers_recovery_knobs() {
+        let mut rec = clustream_recovery::RecoveryConfig::repair_nack();
+        rec.nack_backoff = f64::NAN;
+        let cfg = DesConfig::slot_faithful(SimConfig::until_complete(8, 100)).with_recovery(rec);
+        assert!(cfg.validate().is_err());
     }
 }

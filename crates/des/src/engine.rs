@@ -18,29 +18,60 @@
 //! lands on a slot boundary, so the run is field-for-field identical to
 //! [`clustream_sim::FastEngine`] — enforced by `tests/des_differential.rs`.
 //!
-//! **Relaxed** — any jitter, uplink serialization, or churn. Capacity and
-//! receive-collision *errors* stop making sense (the network queues
-//! instead), so nodes become reactive: a calendar entry whose packet has
-//! not arrived yet is deferred and dispatched the moment the packet is
-//! delivered; the uplink gate serializes concurrent sends; departed
-//! (churned-out) nodes fall silent. Runs report losses like fault runs do
-//! rather than erroring.
+//! **Relaxed** — any jitter, uplink serialization, churn, or recovery.
+//! Capacity and receive-collision *errors* stop making sense (the network
+//! queues instead), so nodes become reactive: a calendar entry whose
+//! packet has not arrived yet is deferred and dispatched the moment the
+//! packet is delivered; the uplink gate serializes concurrent sends;
+//! departed (churned-out) nodes fall silent. Runs report losses like
+//! fault runs do rather than erroring.
+//!
+//! # Recovery
+//!
+//! With [`clustream_recovery::RecoveryMode::Repair`] or
+//! [`clustream_recovery::RecoveryMode::RepairNack`] enabled the engine
+//! drives the full failure-handling loop:
+//!
+//! 1. **Detection** — every delivery refreshes a per-link freshness timer
+//!    in a [`clustream_recovery::FailureDetector`]; a link silent past the
+//!    suspect timeout makes the receiver suspect the sender, and enough
+//!    distinct suspecting watchers confirm the failure.
+//! 2. **Repair** — a confirmed failure fires
+//!    [`crate::event::EventKind::RepairCommit`], which invokes the
+//!    scheme's [`clustream_core::Scheme::membership_event`] (the appendix
+//!    delete dynamics for
+//!    [`clustream_recovery::SelfHealingMultiTree`]): an all-leaf node is
+//!    promoted into the crashed node's interior positions, the round-robin
+//!    schedule is re-derived mid-run, and at most `d²` members are
+//!    displaced.
+//! 3. **Retransmission** (`RepairNack`) — receivers scan for gap packets
+//!    (sequence holes older than `gap_slack` behind their newest arrival)
+//!    and chase each with NACKs under capped, jittered, seeded exponential
+//!    backoff, served from bounded per-node repair buffers with source
+//!    escalation; exhausted retries abandon the packet and record a
+//!    hiccup.
+//!
+//! All recovery state iterates over `BTreeMap`/`BTreeSet` only and draws
+//! randomness from a dedicated seeded stream, so recovery runs are fully
+//! deterministic and recovery-off runs are bit-identical to the
+//! fail-silent engine (enforced by `tests/des_differential.rs`).
 
 use crate::config::DesConfig;
 use crate::event::{EventKind, EventQueue, TICKS_PER_SLOT};
 use crate::uplink::{UplinkGate, UplinkModel};
 use clustream_core::{
-    Availability, CoreError, NodeId, NodeQos, PacketId, QosReport, Scheme, Slot, StateView,
-    Transmission,
+    Availability, CoreError, MembershipEvent, NodeId, NodeQos, PacketId, QosReport, Scheme, Slot,
+    StateView, Transmission, SOURCE,
 };
-use clustream_sim::faults::{FaultPlan, LossReport};
+use clustream_recovery::{FailureDetector, NackManager, RepairBuffer, TimeoutVerdict};
+use clustream_sim::faults::{default_cause, FaultCause, FaultPlan, LossReport};
 use clustream_sim::metrics::TrafficStats;
 use clustream_sim::trace::EventTrace;
-use clustream_sim::{ArrivalTable, RunResult};
+use clustream_sim::{ArrivalTable, ResilienceMetrics, RunResult};
 use clustream_workloads::ResolvedChurnAction;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Counters describing one DES run (the bench denominators).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -63,6 +94,8 @@ pub struct DesStats {
     /// Churn joins observed (static schemes cannot grow, so joins are
     /// counted and ignored).
     pub churn_joins_ignored: u64,
+    /// Churn rejoins applied (a previously departed member came back).
+    pub churn_rejoins: u64,
     /// Deliveries dropped because the receiver had departed.
     pub deliveries_to_departed: u64,
 }
@@ -107,6 +140,7 @@ fn admit_relaxed(
     faults: Option<&FaultPlan>,
     loss_rng: &mut Option<ChaCha8Rng>,
     loss_report: &mut LossReport,
+    taint: &mut HashMap<(u32, u64), FaultCause>,
     uplink: UplinkModel,
     gate: &mut UplinkGate,
     stats: &mut TrafficStats,
@@ -118,12 +152,18 @@ fn admit_relaxed(
     if let Some(f) = faults {
         if f.crashed(tx.from, slot) {
             loss_report.crash_suppressed += 1;
+            taint
+                .entry((tx.to.0, tx.packet.seq()))
+                .or_insert(FaultCause::Crash);
             return;
         }
     }
     // A departed member is fail-silent, like a crash.
     if departed[tx.from.index()] {
         loss_report.crash_suppressed += 1;
+        taint
+            .entry((tx.to.0, tx.packet.seq()))
+            .or_insert(FaultCause::Crash);
         return;
     }
     let dispatch = match uplink {
@@ -134,6 +174,9 @@ fn admit_relaxed(
     if let (Some(f), Some(r)) = (faults, loss_rng.as_mut()) {
         if f.loss_rate > 0.0 && r.gen_bool(f.loss_rate) {
             loss_report.lost_in_flight += 1;
+            taint
+                .entry((tx.to.0, tx.packet.seq()))
+                .or_insert(FaultCause::Loss);
             return;
         }
     }
@@ -203,9 +246,46 @@ impl DesEngine {
         // mirroring the slot engines' `scheduled_arrivals` set.
         let mut occupied: HashMap<(u64, u32), PacketId> = HashMap::new();
         // Relaxed mode: calendar entries waiting for their packet, keyed
-        // by (sender, packet).
-        let mut waiting: HashMap<(u32, u64), Vec<Transmission>> = HashMap::new();
+        // by (sender, packet). A BTreeMap so the end-of-run leftover
+        // attribution walks entries in a deterministic order.
+        let mut waiting: BTreeMap<(u32, u64), Vec<Transmission>> = BTreeMap::new();
         let mut departed = vec![false; n_ids];
+        // First cause that took out each (node, packet) copy; lookup-only
+        // (never iterated), so a HashMap keeps determinism.
+        let mut taint: HashMap<(u32, u64), FaultCause> = HashMap::new();
+
+        // Recovery layer. All state is allocated unconditionally (cheap)
+        // but only touched when `rec_on`; recovery-off runs schedule no
+        // recovery events and stay bit-identical to the plain engine.
+        let rec = cfg.recovery;
+        let rec_on = rec.mode.enabled();
+        let mut detector = FailureDetector::new(rec.suspicion_threshold, rec.suspect_timeout_ticks);
+        let mut nacks = NackManager::new(
+            rec.nack_timeout_ticks,
+            rec.nack_backoff,
+            rec.nack_cap_ticks,
+            rec.nack_jitter_ticks,
+            rec.seed,
+        );
+        let mut repair_buf = RepairBuffer::new(n_ids, rec.repair_buffer);
+        // Most recent non-source sender per node: the first NACK target.
+        let mut last_sender: Vec<u32> = vec![0; n_ids];
+        // Monotone per-node gap-scan cursor (bounds total scan work).
+        let mut gap_scan: Vec<u64> = vec![0; n_ids];
+        // Ground-truth crash ticks (from the churn trace / fault plan),
+        // the recovery-latency baseline.
+        let mut crash_tick: BTreeMap<u32, u64> = BTreeMap::new();
+        // Dedicated randomness for repair traffic so enabling recovery
+        // never perturbs the main loss process.
+        let mut rec_rng = ChaCha8Rng::seed_from_u64(rec.seed);
+        let mut resil = ResilienceMetrics::default();
+        if rec_on {
+            if let Some(f) = &sim.faults {
+                for &(node, slot) in f.crashes.iter().chain(f.stop_crashes.iter()) {
+                    crash_tick.insert(node.0, slot * TICKS_PER_SLOT);
+                }
+            }
+        }
 
         let is_receiver: Vec<bool> = {
             let mut v = vec![false; n_ids];
@@ -254,7 +334,7 @@ impl DesEngine {
         while let Some(ev) = q.pop() {
             self.stats.events_processed += 1;
             match ev.kind {
-                EventKind::Deliver { to, packet } => {
+                EventKind::Deliver { from, to, packet } => {
                     self.stats.deliveries += 1;
                     // First slot the packet is usable: the next slot
                     // boundary at or after the arrival tick.
@@ -263,14 +343,51 @@ impl DesEngine {
                         // The playback loop never reaches this slot: record
                         // the arrival only, exactly like the slot engines'
                         // post-loop flush of the pending queue.
+                        if let Some(f) = &sim.faults {
+                            if f.stopped(to, usable.saturating_sub(1)) {
+                                loss_report.stopped_receives += 1;
+                                continue;
+                            }
+                        }
                         arrivals.record(to, packet, Slot(usable));
                         continue;
                     }
                     if strict {
                         occupied.remove(&(usable - 1, to.0));
-                    } else if departed[to.index()] {
+                    }
+                    // Fail-stopped receivers drop arrivals on the floor.
+                    if let Some(f) = &sim.faults {
+                        if f.stopped(to, usable - 1) {
+                            loss_report.stopped_receives += 1;
+                            taint
+                                .entry((to.0, packet.seq()))
+                                .or_insert(FaultCause::Crash);
+                            continue;
+                        }
+                    }
+                    if !strict && departed[to.index()] {
                         self.stats.deliveries_to_departed += 1;
                         continue;
+                    }
+                    if rec_on {
+                        // Even a duplicate arrival proves the sender alive
+                        // and fills an open gap.
+                        if nacks.resolve(to.0, packet.seq()) {
+                            resil.repaired_packets += 1;
+                        }
+                        repair_buf.note(to.0, packet.seq());
+                        if !from.is_source() {
+                            last_sender[to.index()] = from.0;
+                            if detector.record(to.0, from.0, ev.time) {
+                                q.push(
+                                    ev.time + detector.timeout(),
+                                    EventKind::SuspectTimeout {
+                                        watcher: to,
+                                        subject: from,
+                                    },
+                                );
+                            }
+                        }
                     }
                     let cell = &mut state.held[to.index()];
                     if !cell.insert(packet.seq()) {
@@ -288,6 +405,30 @@ impl DesEngine {
                         remaining -= 1;
                     }
                     arrivals.record(to, packet, Slot(usable));
+                    if rec_on && rec.mode.nack() && is_receiver[to.index()] {
+                        // Scan for gaps that have fallen more than
+                        // `gap_slack` behind the newest arrival. The cursor
+                        // is monotone, so total scan work is O(window).
+                        let horizon = state.newest[to.index()]
+                            .unwrap_or(0)
+                            .saturating_sub(rec.gap_slack)
+                            .min(sim.track_packets);
+                        let cur = &mut gap_scan[to.index()];
+                        while *cur < horizon {
+                            let s = *cur;
+                            *cur += 1;
+                            if !state.held[to.index()].contains(&s) && nacks.open(to.0, s) {
+                                q.push(
+                                    ev.time,
+                                    EventKind::Nack {
+                                        node: to,
+                                        packet: PacketId(s),
+                                        attempt: 0,
+                                    },
+                                );
+                            }
+                        }
+                    }
                     if !strict {
                         if let Some(txs) = waiting.remove(&(to.0, packet.seq())) {
                             for tx in txs {
@@ -301,6 +442,7 @@ impl DesEngine {
                                     sim.faults.as_ref(),
                                     &mut loss_rng,
                                     &mut loss_report,
+                                    &mut taint,
                                     cfg.uplink,
                                     &mut gate,
                                     &mut stats,
@@ -317,12 +459,198 @@ impl DesEngine {
                         if (ext as usize) < n_ids {
                             departed[ext as usize] = true;
                             self.stats.churn_leaves += 1;
+                            if rec_on {
+                                crash_tick.entry(ext as u32).or_insert(ev.time);
+                            }
                         }
                     }
                     ResolvedChurnAction::Join { .. } => {
                         self.stats.churn_joins_ignored += 1;
                     }
+                    ResolvedChurnAction::Rejoin { ext } => {
+                        if (ext as usize) < n_ids {
+                            departed[ext as usize] = false;
+                            self.stats.churn_rejoins += 1;
+                            if rec_on {
+                                if let Some(outcome) = scheme
+                                    .membership_event(NodeId(ext as u32), MembershipEvent::Rejoined)
+                                {
+                                    resil.displaced_total += outcome.displaced.len() as u64;
+                                    // Stale silence from the pre-rejoin
+                                    // topology must not confirm anyone.
+                                    detector.clear_links();
+                                }
+                                detector.forget(ext as u32);
+                                crash_tick.remove(&(ext as u32));
+                            }
+                        }
+                    }
                 },
+                EventKind::SuspectTimeout { watcher, subject } => {
+                    // Timers die with the playback horizon — re-armed
+                    // probes must not keep the queue alive forever.
+                    if !rec_on
+                        || stopped
+                        || departed[watcher.index()]
+                        || ev.time >= sim.max_slots * TICKS_PER_SLOT
+                    {
+                        continue;
+                    }
+                    match detector.check(watcher.0, subject.0, ev.time) {
+                        TimeoutVerdict::Drop => {}
+                        TimeoutVerdict::Rearm(deadline) => {
+                            q.push(deadline, EventKind::SuspectTimeout { watcher, subject });
+                        }
+                        TimeoutVerdict::Suspect => {
+                            // Silence alone cannot distinguish a crashed
+                            // parent from a merely starved one (a crash
+                            // silences its whole subtree at once) or from a
+                            // link the last repair rewired away. The watcher
+                            // therefore probes the subject before accusing
+                            // it: a live subject answers, the alarm is
+                            // defused and the link re-armed; only true
+                            // silence counts toward confirmation.
+                            resil.control_messages += 1;
+                            let slot_now = ev.time / TICKS_PER_SLOT;
+                            let alive = !departed[subject.index()]
+                                && !sim.faults.as_ref().is_some_and(|f| {
+                                    f.stopped(subject, slot_now) || f.crashed(subject, slot_now)
+                                });
+                            if alive {
+                                detector.record(watcher.0, subject.0, ev.time);
+                                q.push(
+                                    ev.time + detector.timeout(),
+                                    EventKind::SuspectTimeout { watcher, subject },
+                                );
+                            } else if detector.confirm(subject.0) {
+                                resil.failures_detected += 1;
+                                q.push(ev.time, EventKind::RepairCommit { failed: subject });
+                            }
+                        }
+                    }
+                }
+                EventKind::RepairCommit { failed } => {
+                    if !rec_on || stopped {
+                        continue;
+                    }
+                    if let Some(outcome) = scheme.membership_event(failed, MembershipEvent::Failed)
+                    {
+                        resil.repairs_committed += 1;
+                        resil.displaced_total += outcome.displaced.len() as u64;
+                        let latency = ev
+                            .time
+                            .saturating_sub(crash_tick.get(&failed.0).copied().unwrap_or(ev.time));
+                        resil.recovery_latency_total_ticks += latency;
+                        resil.recovery_latency_max_ticks =
+                            resil.recovery_latency_max_ticks.max(latency);
+                        // The rebuilt schedule rewires who hears from whom;
+                        // outstanding link timers must die, not misfire.
+                        detector.clear_links();
+                    }
+                }
+                EventKind::Nack {
+                    node,
+                    packet,
+                    attempt,
+                } => {
+                    if !rec_on
+                        || stopped
+                        || ev.time >= sim.max_slots * TICKS_PER_SLOT
+                        || !nacks.is_open(node.0, packet.seq())
+                    {
+                        continue;
+                    }
+                    let slot_now = ev.time / TICKS_PER_SLOT;
+                    if departed[node.index()]
+                        || sim
+                            .faults
+                            .as_ref()
+                            .is_some_and(|f| f.stopped(node, slot_now))
+                    {
+                        // A dead requester stops chasing (no hiccup: it no
+                        // longer plays).
+                        nacks.abandon(node.0, packet.seq());
+                        continue;
+                    }
+                    if attempt >= rec.max_retries {
+                        // Graceful degradation: skip the packet, record the
+                        // hiccup, move on.
+                        nacks.abandon(node.0, packet.seq());
+                        resil.abandoned_packets += 1;
+                        continue;
+                    }
+                    // First attempts go to the most recent parent while it
+                    // still buffers the packet; later attempts (or a dead /
+                    // bufferless parent) escalate to the source.
+                    let mut server = SOURCE;
+                    let parent = last_sender[node.index()];
+                    if attempt < 2 && parent != 0 {
+                        let cand = NodeId(parent);
+                        let dead = departed[cand.index()]
+                            || sim
+                                .faults
+                                .as_ref()
+                                .is_some_and(|f| f.crashed(cand, slot_now));
+                        if !dead && repair_buf.contains(parent, packet.seq()) {
+                            server = cand;
+                        }
+                    }
+                    resil.nacks_sent += 1;
+                    resil.control_messages += 1;
+                    // The NACK reaches the server one slot later; the retry
+                    // timer re-fires after the (capped, jittered) backoff.
+                    q.push(
+                        ev.time + TICKS_PER_SLOT,
+                        EventKind::Retransmit {
+                            from: server,
+                            to: node,
+                            packet,
+                        },
+                    );
+                    q.push(
+                        ev.time + TICKS_PER_SLOT + nacks.backoff_delay(attempt),
+                        EventKind::Nack {
+                            node,
+                            packet,
+                            attempt: attempt + 1,
+                        },
+                    );
+                }
+                EventKind::Retransmit { from, to, packet } => {
+                    if !rec_on || stopped || !nacks.is_open(to.0, packet.seq()) {
+                        continue;
+                    }
+                    let slot_now = ev.time / TICKS_PER_SLOT;
+                    // The server must still be able to serve.
+                    if from.is_source() {
+                        if !state.availability.produced(packet, Slot(slot_now)) {
+                            continue;
+                        }
+                    } else {
+                        let dead = departed[from.index()]
+                            || sim
+                                .faults
+                                .as_ref()
+                                .is_some_and(|f| f.crashed(from, slot_now));
+                        if dead || !repair_buf.contains(from.0, packet.seq()) {
+                            continue;
+                        }
+                    }
+                    resil.retransmissions += 1;
+                    resil.control_messages += 1;
+                    // Repair traffic crosses the same lossy links, but draws
+                    // from the dedicated recovery stream so the main loss
+                    // process is untouched.
+                    if let Some(f) = &sim.faults {
+                        if f.loss_rate > 0.0 && rec_rng.gen_bool(f.loss_rate) {
+                            continue;
+                        }
+                    }
+                    q.push(
+                        ev.time + TICKS_PER_SLOT,
+                        EventKind::Deliver { from, to, packet },
+                    );
+                }
                 EventKind::PlaybackTick => {
                     if stopped {
                         continue;
@@ -357,6 +685,9 @@ impl DesEngine {
                             if let Some(f) = &sim.faults {
                                 if f.crashed(tx.from, t) {
                                     loss_report.crash_suppressed += 1;
+                                    taint
+                                        .entry((tx.to.0, tx.packet.seq()))
+                                        .or_insert(FaultCause::Crash);
                                     continue;
                                 }
                             }
@@ -368,8 +699,22 @@ impl DesEngine {
                                     });
                                 }
                             } else if !state.held[tx.from.index()].contains(&tx.packet.seq()) {
-                                if sim.faults.is_some() {
+                                if let Some(f) = &sim.faults {
+                                    // A fault propagating downstream:
+                                    // attribute the suppression to whatever
+                                    // first took out the sender's copy.
+                                    let cause = taint
+                                        .get(&(tx.from.0, tx.packet.seq()))
+                                        .copied()
+                                        .unwrap_or(default_cause(f));
                                     loss_report.propagation_suppressed += 1;
+                                    match cause {
+                                        FaultCause::Loss => loss_report.propagation_from_loss += 1,
+                                        FaultCause::Crash => {
+                                            loss_report.propagation_from_crash += 1
+                                        }
+                                    }
+                                    taint.entry((tx.to.0, tx.packet.seq())).or_insert(cause);
                                     continue;
                                 }
                                 return Err(CoreError::PacketNotHeld {
@@ -394,6 +739,9 @@ impl DesEngine {
                             if let (Some(f), Some(r)) = (&sim.faults, loss_rng.as_mut()) {
                                 if f.loss_rate > 0.0 && r.gen_bool(f.loss_rate) {
                                     loss_report.lost_in_flight += 1;
+                                    taint
+                                        .entry((tx.to.0, tx.packet.seq()))
+                                        .or_insert(FaultCause::Loss);
                                     continue;
                                 }
                             }
@@ -438,6 +786,7 @@ impl DesEngine {
                                 sim.faults.as_ref(),
                                 &mut loss_rng,
                                 &mut loss_report,
+                                &mut taint,
                                 cfg.uplink,
                                 &mut gate,
                                 &mut stats,
@@ -459,6 +808,7 @@ impl DesEngine {
                     q.push(
                         ev.time + lat,
                         EventKind::Deliver {
+                            from: tx.from,
                             to: tx.to,
                             packet: tx.packet,
                         },
@@ -470,8 +820,44 @@ impl DesEngine {
 
         // Calendar entries still waiting for a packet that never came are
         // downstream loss propagation, same as the slot engines count it.
-        for txs in waiting.values() {
-            loss_report.propagation_suppressed += txs.len() as u64;
+        // Attribution chases chains (one leftover may be what starved the
+        // next) to a fixpoint over the deterministic BTreeMap order, then
+        // falls back to the plan's default cause.
+        let fallback = sim
+            .faults
+            .as_ref()
+            .map(default_cause)
+            .unwrap_or(FaultCause::Crash);
+        let mut leftovers: Vec<Transmission> = waiting.into_values().flatten().collect();
+        loop {
+            let mut progressed = false;
+            let mut still_unknown = Vec::new();
+            for tx in leftovers {
+                match taint.get(&(tx.from.0, tx.packet.seq())).copied() {
+                    Some(cause) => {
+                        loss_report.propagation_suppressed += 1;
+                        match cause {
+                            FaultCause::Loss => loss_report.propagation_from_loss += 1,
+                            FaultCause::Crash => loss_report.propagation_from_crash += 1,
+                        }
+                        taint.entry((tx.to.0, tx.packet.seq())).or_insert(cause);
+                        progressed = true;
+                    }
+                    None => still_unknown.push(tx),
+                }
+            }
+            leftovers = still_unknown;
+            if !progressed || leftovers.is_empty() {
+                break;
+            }
+        }
+        for tx in leftovers {
+            loss_report.propagation_suppressed += 1;
+            match fallback {
+                FaultCause::Loss => loss_report.propagation_from_loss += 1,
+                FaultCause::Crash => loss_report.propagation_from_crash += 1,
+            }
+            taint.entry((tx.to.0, tx.packet.seq())).or_insert(fallback);
         }
 
         let lossy = sim.faults.is_some() || cfg.churn.is_some();
@@ -497,6 +883,16 @@ impl DesEngine {
             });
         }
 
+        // Resilience: slot engines report Some iff faults are installed
+        // (stall counters only); the DES also reports under churn and
+        // fills the recovery counters when the recovery layer ran.
+        let resilience = (lossy || rec_on).then(|| {
+            let total = loss_report.total_missing() as u64;
+            resil.stall_events = total;
+            resil.stall_slots = total;
+            resil
+        });
+
         Ok(RunResult {
             scheme: scheme.name(),
             slots_run,
@@ -507,6 +903,7 @@ impl DesEngine {
             loss: lossy.then_some(loss_report),
             trace,
             upload_counts: stats.upload_counts().to_vec(),
+            resilience,
         })
     }
 }
@@ -722,6 +1119,7 @@ mod tests {
                 slots: 40,
                 join_rate: 0.0,
                 leave_rate: 0.0,
+                rejoin_rate: 0.0,
                 seed: 0,
             },
             events: vec![ChurnEvent {

@@ -14,12 +14,27 @@
 //!    at `t` with latency `ℓ` is usable from `t + ℓ`").
 //! 2. [`EventKind::Churn`] — membership changes applied at slot
 //!    boundaries, before the schedule consults the population.
-//! 3. [`EventKind::PlaybackTick`] — the slot boundary itself: playback
+//! 3. [`EventKind::SuspectTimeout`] — a link-silence timer firing at the
+//!    failure detector (after same-tick deliveries, so a delivery landing
+//!    exactly on the deadline re-arms instead of suspecting).
+//! 4. [`EventKind::RepairCommit`] — a confirmed failure triggering the
+//!    appendix delete dynamics, before the slot's calendar is consulted
+//!    so the rebuilt schedule takes effect the same slot.
+//! 5. [`EventKind::PlaybackTick`] — the slot boundary itself: playback
 //!    consumes one packet-slot and the scheme's calendar is consulted for
 //!    the new slot's transmissions.
-//! 4. [`EventKind::Send`] — a validated transmission leaving a node's
+//! 6. [`EventKind::Send`] — a validated transmission leaving a node's
 //!    uplink (possibly later than its calendar slot if the uplink gate
 //!    serialized it behind earlier sends).
+//! 7. [`EventKind::Nack`] — a gap-retry timer at a receiver (after the
+//!    slot's regular sends, so a same-tick regular delivery wins).
+//! 8. [`EventKind::Retransmit`] — a repair server answering a NACK.
+//!
+//! The recovery classes interleave with the original four without
+//! disturbing their relative order, so a run that never schedules a
+//! recovery event pops the exact same sequence as before the recovery
+//! layer existed — the recovery-off bit-identity the differential suite
+//! enforces.
 //!
 //! Insertion order as the final tie-break makes the whole simulation
 //! deterministic and, in the degenerate slot-faithful configuration,
@@ -42,6 +57,8 @@ pub const TICKS_PER_SLOT: u64 = 1024;
 pub enum EventKind {
     /// `packet` arrives at `to` and becomes usable.
     Deliver {
+        /// Sending node (feeds the failure detector's link freshness).
+        from: NodeId,
         /// Receiving node.
         to: NodeId,
         /// The packet delivered.
@@ -49,11 +66,43 @@ pub enum EventKind {
     },
     /// A membership change from a resolved churn trace.
     Churn(ResolvedChurnAction),
+    /// A link-silence timer: `watcher` checks whether it has heard from
+    /// `subject` recently enough.
+    SuspectTimeout {
+        /// The receiver timing the link.
+        watcher: NodeId,
+        /// The sender being timed.
+        subject: NodeId,
+    },
+    /// A confirmed failure commits the tree repair.
+    RepairCommit {
+        /// The node whose failure was confirmed.
+        failed: NodeId,
+    },
     /// A slot boundary: advance the playback clock and consult the
     /// scheme's calendar for the new slot.
     PlaybackTick,
     /// A validated transmission dispatches from its sender's uplink.
     Send(Transmission),
+    /// A gap-retry timer: `node` (re)requests `packet` (attempt number
+    /// drives the backoff and the source escalation).
+    Nack {
+        /// The receiver chasing the gap.
+        node: NodeId,
+        /// The missing packet.
+        packet: PacketId,
+        /// Zero-based retry attempt.
+        attempt: u32,
+    },
+    /// A repair server answers a NACK with a retransmission.
+    Retransmit {
+        /// The serving node (or the source).
+        from: NodeId,
+        /// The requester.
+        to: NodeId,
+        /// The packet being repaired.
+        packet: PacketId,
+    },
 }
 
 impl EventKind {
@@ -62,8 +111,12 @@ impl EventKind {
         match self {
             EventKind::Deliver { .. } => 0,
             EventKind::Churn(_) => 1,
-            EventKind::PlaybackTick => 2,
-            EventKind::Send(_) => 3,
+            EventKind::SuspectTimeout { .. } => 2,
+            EventKind::RepairCommit { .. } => 3,
+            EventKind::PlaybackTick => 4,
+            EventKind::Send(_) => 5,
+            EventKind::Nack { .. } => 6,
+            EventKind::Retransmit { .. } => 7,
         }
     }
 }
@@ -148,6 +201,7 @@ mod tests {
 
     fn deliver(to: u32, p: u64) -> EventKind {
         EventKind::Deliver {
+            from: SOURCE,
             to: NodeId(to),
             packet: PacketId(p),
         }
@@ -174,13 +228,50 @@ mod tests {
         let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| e.kind.class())
             .collect();
-        assert_eq!(kinds, vec![0, 0, 2, 3]);
+        assert_eq!(kinds, vec![0, 0, 4, 5]);
         // Same class, same tick: insertion order.
         let mut q = EventQueue::new();
         q.push(5, deliver(2, 7));
         q.push(5, deliver(3, 8));
         let first = q.pop().unwrap();
         assert_eq!(first.kind, deliver(2, 7));
+    }
+
+    #[test]
+    fn recovery_classes_slot_between_the_original_four() {
+        let mut q = EventQueue::new();
+        let tx = Transmission::local(SOURCE, NodeId(1), PacketId(0));
+        q.push(
+            5,
+            EventKind::Retransmit {
+                from: NodeId(2),
+                to: NodeId(1),
+                packet: PacketId(3),
+            },
+        );
+        q.push(
+            5,
+            EventKind::Nack {
+                node: NodeId(1),
+                packet: PacketId(3),
+                attempt: 0,
+            },
+        );
+        q.push(5, EventKind::Send(tx));
+        q.push(5, EventKind::PlaybackTick);
+        q.push(5, EventKind::RepairCommit { failed: NodeId(4) });
+        q.push(
+            5,
+            EventKind::SuspectTimeout {
+                watcher: NodeId(1),
+                subject: NodeId(4),
+            },
+        );
+        q.push(5, deliver(2, 7));
+        let kinds: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.class())
+            .collect();
+        assert_eq!(kinds, vec![0, 2, 3, 4, 5, 6, 7]);
     }
 
     #[test]

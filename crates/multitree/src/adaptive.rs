@@ -66,7 +66,7 @@ impl AdaptiveMultiTree {
         let joins = trace
             .events
             .iter()
-            .filter(|e| matches!(e.action, ChurnAction::Join))
+            .filter(|e| matches!(e.action, ChurnAction::Join | ChurnAction::Rejoin { .. }))
             .count();
         let plan = trace
             .events
@@ -129,7 +129,11 @@ impl AdaptiveMultiTree {
                 break;
             }
             let report = match e.action {
-                ChurnAction::Join => {
+                // A rejoin gets a fresh external id here: the adaptive
+                // scheme has no identity continuity across departures
+                // (that is the recovery layer's job, see
+                // `clustream_recovery::SelfHealingMultiTree`).
+                ChurnAction::Join | ChurnAction::Rejoin { .. } => {
                     let (ext, rep) = self.forest.add();
                     self.joins.insert(ext, t);
                     rep
@@ -252,6 +256,7 @@ mod tests {
                 slots: events.last().map_or(0, |e| e.0 + 1),
                 join_rate: 0.0,
                 leave_rate: 0.0,
+                rejoin_rate: 0.0,
                 seed: 0,
             },
             events: events

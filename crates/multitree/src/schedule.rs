@@ -39,7 +39,8 @@ pub enum StreamMode {
 }
 
 impl StreamMode {
-    fn availability(self) -> Availability {
+    /// The packet-availability model this mode implies.
+    pub fn availability(self) -> Availability {
         match self {
             StreamMode::PreRecorded => Availability::PreRecorded,
             StreamMode::LivePrebuffered | StreamMode::LivePipelined => Availability::Live,

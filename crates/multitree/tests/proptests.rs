@@ -149,7 +149,7 @@ proptest! {
         // Keep leave ranks valid and never drop below 2 members.
         let mut members = n0;
         events.retain_mut(|e| match &mut e.action {
-            ChurnAction::Join => {
+            ChurnAction::Join | ChurnAction::Rejoin { .. } => {
                 members += 1;
                 true
             }
@@ -169,6 +169,7 @@ proptest! {
                 slots: 40,
                 join_rate: 0.0,
                 leave_rate: 0.0,
+                rejoin_rate: 0.0,
                 seed: 0,
             },
             events,

@@ -1,0 +1,87 @@
+//! Bounded per-node repair buffers.
+//!
+//! A node can only serve a retransmission for a packet it still holds in
+//! its repair buffer — a FIFO window over its most recent arrivals. The
+//! bound is the graceful-degradation lever: once a gap packet has aged
+//! out of every candidate server's buffer, the requester's retries
+//! escalate to the source and, failing that, the packet is abandoned.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// FIFO repair buffers, one per node, each bounded to `capacity` packets.
+#[derive(Debug, Clone)]
+pub struct RepairBuffer {
+    /// Insertion-ordered window per node.
+    fifo: Vec<VecDeque<u64>>,
+    /// Same contents with O(log n) membership.
+    member: Vec<BTreeSet<u64>>,
+    capacity: usize,
+}
+
+impl RepairBuffer {
+    /// Buffers for `n_ids` nodes, each holding at most `capacity`
+    /// packets.
+    pub fn new(n_ids: usize, capacity: usize) -> Self {
+        RepairBuffer {
+            fifo: vec![VecDeque::new(); n_ids],
+            member: vec![BTreeSet::new(); n_ids],
+            capacity,
+        }
+    }
+
+    /// Note that `node` received `seq`, evicting the oldest entry when
+    /// full. Duplicate arrivals do not reshuffle the window.
+    pub fn note(&mut self, node: u32, seq: u64) {
+        let (fifo, member) = (
+            &mut self.fifo[node as usize],
+            &mut self.member[node as usize],
+        );
+        if self.capacity == 0 || !member.insert(seq) {
+            return;
+        }
+        fifo.push_back(seq);
+        if fifo.len() > self.capacity {
+            let evicted = fifo.pop_front().expect("nonempty");
+            member.remove(&evicted);
+        }
+    }
+
+    /// Whether `node` can still serve `seq` from its repair buffer.
+    pub fn contains(&self, node: u32, seq: u64) -> bool {
+        self.member[node as usize].contains(&seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_fifo_eviction() {
+        let mut b = RepairBuffer::new(3, 2);
+        b.note(1, 10);
+        b.note(1, 11);
+        assert!(b.contains(1, 10));
+        b.note(1, 12);
+        assert!(!b.contains(1, 10), "oldest evicted");
+        assert!(b.contains(1, 11));
+        assert!(b.contains(1, 12));
+        assert!(!b.contains(2, 11), "per-node isolation");
+    }
+
+    #[test]
+    fn duplicates_do_not_evict() {
+        let mut b = RepairBuffer::new(2, 2);
+        b.note(0, 1);
+        b.note(0, 2);
+        b.note(0, 2);
+        assert!(b.contains(0, 1), "duplicate must not push out packet 1");
+    }
+
+    #[test]
+    fn zero_capacity_serves_nothing() {
+        let mut b = RepairBuffer::new(2, 0);
+        b.note(0, 1);
+        assert!(!b.contains(0, 1));
+    }
+}

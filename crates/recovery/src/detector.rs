@@ -1,0 +1,182 @@
+//! Per-link silence detection with a watcher-count suspicion threshold.
+//!
+//! Every delivery `from → to` refreshes the link's last-heard time; the
+//! receiver (`to`, the *watcher*) arms a timeout for `from` (the
+//! *subject*). If the link stays silent past the timeout the watcher
+//! suspects the subject; once enough **distinct** watchers suspect the
+//! same subject, the failure is confirmed. Timeouts are lazily re-armed
+//! (one outstanding timer per link), so the detector adds O(live links)
+//! events, not O(deliveries).
+//!
+//! All state lives in `BTreeMap`/`BTreeSet`, keeping iteration — and
+//! therefore the DES — deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a watcher should do when a link timeout fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutVerdict {
+    /// The link was reset (repair committed, subject already confirmed,
+    /// or the watcher stopped caring): drop the timer.
+    Drop,
+    /// The link delivered since the timer was armed: re-arm at this tick.
+    Rearm(u64),
+    /// The link has been silent past the timeout: suspect the subject.
+    Suspect,
+}
+
+/// The failure detector: link freshness plus suspicion tallies.
+#[derive(Debug, Default, Clone)]
+pub struct FailureDetector {
+    /// Last delivery tick per (watcher, subject) link.
+    last_heard: BTreeMap<(u32, u32), u64>,
+    /// Distinct watchers currently suspecting each subject.
+    suspicions: BTreeMap<u32, BTreeSet<u32>>,
+    /// Subjects whose failure has been confirmed.
+    confirmed: BTreeSet<u32>,
+    /// Distinct watchers needed to confirm.
+    threshold: usize,
+    /// Link silence horizon in ticks.
+    timeout: u64,
+}
+
+impl FailureDetector {
+    /// A detector confirming a failure after `threshold` distinct
+    /// watchers each observe `timeout` ticks of silence.
+    pub fn new(threshold: usize, timeout: u64) -> Self {
+        FailureDetector {
+            threshold: threshold.max(1),
+            timeout,
+            ..FailureDetector::default()
+        }
+    }
+
+    /// The configured link timeout in ticks.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Record a delivery on the link `subject → watcher` at `now`.
+    /// Returns `true` if the link is newly watched — the caller must then
+    /// schedule the link's first timeout at `now + timeout` (afterwards
+    /// the timer re-arms itself via [`FailureDetector::check`]).
+    pub fn record(&mut self, watcher: u32, subject: u32, now: u64) -> bool {
+        // A heard-from subject is clearly not (or no longer) failed.
+        if let Some(s) = self.suspicions.get_mut(&subject) {
+            s.remove(&watcher);
+        }
+        self.last_heard.insert((watcher, subject), now).is_none()
+    }
+
+    /// Evaluate the link timeout for `watcher` on `subject` firing at
+    /// `now`.
+    pub fn check(&mut self, watcher: u32, subject: u32, now: u64) -> TimeoutVerdict {
+        if self.confirmed.contains(&subject) {
+            return TimeoutVerdict::Drop;
+        }
+        let Some(&last) = self.last_heard.get(&(watcher, subject)) else {
+            // Link forgotten (topology changed under us): timer dies.
+            return TimeoutVerdict::Drop;
+        };
+        let deadline = last + self.timeout;
+        if deadline > now {
+            TimeoutVerdict::Rearm(deadline)
+        } else {
+            self.suspicions.entry(subject).or_default().insert(watcher);
+            TimeoutVerdict::Suspect
+        }
+    }
+
+    /// Whether `subject` has accumulated enough distinct suspecting
+    /// watchers to confirm its failure. Idempotent: the first `true`
+    /// marks the subject confirmed, later calls keep returning `false`
+    /// (the failure is only confirmed once).
+    pub fn confirm(&mut self, subject: u32) -> bool {
+        if self.confirmed.contains(&subject) {
+            return false;
+        }
+        let n = self.suspicions.get(&subject).map_or(0, |s| s.len());
+        if n >= self.threshold {
+            self.confirmed.insert(subject);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `subject`'s failure has been confirmed.
+    pub fn is_confirmed(&self, subject: u32) -> bool {
+        self.confirmed.contains(&subject)
+    }
+
+    /// Forget all link state (but keep confirmations): called after a
+    /// repair commits, because the rebuilt schedule rewires who hears
+    /// from whom and stale silence must not confirm healthy nodes.
+    /// Outstanding timers then resolve to [`TimeoutVerdict::Drop`].
+    pub fn clear_links(&mut self) {
+        self.last_heard.clear();
+        self.suspicions.clear();
+    }
+
+    /// Forget a confirmation (the node rejoined).
+    pub fn forget(&mut self, subject: u32) {
+        self.confirmed.remove(&subject);
+        self.suspicions.remove(&subject);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_record_arms_later_records_do_not() {
+        let mut d = FailureDetector::new(2, 100);
+        assert!(d.record(1, 2, 10));
+        assert!(!d.record(1, 2, 20));
+        assert!(d.record(3, 2, 20), "a different watcher is a new link");
+    }
+
+    #[test]
+    fn timeout_rearm_then_suspect_then_confirm() {
+        let mut d = FailureDetector::new(2, 100);
+        d.record(1, 9, 10);
+        d.record(2, 9, 15);
+        // Fresh delivery at 90 moves the deadline.
+        d.record(1, 9, 90);
+        assert_eq!(d.check(1, 9, 110), TimeoutVerdict::Rearm(190));
+        // Silence past the deadline: suspect.
+        assert_eq!(d.check(1, 9, 190), TimeoutVerdict::Suspect);
+        assert!(!d.confirm(9), "one watcher below threshold 2");
+        assert_eq!(d.check(2, 9, 190), TimeoutVerdict::Suspect);
+        assert!(d.confirm(9));
+        assert!(d.is_confirmed(9));
+        assert!(!d.confirm(9), "confirmation fires exactly once");
+        // Timers for a confirmed subject die.
+        assert_eq!(d.check(1, 9, 500), TimeoutVerdict::Drop);
+    }
+
+    #[test]
+    fn fresh_delivery_withdraws_suspicion() {
+        let mut d = FailureDetector::new(1, 100);
+        d.record(1, 5, 0);
+        assert_eq!(d.check(1, 5, 100), TimeoutVerdict::Suspect);
+        // The subject speaks again before confirmation: suspicion cleared.
+        d.record(1, 5, 150);
+        assert!(!d.confirm(5));
+    }
+
+    #[test]
+    fn clear_links_drops_timers_but_keeps_confirmations() {
+        let mut d = FailureDetector::new(1, 50);
+        d.record(1, 7, 0);
+        assert_eq!(d.check(1, 7, 60), TimeoutVerdict::Suspect);
+        assert!(d.confirm(7));
+        d.record(2, 8, 0);
+        d.clear_links();
+        assert_eq!(d.check(2, 8, 100), TimeoutVerdict::Drop);
+        assert!(d.is_confirmed(7));
+        d.forget(7);
+        assert!(!d.is_confirmed(7));
+    }
+}

@@ -1,0 +1,317 @@
+//! The self-healing multi-tree: appendix dynamics driven at runtime.
+//!
+//! Wraps a [`DynamicForest`] plus a rebuilt [`MultiTreeScheme`] behind
+//! the [`Scheme`] interface, with [`Scheme::membership_event`] wired to
+//! the appendix `delete`/`add` algorithms. On a confirmed failure the
+//! crashed node is deleted (an all-leaf node is promoted into its
+//! interior positions, displacing at most `d²` members per operation),
+//! the snapshot is re-derived and the round-robin schedule continues
+//! from the **current absolute slot** — the schedule maps slot `t` to
+//! packet `k + ⌊(t − base)/d⌋·d` with no per-run offset, so a rebuilt
+//! scheme picks up mid-stream without replaying from zero. Displaced
+//! nodes may miss packets during the transition; the NACK layer (or a
+//! hiccup) covers those.
+//!
+//! Identity bookkeeping: the simulator's node ids are the **original**
+//! ids `1..=N₀` forever. Internally the forest tracks its own external
+//! ids (fresh ones after each rejoin) and each snapshot compacts members
+//! to `1..=N`; this wrapper translates every emitted transmission back
+//! to original ids, so the engine, arrival table and QoS reports never
+//! see repair internals.
+
+use clustream_core::{
+    CoreError, MembershipEvent, NodeId, RepairOutcome, Scheme, Slot, StateView, Transmission,
+    SOURCE,
+};
+use clustream_multitree::dynamics::{DynamicForest, ExtId};
+use clustream_multitree::{Construction, MultiTreeScheme, StreamMode};
+use std::collections::BTreeMap;
+
+/// A multi-tree overlay that repairs itself around confirmed failures.
+#[derive(Debug, Clone)]
+pub struct SelfHealingMultiTree {
+    forest: DynamicForest,
+    inner: MultiTreeScheme,
+    mode: StreamMode,
+    /// Original receiver population (the simulator's id space).
+    n0: usize,
+    /// Forest external id → original node id.
+    ext_to_orig: BTreeMap<ExtId, u64>,
+    /// Original node id → forest external id; absent = currently failed.
+    orig_to_ext: BTreeMap<u64, ExtId>,
+    /// Snapshot node id (1..=members) → original node id; index 0 unused.
+    snap_to_orig: Vec<u64>,
+    /// Reused buffer for pre-translation transmissions.
+    scratch: Vec<Transmission>,
+    /// Total label swaps across all repairs (the appendix work measure).
+    total_swaps: usize,
+}
+
+impl SelfHealingMultiTree {
+    /// Build over `n` receivers with degree `d`.
+    pub fn new(
+        n: usize,
+        d: usize,
+        mode: StreamMode,
+        construction: Construction,
+    ) -> Result<Self, CoreError> {
+        let forest = DynamicForest::new(n, d, construction, true)?;
+        // DynamicForest assigns external ids 1..=n, matching the
+        // simulator's original node ids exactly.
+        let ext_to_orig: BTreeMap<ExtId, u64> = (1..=n as u64).map(|i| (i, i)).collect();
+        let orig_to_ext: BTreeMap<u64, ExtId> = (1..=n as u64).map(|i| (i, i)).collect();
+        let mut s = SelfHealingMultiTree {
+            forest,
+            // Placeholder; rebuild() installs the real schedule.
+            inner: MultiTreeScheme::new(
+                clustream_multitree::build_forest(n, d, construction)?,
+                mode,
+            ),
+            mode,
+            n0: n,
+            ext_to_orig,
+            orig_to_ext,
+            snap_to_orig: Vec::new(),
+            scratch: Vec::new(),
+            total_swaps: 0,
+        };
+        s.rebuild()?;
+        Ok(s)
+    }
+
+    /// Re-derive the compact snapshot, its id translation and the
+    /// round-robin schedule from the current forest.
+    fn rebuild(&mut self) -> Result<(), CoreError> {
+        let (trees, ext_to_snap) = self.forest.snapshot()?;
+        let mut snap_to_orig = vec![0u64; self.forest.n_real() + 1];
+        for (ext, snap) in &ext_to_snap {
+            snap_to_orig[*snap as usize] = *self
+                .ext_to_orig
+                .get(ext)
+                .expect("every forest member has an original identity");
+        }
+        self.snap_to_orig = snap_to_orig;
+        self.inner = MultiTreeScheme::new(trees, self.mode);
+        Ok(())
+    }
+
+    /// Whether `node` is currently a live member.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.orig_to_ext.contains_key(&(node.0 as u64))
+    }
+
+    /// The tree degree `d`.
+    pub fn d(&self) -> usize {
+        self.forest.d()
+    }
+
+    /// Total label swaps across all repairs so far.
+    pub fn total_repair_swaps(&self) -> usize {
+        self.total_swaps
+    }
+
+    /// The forest driving the schedule (tests validate its invariants).
+    pub fn forest(&self) -> &DynamicForest {
+        &self.forest
+    }
+
+    fn translate(&self, id: u32) -> NodeId {
+        if id == 0 {
+            SOURCE
+        } else {
+            NodeId(self.snap_to_orig[id as usize] as u32)
+        }
+    }
+}
+
+impl Scheme for SelfHealingMultiTree {
+    fn name(&self) -> String {
+        format!("self-healing {}", self.inner.name())
+    }
+
+    fn num_receivers(&self) -> usize {
+        self.n0
+    }
+
+    fn send_capacity(&self, node: NodeId) -> usize {
+        if node.is_source() {
+            self.forest.d()
+        } else {
+            1
+        }
+    }
+
+    fn availability(&self) -> clustream_core::Availability {
+        self.mode.availability()
+    }
+
+    fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.transmissions(slot, view, &mut scratch);
+        for tx in &scratch {
+            out.push(Transmission {
+                from: self.translate(tx.from.0),
+                to: self.translate(tx.to.0),
+                packet: tx.packet,
+                latency: tx.latency,
+            });
+        }
+        self.scratch = scratch;
+    }
+
+    fn membership_event(&mut self, node: NodeId, event: MembershipEvent) -> Option<RepairOutcome> {
+        let orig = node.0 as u64;
+        match event {
+            MembershipEvent::Failed => {
+                let ext = *self.orig_to_ext.get(&orig)?;
+                // The dynamics refuse to empty the forest; an unrepairable
+                // failure stays fail-silent.
+                let report = self.forest.remove(ext).ok()?;
+                self.orig_to_ext.remove(&orig);
+                self.ext_to_orig.remove(&ext);
+                let displaced: Vec<NodeId> = report
+                    .displaced
+                    .iter()
+                    .filter_map(|e| self.ext_to_orig.get(e).map(|&o| NodeId(o as u32)))
+                    .collect();
+                self.rebuild().ok()?;
+                self.total_swaps += report.swaps;
+                Some(RepairOutcome {
+                    swaps: report.swaps,
+                    displaced,
+                })
+            }
+            MembershipEvent::Rejoined => {
+                if self.orig_to_ext.contains_key(&orig) {
+                    return None;
+                }
+                let (ext, report) = self.forest.add();
+                self.ext_to_orig.insert(ext, orig);
+                self.orig_to_ext.insert(orig, ext);
+                let displaced: Vec<NodeId> = report
+                    .displaced
+                    .iter()
+                    .filter_map(|e| self.ext_to_orig.get(e).map(|&o| NodeId(o as u32)))
+                    .collect();
+                self.rebuild().ok()?;
+                self.total_swaps += report.swaps;
+                Some(RepairOutcome {
+                    swaps: report.swaps,
+                    displaced,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn clean_run_matches_static_multitree() {
+        // Without membership events the wrapper is an id-preserving
+        // facade: QoS must match the static scheme bit for bit.
+        let mut healing =
+            SelfHealingMultiTree::new(27, 3, StreamMode::PreRecorded, Construction::Greedy)
+                .unwrap();
+        let mut fixed = MultiTreeScheme::new(
+            clustream_multitree::build_forest(27, 3, Construction::Greedy).unwrap(),
+            StreamMode::PreRecorded,
+        );
+        let cfg = SimConfig::until_complete(24, 10_000);
+        let a = Simulator::run(&mut healing, &cfg).unwrap();
+        let b = Simulator::run(&mut fixed, &cfg).unwrap();
+        assert_eq!(a.qos.max_delay(), b.qos.max_delay());
+        assert_eq!(a.qos.avg_delay(), b.qos.avg_delay());
+        assert_eq!(a.qos.max_buffer(), b.qos.max_buffer());
+        assert_eq!(a.total_transmissions, b.total_transmissions);
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn failure_removes_node_from_schedule() {
+        let mut s = SelfHealingMultiTree::new(15, 3, StreamMode::PreRecorded, Construction::Greedy)
+            .unwrap();
+        let victim = NodeId(4);
+        assert!(s.is_member(victim));
+        let outcome = s
+            .membership_event(victim, MembershipEvent::Failed)
+            .expect("repairable");
+        assert!(!s.is_member(victim));
+        let d = s.d();
+        assert!(
+            outcome.displaced.len() <= d * d,
+            "{} displaced > d² = {}",
+            outcome.displaced.len(),
+            d * d
+        );
+        s.forest().validate().unwrap();
+        // The dead node never appears in the schedule again.
+        struct NoView;
+        impl StateView for NoView {
+            fn holds(&self, _: NodeId, _: clustream_core::PacketId) -> bool {
+                false
+            }
+            fn newest(&self, _: NodeId) -> Option<clustream_core::PacketId> {
+                None
+            }
+            fn slot(&self) -> Slot {
+                Slot(0)
+            }
+        }
+        let mut out = Vec::new();
+        for t in 0..60 {
+            out.clear();
+            s.transmissions(Slot(t), &NoView, &mut out);
+            for tx in &out {
+                assert_ne!(tx.from, victim, "slot {t}: dead node asked to send");
+                assert_ne!(tx.to, victim, "slot {t}: dead node scheduled to receive");
+                assert!(tx.to.0 as usize <= 15, "unknown id {}", tx.to.0);
+            }
+        }
+        // A second failure notification for the same node is a no-op.
+        assert!(s
+            .membership_event(victim, MembershipEvent::Failed)
+            .is_none());
+    }
+
+    #[test]
+    fn rejoin_restores_membership_under_original_id() {
+        let mut s = SelfHealingMultiTree::new(12, 2, StreamMode::PreRecorded, Construction::Greedy)
+            .unwrap();
+        let node = NodeId(7);
+        s.membership_event(node, MembershipEvent::Failed).unwrap();
+        assert!(!s.is_member(node));
+        s.membership_event(node, MembershipEvent::Rejoined).unwrap();
+        assert!(s.is_member(node));
+        s.forest().validate().unwrap();
+        // Rejoining an already-live node is a no-op.
+        assert!(s
+            .membership_event(node, MembershipEvent::Rejoined)
+            .is_none());
+        // The schedule addresses it again.
+        struct NoView;
+        impl StateView for NoView {
+            fn holds(&self, _: NodeId, _: clustream_core::PacketId) -> bool {
+                false
+            }
+            fn newest(&self, _: NodeId) -> Option<clustream_core::PacketId> {
+                None
+            }
+            fn slot(&self) -> Slot {
+                Slot(0)
+            }
+        }
+        let mut seen = false;
+        let mut out = Vec::new();
+        for t in 0..60 {
+            out.clear();
+            s.transmissions(Slot(t), &NoView, &mut out);
+            seen |= out.iter().any(|tx| tx.to == node);
+        }
+        assert!(seen, "rejoined node never scheduled");
+    }
+}

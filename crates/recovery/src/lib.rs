@@ -1,0 +1,37 @@
+//! Online failure detection, self-healing overlay repair and NACK
+//! retransmission for the multi-tree streaming schemes.
+//!
+//! The paper's schedules assume a fixed receiver population; this crate
+//! supplies the robustness layer that keeps them useful when nodes
+//! crash mid-stream:
+//!
+//! * [`FailureDetector`] — per-link delivery timeouts: a receiver that
+//!   stops hearing from a scheduled sender suspects it, and a
+//!   configurable number of distinct watchers confirms the failure.
+//! * [`SelfHealingMultiTree`] — a [`clustream_core::Scheme`] whose
+//!   [`clustream_core::Scheme::membership_event`] invokes the appendix
+//!   delete/add dynamics, promoting an all-leaf node into the crashed
+//!   node's interior positions (≤ `d²` members displaced per operation)
+//!   and re-deriving the round-robin schedule mid-run.
+//! * [`NackManager`] + [`RepairBuffer`] — NACK-based retransmission of
+//!   gap packets with capped, jittered, seeded exponential backoff,
+//!   served from bounded per-node repair buffers, degrading gracefully
+//!   to a recorded hiccup when retries or buffers run out.
+//!
+//! The discrete-event engine (`clustream_des`) wires these together;
+//! with [`RecoveryMode::Off`] none of this machinery is touched and DES
+//! runs stay bit-identical to the fail-silent baseline.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod config;
+pub mod detector;
+pub mod heal;
+pub mod nack;
+
+pub use buffer::RepairBuffer;
+pub use config::{RecoveryConfig, RecoveryMode};
+pub use detector::{FailureDetector, TimeoutVerdict};
+pub use heal::SelfHealingMultiTree;
+pub use nack::NackManager;

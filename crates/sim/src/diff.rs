@@ -53,6 +53,9 @@ pub fn diff_fields(reference: &RunResult, fast: &RunResult) -> Vec<&'static str>
     if reference.upload_counts != fast.upload_counts {
         d.push("upload_counts");
     }
+    if reference.resilience != fast.resilience {
+        d.push("resilience");
+    }
     d
 }
 

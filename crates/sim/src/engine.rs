@@ -96,6 +96,10 @@ pub struct RunResult {
     /// Packets uploaded per node id over the run — the contribution
     /// profile (§1: idle leaves waste system resources).
     pub upload_counts: Vec<u64>,
+    /// Resilience accounting; `Some` iff the run had a fault plan (same
+    /// rule as [`RunResult::loss`]). Slot engines populate only the stall
+    /// counters; the DES recovery layer fills the rest.
+    pub resilience: Option<crate::resilience::ResilienceMetrics>,
 }
 
 /// The slot engine. Stateless between runs; see [`Simulator::run`].
@@ -181,6 +185,10 @@ impl Simulator {
         // Fault machinery (inactive when cfg.faults is None).
         use rand::{Rng, SeedableRng};
         let mut loss_report = crate::faults::LossReport::default();
+        // First cause each (node, packet) copy went missing for; looked up
+        // by key only (never iterated), so a HashMap stays deterministic.
+        let mut taint: std::collections::HashMap<(u32, u64), crate::faults::FaultCause> =
+            std::collections::HashMap::new();
         let mut rng = cfg
             .faults
             .as_ref()
@@ -196,6 +204,16 @@ impl Simulator {
             if let Some(batch) = pending.remove(&t.wrapping_sub(1)) {
                 for (to, packet) in batch {
                     scheduled_arrivals.remove(&(t - 1, to.0));
+                    // Fail-stopped receivers drop arrivals on the floor.
+                    if let Some(f) = &cfg.faults {
+                        if f.stopped(to, t - 1) {
+                            loss_report.stopped_receives += 1;
+                            taint
+                                .entry((to.0, packet.seq()))
+                                .or_insert(crate::faults::FaultCause::Crash);
+                            continue;
+                        }
+                    }
                     let cell = &mut state.held[to.index()];
                     if !cell.insert(packet.seq()) {
                         stats.record_duplicate();
@@ -245,6 +263,9 @@ impl Simulator {
                 if let Some(f) = &cfg.faults {
                     if f.crashed(tx.from, t) {
                         loss_report.crash_suppressed += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Crash);
                         continue;
                     }
                 }
@@ -258,10 +279,25 @@ impl Simulator {
                         });
                     }
                 } else if !state.held[tx.from.index()].contains(&tx.packet.seq()) {
-                    if cfg.faults.is_some() {
-                        // Loss propagating downstream: the node cannot
-                        // forward what it never received.
+                    if let Some(f) = &cfg.faults {
+                        // A fault propagating downstream: the node cannot
+                        // forward what it never received. Attribute the
+                        // suppression to whatever first took out the
+                        // sender's copy.
+                        let cause = taint
+                            .get(&(tx.from.0, tx.packet.seq()))
+                            .copied()
+                            .unwrap_or(crate::faults::default_cause(f));
                         loss_report.propagation_suppressed += 1;
+                        match cause {
+                            crate::faults::FaultCause::Loss => {
+                                loss_report.propagation_from_loss += 1
+                            }
+                            crate::faults::FaultCause::Crash => {
+                                loss_report.propagation_from_crash += 1
+                            }
+                        }
+                        taint.entry((tx.to.0, tx.packet.seq())).or_insert(cause);
                         continue;
                     }
                     return Err(CoreError::PacketNotHeld {
@@ -290,6 +326,9 @@ impl Simulator {
                 if let (Some(f), Some(r)) = (&cfg.faults, rng.as_mut()) {
                     if f.loss_rate > 0.0 && r.gen_bool(f.loss_rate) {
                         loss_report.lost_in_flight += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Loss);
                         continue;
                     }
                 }
@@ -325,6 +364,12 @@ impl Simulator {
         //    slots_run; count them so tight horizons still complete.)
         for (arrival_slot, batch) in pending {
             for (to, packet) in batch {
+                if let Some(f) = &cfg.faults {
+                    if f.stopped(to, arrival_slot) {
+                        loss_report.stopped_receives += 1;
+                        continue;
+                    }
+                }
                 arrivals.record(to, packet, Slot(arrival_slot + 1));
             }
         }
@@ -353,6 +398,9 @@ impl Simulator {
             });
         }
 
+        let resilience = cfg.faults.as_ref().map(|_| {
+            crate::resilience::ResilienceMetrics::from_missing(loss_report.total_missing() as u64)
+        });
         Ok(RunResult {
             scheme: scheme.name(),
             slots_run,
@@ -363,6 +411,7 @@ impl Simulator {
             loss: cfg.faults.as_ref().map(|_| loss_report),
             trace,
             upload_counts: stats.upload_counts().to_vec(),
+            resilience,
         })
     }
 }

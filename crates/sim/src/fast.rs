@@ -339,6 +339,10 @@ impl FastEngine {
 
         use rand::{Rng, SeedableRng};
         let mut loss_report = crate::faults::LossReport::default();
+        // First cause each (node, packet) copy went missing for; key
+        // lookups only (never iterated), so a HashMap stays deterministic.
+        let mut taint: std::collections::HashMap<(u32, u64), crate::faults::FaultCause> =
+            std::collections::HashMap::new();
         let mut rng = cfg
             .faults
             .as_ref()
@@ -358,6 +362,16 @@ impl FastEngine {
                     for k in 0..self.batch.len() {
                         let (to, packet) = self.batch[k];
                         self.ring.release(cell_idx, to);
+                        // Fail-stopped receivers drop arrivals on the floor.
+                        if let Some(f) = &cfg.faults {
+                            if f.stopped(to, t - 1) {
+                                loss_report.stopped_receives += 1;
+                                taint
+                                    .entry((to.0, packet.seq()))
+                                    .or_insert(crate::faults::FaultCause::Crash);
+                                continue;
+                            }
+                        }
                         if !self.state.held[to.index()].insert(packet.seq()) {
                             self.stats.duplicate_deliveries += 1;
                             continue;
@@ -410,6 +424,9 @@ impl FastEngine {
                 if let Some(f) = &cfg.faults {
                     if f.crashed(tx.from, t) {
                         loss_report.crash_suppressed += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Crash);
                         continue;
                     }
                 }
@@ -422,8 +439,21 @@ impl FastEngine {
                         });
                     }
                 } else if !self.state.held[tx.from.index()].contains(tx.packet.seq()) {
-                    if cfg.faults.is_some() {
+                    if let Some(f) = &cfg.faults {
+                        let cause = taint
+                            .get(&(tx.from.0, tx.packet.seq()))
+                            .copied()
+                            .unwrap_or(crate::faults::default_cause(f));
                         loss_report.propagation_suppressed += 1;
+                        match cause {
+                            crate::faults::FaultCause::Loss => {
+                                loss_report.propagation_from_loss += 1
+                            }
+                            crate::faults::FaultCause::Crash => {
+                                loss_report.propagation_from_crash += 1
+                            }
+                        }
+                        taint.entry((tx.to.0, tx.packet.seq())).or_insert(cause);
                         continue;
                     }
                     return Err(CoreError::PacketNotHeld {
@@ -450,6 +480,9 @@ impl FastEngine {
                 if let (Some(f), Some(r)) = (&cfg.faults, rng.as_mut()) {
                     if f.loss_rate > 0.0 && r.gen_bool(f.loss_rate) {
                         loss_report.lost_in_flight += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Loss);
                         continue;
                     }
                 }
@@ -490,6 +523,12 @@ impl FastEngine {
             }
             std::mem::swap(&mut self.ring.cells[cell_idx], &mut self.batch);
             for &(to, packet) in &self.batch {
+                if let Some(f) = &cfg.faults {
+                    if f.stopped(to, arrival_slot) {
+                        loss_report.stopped_receives += 1;
+                        continue;
+                    }
+                }
                 arrivals.record(to, packet, Slot(arrival_slot + 1));
             }
             self.batch.clear();
@@ -518,6 +557,9 @@ impl FastEngine {
             });
         }
 
+        let resilience = cfg.faults.as_ref().map(|_| {
+            crate::resilience::ResilienceMetrics::from_missing(loss_report.total_missing() as u64)
+        });
         Ok(RunResult {
             scheme: scheme.name(),
             slots_run,
@@ -528,6 +570,7 @@ impl FastEngine {
             loss: cfg.faults.as_ref().map(|_| loss_report),
             trace,
             upload_counts: self.stats.uploads.clone(),
+            resilience,
         })
     }
 }

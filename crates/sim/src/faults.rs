@@ -8,6 +8,16 @@
 //! crashed node is interior in only one of `d` trees, so its subtree loses
 //! only every `d`-th packet).
 //!
+//! Two crash flavors are modelled:
+//!
+//! * **fail-silent uplink** ([`FaultPlan::crash`]): the node stops
+//!   *sending* from its crash slot onward but keeps receiving and playing
+//!   — the worst case for contribution-based overlays;
+//! * **fail-stop** ([`FaultPlan::fail_stop`]): the node stops sending
+//!   *and* receiving/playing — a true process crash. In-flight packets
+//!   addressed to it are dropped on arrival (counted in
+//!   [`LossReport::stopped_receives`]).
+//!
 //! With a [`FaultPlan`] installed, the engine:
 //!
 //! * drops each otherwise-valid transmission with probability
@@ -16,7 +26,9 @@
 //! * suppresses all sends from a node from its crash slot onward;
 //! * converts `PacketNotHeld` from a *non-source* sender into a counted
 //!   suppression instead of a hard error (a node cannot forward what it
-//!   never received — exactly how loss propagates downstream);
+//!   never received — exactly how loss propagates downstream), and
+//!   attributes each such suppression to the fault that originated it
+//!   ([`FaultCause`]: link loss vs. crash);
 //! * reports per-node missing packets instead of failing playback
 //!   analysis.
 
@@ -34,6 +46,9 @@ pub struct FaultPlan {
     /// still receives and plays; "fail-silent uplink", the worst case for
     /// contribution-based overlays.)
     pub crashes: Vec<(NodeId, u64)>,
+    /// `(node, slot)`: fail-stop crashes — the node stops sending **and**
+    /// receiving/playing from `slot` onward.
+    pub stop_crashes: Vec<(NodeId, u64)>,
 }
 
 impl FaultPlan {
@@ -44,21 +59,68 @@ impl FaultPlan {
             loss_rate,
             seed,
             crashes: Vec::new(),
+            stop_crashes: Vec::new(),
         }
     }
 
-    /// A single crash, no link loss.
+    /// A single fail-silent uplink crash, no link loss.
     pub fn crash(node: NodeId, slot: u64) -> Self {
         FaultPlan {
             loss_rate: 0.0,
             seed: 0,
             crashes: vec![(node, slot)],
+            stop_crashes: Vec::new(),
         }
     }
 
-    /// Whether `node` is crashed at `slot`.
+    /// A single fail-stop crash (stops receiving and playing too), no
+    /// link loss.
+    pub fn fail_stop(node: NodeId, slot: u64) -> Self {
+        FaultPlan {
+            loss_rate: 0.0,
+            seed: 0,
+            crashes: Vec::new(),
+            stop_crashes: vec![(node, slot)],
+        }
+    }
+
+    /// Whether `node`'s uplink is dead at `slot` (either crash flavor —
+    /// fail-stop implies fail-silent).
     pub fn crashed(&self, node: NodeId, slot: u64) -> bool {
-        self.crashes.iter().any(|&(n, s)| n == node && slot >= s)
+        self.crashes.iter().any(|&(n, s)| n == node && slot >= s) || self.stopped(node, slot)
+    }
+
+    /// Whether `node` has fail-stopped at `slot` (no longer receives or
+    /// plays).
+    pub fn stopped(&self, node: NodeId, slot: u64) -> bool {
+        self.stop_crashes
+            .iter()
+            .any(|&(n, s)| n == node && slot >= s)
+    }
+}
+
+/// The originating fault behind a missing packet copy: did the packet
+/// first disappear to the seeded loss process, or to a crashed node?
+/// Downstream suppressions inherit the cause of the copy the sender
+/// never received.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// Lost in flight by the link-loss process.
+    Loss,
+    /// Suppressed or dropped because of a crashed (fail-silent or
+    /// fail-stop) node.
+    Crash,
+}
+
+/// Fallback attribution for a suppression whose originating fault was
+/// never observed (e.g. a scheme asked a node to forward a packet no one
+/// ever sent it). Crashes are blamed when the plan contains any; pure
+/// loss plans blame loss.
+pub fn default_cause(plan: &FaultPlan) -> FaultCause {
+    if plan.crashes.is_empty() && plan.stop_crashes.is_empty() {
+        FaultCause::Loss
+    } else {
+        FaultCause::Crash
     }
 }
 
@@ -88,8 +150,15 @@ pub struct LossReport {
     /// Sends suppressed because the sender had crashed.
     pub crash_suppressed: u64,
     /// Sends suppressed because the sender never received the packet
-    /// (loss propagating downstream).
+    /// (faults propagating downstream). Always equals
+    /// `propagation_from_loss + propagation_from_crash`.
     pub propagation_suppressed: u64,
+    /// Downstream suppressions whose originating fault was link loss.
+    pub propagation_from_loss: u64,
+    /// Downstream suppressions whose originating fault was a crash.
+    pub propagation_from_crash: u64,
+    /// Arrivals dropped because the receiver had fail-stopped.
+    pub stopped_receives: u64,
     /// Per-node missing tracked packets (nodes with zero omitted).
     pub missing: Vec<(NodeId, usize)>,
 }
@@ -117,6 +186,18 @@ mod tests {
         assert!(p.crashed(NodeId(3), 10));
         assert!(p.crashed(NodeId(3), 99));
         assert!(!p.crashed(NodeId(4), 99));
+        // Fail-silent crashes do not stop the downlink.
+        assert!(!p.stopped(NodeId(3), 99));
+    }
+
+    #[test]
+    fn fail_stop_implies_fail_silent() {
+        let p = FaultPlan::fail_stop(NodeId(5), 4);
+        assert!(!p.stopped(NodeId(5), 3));
+        assert!(p.stopped(NodeId(5), 4));
+        assert!(p.crashed(NodeId(5), 4), "fail-stop also kills the uplink");
+        assert!(!p.crashed(NodeId(5), 3));
+        assert!(!p.stopped(NodeId(6), 100));
     }
 
     #[test]
@@ -138,6 +219,9 @@ mod tests {
             lost_in_flight: 4,
             crash_suppressed: 2,
             propagation_suppressed: 7,
+            propagation_from_loss: 5,
+            propagation_from_crash: 2,
+            stopped_receives: 0,
             missing: vec![(NodeId(1), 3), (NodeId(5), 2)],
         };
         assert_eq!(r.total_missing(), 5);

@@ -33,12 +33,14 @@ pub mod faults;
 pub mod metrics;
 pub mod parallel;
 pub mod playback;
+pub mod resilience;
 pub mod trace;
 
 pub use diff::{diff_fields, DiffHarness};
 pub use engine::{RunResult, SimConfig, Simulator};
 pub use fast::{FastEngine, FastSimulator};
-pub use faults::{FaultPlan, LossReport, LossyPlayback};
+pub use faults::{FaultCause, FaultPlan, LossReport, LossyPlayback};
 pub use parallel::{sweep, sweep_threads, sweep_with_threads};
 pub use playback::{ArrivalTable, PlaybackAnalysis};
+pub use resilience::ResilienceMetrics;
 pub use trace::{EventTrace, TraceEvent};

@@ -1,0 +1,95 @@
+//! Resilience metrics: what recovery (or its absence) cost a run.
+//!
+//! Every engine that runs with faults installed reports a
+//! [`ResilienceMetrics`] alongside the [`LossReport`](crate::LossReport),
+//! so slot runs, fail-silent DES runs and recovery-enabled DES runs are
+//! directly comparable. The slot engines have no recovery layer, so for
+//! them only the stall accounting is populated (one concealed stall slot
+//! per missing tracked packet); the DES recovery layer additionally fills
+//! the detection/repair/NACK counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Uniform resilience accounting reported by all engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ResilienceMetrics {
+    /// Playback interruptions: tracked packet instances a receiver had to
+    /// skip/conceal because the packet never arrived.
+    pub stall_events: u64,
+    /// Total stalled playback slots across receivers. Under the skip-one-
+    /// slot concealment model each missing packet stalls one slot, so this
+    /// equals `stall_events`; smarter concealment models may diverge.
+    pub stall_slots: u64,
+    /// Failures confirmed by the suspicion detector.
+    pub failures_detected: u64,
+    /// Tree repairs committed (appendix dynamics invoked mid-run).
+    pub repairs_committed: u64,
+    /// Sum over committed repairs of (commit tick − crash tick).
+    pub recovery_latency_total_ticks: u64,
+    /// Worst single recovery latency in ticks.
+    pub recovery_latency_max_ticks: u64,
+    /// Total nodes displaced by repairs (each bounded by `d²` per op).
+    pub displaced_total: u64,
+    /// NACK control messages sent by receivers.
+    pub nacks_sent: u64,
+    /// Retransmissions actually put on the wire in response to NACKs.
+    pub retransmissions: u64,
+    /// Gap packets eventually filled by a retransmission.
+    pub repaired_packets: u64,
+    /// Gap packets given up on (retry budget or repair buffer exhausted);
+    /// the receiver skips them and records a hiccup.
+    pub abandoned_packets: u64,
+    /// Total control-plane messages (NACKs plus repair-protocol traffic);
+    /// the overhead to weigh against delivered-fraction gains.
+    pub control_messages: u64,
+}
+
+impl ResilienceMetrics {
+    /// Stall-only metrics: the accounting every engine can derive from a
+    /// finished arrival table (one concealed stall slot per missing
+    /// tracked packet). The recovery-specific counters stay zero.
+    pub fn from_missing(total_missing: u64) -> Self {
+        ResilienceMetrics {
+            stall_events: total_missing,
+            stall_slots: total_missing,
+            ..ResilienceMetrics::default()
+        }
+    }
+
+    /// Mean recovery latency in slots, if any repair committed.
+    pub fn avg_recovery_latency_slots(&self, ticks_per_slot: u64) -> Option<f64> {
+        if self.repairs_committed == 0 {
+            return None;
+        }
+        Some(
+            self.recovery_latency_total_ticks as f64
+                / self.repairs_committed as f64
+                / ticks_per_slot as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_missing_fills_only_stalls() {
+        let m = ResilienceMetrics::from_missing(7);
+        assert_eq!(m.stall_events, 7);
+        assert_eq!(m.stall_slots, 7);
+        assert_eq!(m.failures_detected, 0);
+        assert_eq!(m.nacks_sent, 0);
+        assert_eq!(m, ResilienceMetrics::from_missing(7));
+    }
+
+    #[test]
+    fn avg_latency_needs_a_repair() {
+        let mut m = ResilienceMetrics::default();
+        assert!(m.avg_recovery_latency_slots(1024).is_none());
+        m.repairs_committed = 2;
+        m.recovery_latency_total_ticks = 4096;
+        let avg = m.avg_recovery_latency_slots(1024).unwrap();
+        assert!((avg - 2.0).abs() < 1e-12);
+    }
+}

@@ -20,6 +20,13 @@ pub enum ChurnAction {
         /// Rank of the departing member among current members.
         victim_rank: usize,
     },
+    /// A previously departed member comes back (same identity — the
+    /// recovery layer readmits it rather than treating it as a stranger).
+    Rejoin {
+        /// Rank of the returning member among currently departed members
+        /// (ascending id order, 0-based).
+        departed_rank: usize,
+    },
 }
 
 /// One timestamped churn event.
@@ -43,6 +50,10 @@ pub struct ChurnTraceConfig {
     /// Expected per-member departure probability per slot
     /// (1 / mean lifetime).
     pub leave_rate: f64,
+    /// Expected per-departed-member return probability per slot
+    /// (1 / mean downtime). Zero (the default for existing traces)
+    /// means nobody comes back.
+    pub rejoin_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -72,6 +83,11 @@ pub enum ResolvedChurnAction {
         /// The departing member's id.
         ext: u64,
     },
+    /// The previously departed member with this external id returned.
+    Rejoin {
+        /// The returning member's id.
+        ext: u64,
+    },
 }
 
 /// One timestamped resolved churn event.
@@ -96,12 +112,16 @@ impl ChurnTrace {
     pub fn generate(config: ChurnTraceConfig) -> Self {
         assert!(config.initial_members >= 2);
         assert!(config.join_rate >= 0.0 && config.leave_rate >= 0.0);
+        assert!(config.rejoin_rate >= 0.0);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut events = Vec::new();
 
         // Next-arrival sampling; departures are sampled per-slot from the
-        // aggregate rate members·leave_rate (thinned Poisson).
+        // aggregate rate members·leave_rate (thinned Poisson), rejoins
+        // likewise from departed·rejoin_rate. With rejoin_rate = 0 the
+        // draw sequence is identical to pre-rejoin traces.
         let mut members = config.initial_members;
+        let mut departed = 0usize;
         let mut next_join = if config.join_rate > 0.0 {
             exp_sample(&mut rng, config.join_rate)
         } else {
@@ -125,6 +145,19 @@ impl ChurnTrace {
                         action: ChurnAction::Leave { victim_rank },
                     });
                     members -= 1;
+                    departed += 1;
+                }
+            }
+            if config.rejoin_rate > 0.0 && departed > 0 {
+                let p = (departed as f64 * config.rejoin_rate).min(1.0);
+                if rng.gen_bool(p) {
+                    let departed_rank = rng.gen_range(0..departed);
+                    events.push(ChurnEvent {
+                        slot,
+                        action: ChurnAction::Rejoin { departed_rank },
+                    });
+                    departed -= 1;
+                    members += 1;
                 }
             }
         }
@@ -145,6 +178,8 @@ impl ChurnTrace {
         let mut members: Vec<u64> = initial.to_vec();
         members.sort_unstable();
         let mut next = members.last().map_or(1, |m| m + 1);
+        // Currently departed ids in ascending order; rejoins pick from it.
+        let mut gone: Vec<u64> = Vec::new();
         let mut out = Vec::with_capacity(self.events.len());
         for e in &self.events {
             match e.action {
@@ -170,9 +205,23 @@ impl ChurnTrace {
                     }
                     let idx = eligible[victim_rank % eligible.len()];
                     let ext = members.remove(idx);
+                    let at = gone.binary_search(&ext).unwrap_err();
+                    gone.insert(at, ext);
                     out.push(ResolvedChurnEvent {
                         slot: e.slot,
                         action: ResolvedChurnAction::Leave { ext },
+                    });
+                }
+                ChurnAction::Rejoin { departed_rank } => {
+                    if gone.is_empty() {
+                        continue;
+                    }
+                    let ext = gone.remove(departed_rank % gone.len());
+                    let at = members.binary_search(&ext).unwrap_err();
+                    members.insert(at, ext);
+                    out.push(ResolvedChurnEvent {
+                        slot: e.slot,
+                        action: ResolvedChurnAction::Rejoin { ext },
                     });
                 }
             }
@@ -185,7 +234,7 @@ impl ChurnTrace {
         let mut m = self.config.initial_members as isize;
         for e in &self.events {
             match e.action {
-                ChurnAction::Join => m += 1,
+                ChurnAction::Join | ChurnAction::Rejoin { .. } => m += 1,
                 ChurnAction::Leave { .. } => m -= 1,
             }
         }
@@ -213,6 +262,7 @@ mod tests {
             slots: 500,
             join_rate: 0.1,
             leave_rate: 0.005,
+            rejoin_rate: 0.0,
             seed,
         }
     }
@@ -228,8 +278,12 @@ mod tests {
 
     #[test]
     fn events_are_time_ordered_and_ranks_valid() {
-        let t = ChurnTrace::generate(cfg(3));
+        let t = ChurnTrace::generate(ChurnTraceConfig {
+            rejoin_rate: 0.02,
+            ..cfg(3)
+        });
         let mut members = t.config.initial_members;
+        let mut departed = 0usize;
         let mut last = 0u64;
         for e in &t.events {
             assert!(e.slot >= last);
@@ -239,6 +293,15 @@ mod tests {
                 ChurnAction::Leave { victim_rank } => {
                     assert!(victim_rank < members, "rank {victim_rank} of {members}");
                     members -= 1;
+                    departed += 1;
+                }
+                ChurnAction::Rejoin { departed_rank } => {
+                    assert!(
+                        departed_rank < departed,
+                        "rank {departed_rank} of {departed} departed"
+                    );
+                    departed -= 1;
+                    members += 1;
                 }
             }
         }
@@ -286,6 +349,7 @@ mod tests {
                 slots: 10,
                 join_rate: 0.0,
                 leave_rate: 0.0,
+                rejoin_rate: 0.0,
                 seed: 0,
             },
             events: vec![
@@ -331,6 +395,65 @@ mod tests {
         );
     }
 
+    #[test]
+    fn rejoin_returns_the_departed_identity() {
+        let mk = |action, slot| ChurnEvent { slot, action };
+        let t = ChurnTrace {
+            config: ChurnTraceConfig {
+                initial_members: 4,
+                slots: 10,
+                join_rate: 0.0,
+                leave_rate: 0.0,
+                rejoin_rate: 0.0,
+                seed: 0,
+            },
+            events: vec![
+                mk(ChurnAction::Leave { victim_rank: 2 }, 1), // id 3 leaves
+                mk(ChurnAction::Leave { victim_rank: 0 }, 2), // id 1 leaves
+                // Rank 1 among departed [1, 3] is id 3.
+                mk(ChurnAction::Rejoin { departed_rank: 1 }, 4),
+                // Rank 0 among departed [1] is id 1.
+                mk(ChurnAction::Rejoin { departed_rank: 0 }, 5),
+                // Nobody is departed any more: dropped.
+                mk(ChurnAction::Rejoin { departed_rank: 0 }, 6),
+            ],
+        };
+        let resolved = t.resolve(&[1, 2, 3, 4], &[]);
+        let actions: Vec<ResolvedChurnAction> = resolved.iter().map(|e| e.action).collect();
+        assert_eq!(
+            actions,
+            vec![
+                ResolvedChurnAction::Leave { ext: 3 },
+                ResolvedChurnAction::Leave { ext: 1 },
+                ResolvedChurnAction::Rejoin { ext: 3 },
+                ResolvedChurnAction::Rejoin { ext: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rejoin_rate_brings_members_back() {
+        let churny = ChurnTrace::generate(ChurnTraceConfig {
+            leave_rate: 0.02,
+            rejoin_rate: 0.1,
+            ..cfg(13)
+        });
+        assert!(
+            churny
+                .events
+                .iter()
+                .any(|e| matches!(e.action, ChurnAction::Rejoin { .. })),
+            "expected at least one rejoin"
+        );
+        // Zero rejoin rate keeps the pre-rejoin draw sequence intact.
+        let a = ChurnTrace::generate(cfg(13));
+        let b = ChurnTrace::generate(ChurnTraceConfig {
+            rejoin_rate: 0.0,
+            ..cfg(13)
+        });
+        assert_eq!(a, b);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -346,6 +469,7 @@ mod tests {
                 slots in 1u64..400,
                 join_permille in 0u32..500,
                 leave_permille in 0u32..50,
+                rejoin_permille in 0u32..200,
                 seed in any::<u64>(),
             ) {
                 let t = ChurnTrace::generate(ChurnTraceConfig {
@@ -353,6 +477,7 @@ mod tests {
                     slots,
                     join_rate: join_permille as f64 / 1000.0,
                     leave_rate: leave_permille as f64 / 1000.0,
+                    rejoin_rate: rejoin_permille as f64 / 1000.0,
                     seed,
                 });
                 for w in t.events.windows(2) {
@@ -372,6 +497,7 @@ mod tests {
                 slots in 1u64..400,
                 join_permille in 0u32..500,
                 leave_permille in 1u32..80,
+                rejoin_permille in 0u32..200,
                 seed in any::<u64>(),
                 n_protected in 0usize..5,
             ) {
@@ -380,6 +506,7 @@ mod tests {
                     slots,
                     join_rate: join_permille as f64 / 1000.0,
                     leave_rate: leave_permille as f64 / 1000.0,
+                    rejoin_rate: rejoin_permille as f64 / 1000.0,
                     seed,
                 });
                 // Members 1..=initial; the source is id 0 (never a
@@ -389,7 +516,7 @@ mod tests {
                 protected.extend(1..=(n_protected.min(initial) as u64));
                 let resolved = t.resolve(&members, &protected);
 
-                let mut seen = std::collections::HashSet::new();
+                let mut away = std::collections::HashSet::new();
                 let mut last_slot = 0u64;
                 let mut max_id = initial as u64;
                 for e in &resolved {
@@ -402,13 +529,19 @@ mod tests {
                                 "protected node {ext} departed"
                             );
                             prop_assert!(
-                                seen.insert(ext),
-                                "node {ext} departed twice"
+                                away.insert(ext),
+                                "node {ext} departed while already away"
                             );
                         }
                         ResolvedChurnAction::Join { ext } => {
                             prop_assert!(ext > max_id, "join id {ext} not fresh");
                             max_id = ext;
+                        }
+                        ResolvedChurnAction::Rejoin { ext } => {
+                            prop_assert!(
+                                away.remove(&ext),
+                                "node {ext} rejoined without departing"
+                            );
                         }
                     }
                 }
@@ -422,8 +555,12 @@ mod tests {
     fn replays_against_dynamic_membership() {
         // A minimal membership tracker replaying the trace: the contract
         // every consumer relies on.
-        let t = ChurnTrace::generate(cfg(11));
+        let t = ChurnTrace::generate(ChurnTraceConfig {
+            rejoin_rate: 0.03,
+            ..cfg(11)
+        });
         let mut members: Vec<u64> = (1..=t.config.initial_members as u64).collect();
+        let mut away: Vec<u64> = Vec::new();
         let mut next = members.len() as u64 + 1;
         for e in &t.events {
             match e.action {
@@ -432,7 +569,14 @@ mod tests {
                     next += 1;
                 }
                 ChurnAction::Leave { victim_rank } => {
-                    members.remove(victim_rank);
+                    let ext = members.remove(victim_rank);
+                    let at = away.binary_search(&ext).unwrap_err();
+                    away.insert(at, ext);
+                }
+                ChurnAction::Rejoin { departed_rank } => {
+                    let ext = away.remove(departed_rank);
+                    let at = members.binary_search(&ext).unwrap_err();
+                    members.insert(at, ext);
                 }
             }
         }

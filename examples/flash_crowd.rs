@@ -16,6 +16,7 @@ fn main() -> Result<(), CoreError> {
         slots: 3000,
         join_rate: 0.15,   // flash crowd: ~450 expected joins
         leave_rate: 0.001, // and a slow trickle of departures
+        rejoin_rate: 0.0,
         seed: 2026,
     };
     let trace = ChurnTrace::generate(cfg);
@@ -32,7 +33,7 @@ fn main() -> Result<(), CoreError> {
         let mut displaced_total = 0usize;
         for e in &trace.events {
             let report = match e.action {
-                ChurnAction::Join => forest.add().1,
+                ChurnAction::Join | ChurnAction::Rejoin { .. } => forest.add().1,
                 ChurnAction::Leave { victim_rank } => {
                     let members = forest.members();
                     forest.remove(members[victim_rank])?

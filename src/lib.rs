@@ -52,7 +52,9 @@
 //!   closed forms;
 //! * [`npc`](mod@npc) — the Two Interior-Disjoint Tree problem and
 //!   the E-4 Set Splitting reduction;
-//! * [`workloads`](mod@workloads) — churn traces and sweep grids.
+//! * [`workloads`](mod@workloads) — churn traces and sweep grids;
+//! * [`recovery`](mod@recovery) — failure detection, self-healing tree
+//!   repair and NACK retransmission.
 
 #![warn(missing_docs)]
 
@@ -64,6 +66,7 @@ pub use clustream_hypercube as hypercube;
 pub use clustream_multitree as multitree;
 pub use clustream_npc as npc;
 pub use clustream_overlay as overlay;
+pub use clustream_recovery as recovery;
 pub use clustream_sim as sim;
 pub use clustream_workloads as workloads;
 
@@ -90,6 +93,7 @@ pub mod prelude {
         DynamicForest, MultiTreeScheme, StreamMode,
     };
     pub use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
+    pub use clustream_recovery::{RecoveryConfig, RecoveryMode, SelfHealingMultiTree};
     pub use clustream_sim::{
         diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, RunResult,
         SimConfig, Simulator,

@@ -26,12 +26,15 @@ fn divergence(factory: impl FnMut() -> Box<dyn Scheme>, cfg: &SimConfig) -> Opti
 }
 
 /// Build the fault plan for a sampled case. `crash_sel` picks none /
-/// a source-adjacent node from slot 0 / a mid-population node later.
+/// a source-adjacent node from slot 0 / a mid-population node later /
+/// the fail-stop (deaf *and* mute) variants of the same two shapes.
 fn fault_plan(n: usize, loss_permille: u32, seed: u64, crash_sel: usize) -> FaultPlan {
     let mut plan = FaultPlan::loss(loss_permille as f64 / 1000.0, seed);
     match crash_sel {
         1 => plan.crashes.push((NodeId(1), 0)),
         2 => plan.crashes.push((NodeId((n / 2).max(1) as u32), 6)),
+        3 => plan.stop_crashes.push((NodeId(1), 0)),
+        4 => plan.stop_crashes.push((NodeId((n / 2).max(1) as u32), 6)),
         _ => {}
     }
     plan
@@ -66,7 +69,7 @@ proptest! {
         d in 1usize..5,
         loss_permille in 0u32..400,
         seed in any::<u64>(),
-        crash_sel in 0usize..3,
+        crash_sel in 0usize..5,
     ) {
         let plan = fault_plan(n, loss_permille, seed, crash_sel);
         let cfg = SimConfig::with_faults(16, 400, plan).traced();
@@ -100,7 +103,7 @@ proptest! {
         n in 2usize..120,
         loss_permille in 0u32..400,
         seed in any::<u64>(),
-        crash_sel in 0usize..3,
+        crash_sel in 0usize..5,
     ) {
         let plan = fault_plan(n, loss_permille, seed, crash_sel);
         let cfg = SimConfig::with_faults(16, 400, plan);
@@ -299,4 +302,47 @@ fn regression_des_fixed_fault_seeds_agree() {
         );
         assert!(div.is_none(), "n={n} d={d} seed={seed}: {div:?}");
     }
+}
+
+/// Fail-stop (deaf and mute) crashes: the DES must drop arrivals at a
+/// stopped receiver in exactly the slot engines' order, including the
+/// post-horizon flush, and report the identical `stopped_receives`.
+#[test]
+fn regression_des_fail_stop_agrees() {
+    for (n, stop_at) in [(20usize, 0u64), (30, 4), (40, 11)] {
+        let mut plan = FaultPlan::fail_stop(NodeId(1), stop_at);
+        plan.loss_rate = 0.05;
+        let cfg = SimConfig::with_faults(16, 300, plan).traced();
+        let div = divergence(
+            || {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(n, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            },
+            &cfg,
+        );
+        assert!(div.is_none(), "n={n} stop_at={stop_at}: {div:?}");
+    }
+}
+
+/// The recovery layer in mode Off is inert: the slot-faithful oracle must
+/// keep passing with the recovery-enabled engine build (the new event
+/// classes exist but are never scheduled). The relaxed-regime analogue
+/// lives in tests/recovery.rs (`recovery_off_knobs_are_inert`).
+#[test]
+fn regression_des_recovery_off_stays_slot_faithful() {
+    let cfg = DesConfig::slot_faithful(SimConfig::until_complete(16, 100_000));
+    assert!(cfg.is_slot_faithful());
+    let plan = FaultPlan::loss(0.15, 21);
+    let div = divergence(
+        || {
+            Box::new(MultiTreeScheme::new(
+                greedy_forest(35, 3).unwrap(),
+                StreamMode::PreRecorded,
+            ))
+        },
+        &SimConfig::with_faults(16, 400, plan),
+    );
+    assert!(div.is_none(), "{div:?}");
 }

@@ -68,6 +68,7 @@ fn churn_traces_replay_identically_through_dynamics() {
         slots: 400,
         join_rate: 0.05,
         leave_rate: 0.01,
+        rejoin_rate: 0.0,
         seed: 11,
     };
     let replay = || {
@@ -75,7 +76,7 @@ fn churn_traces_replay_identically_through_dynamics() {
         let mut f = DynamicForest::new(20, 3, Construction::Greedy, true).unwrap();
         for e in &trace.events {
             match e.action {
-                ChurnAction::Join => {
+                ChurnAction::Join | ChurnAction::Rejoin { .. } => {
                     f.add();
                 }
                 ChurnAction::Leave { victim_rank } => {

@@ -277,3 +277,128 @@ fn lossy_runs_report_real_buffer_occupancy() {
         "lossy runs must report real buffer occupancy"
     );
 }
+
+#[test]
+fn fail_stop_that_never_triggers_equals_clean() {
+    // Satellite: threading a fail-stop plan through the engines must be a
+    // perfect no-op until the stop slot arrives. A stop scheduled past the
+    // horizon therefore reproduces the clean run bit for bit.
+    let mk = || MultiTreeScheme::new(greedy_forest(30, 3).unwrap(), StreamMode::PreRecorded);
+    let mut clean_scheme = mk();
+    let clean = Simulator::run(&mut clean_scheme, &SimConfig::until_complete(16, 100_000)).unwrap();
+
+    let mut plan = FaultPlan::fail_stop(NodeId(5), 1_000_000);
+    plan.loss_rate = 0.0;
+    let cfg = SimConfig::with_faults(16, 4 * clean.slots_run + 32, plan);
+    for engine in [
+        Simulator::run as fn(&mut dyn Scheme, &SimConfig) -> _,
+        FastSimulator::run,
+    ] {
+        let mut s = mk();
+        let r = engine(&mut s, &cfg).unwrap();
+        for q in &clean.qos.nodes {
+            let l = r.qos.node(q.node).unwrap();
+            assert_eq!(
+                (l.playback_delay, l.max_buffer),
+                (q.playback_delay, q.max_buffer),
+                "node {}",
+                q.node
+            );
+        }
+        let loss = r.loss.as_ref().unwrap();
+        assert_eq!(loss.total_missing(), 0);
+        assert_eq!(loss.stopped_receives, 0);
+    }
+}
+
+#[test]
+fn fail_stop_silences_sends_and_receives() {
+    // A fail-stopped node is deaf as well as mute: it suppresses its own
+    // sends (like a crash) *and* drops arrivals on the floor, so it shows
+    // up in the missing set itself while its descendants starve too.
+    let stop_at = 6u64;
+    let track = 24u64;
+    let mk = || MultiTreeScheme::new(greedy_forest(30, 3).unwrap(), StreamMode::PreRecorded);
+
+    // Node 1 is interior (it uploads in a clean run).
+    let mut probe = mk();
+    let clean = Simulator::run(&mut probe, &SimConfig::until_complete(track, 100_000)).unwrap();
+    assert!(clean.upload_counts[1] > 0);
+
+    let cfg = SimConfig::with_faults(track, 300, FaultPlan::fail_stop(NodeId(1), stop_at));
+    let reference = {
+        let mut s = mk();
+        Simulator::run(&mut s, &cfg).unwrap()
+    };
+    let fast = {
+        let mut s = mk();
+        FastSimulator::run(&mut s, &cfg).unwrap()
+    };
+    assert_eq!(diff_fields(&reference, &fast), Vec::<&str>::new());
+
+    let loss = reference.loss.as_ref().unwrap();
+    assert!(loss.stopped_receives > 0, "arrivals must be dropped");
+    assert!(loss.crash_suppressed > 0, "sends must be suppressed");
+    assert!(
+        loss.missing.iter().any(|&(n, _)| n == NodeId(1)),
+        "the stopped node itself goes starved"
+    );
+    // Fail-stop is a crash variant: every propagation loss it causes is
+    // attributed to the crash side of the split.
+    assert_eq!(loss.propagation_from_loss, 0);
+    assert_eq!(
+        loss.propagation_from_crash, loss.propagation_suppressed,
+        "crash-only plans attribute all propagation to the crash"
+    );
+    // And the uniform resilience report carries the stall accounting.
+    let resil = reference.resilience.unwrap();
+    assert_eq!(resil.stall_events, loss.total_missing() as u64);
+}
+
+#[test]
+fn propagation_split_attributes_each_originating_fault() {
+    // Satellite: the LossReport splits downstream suppression by the
+    // fault that originated it, and the split always sums to the total.
+    let mk = || MultiTreeScheme::new(greedy_forest(40, 3).unwrap(), StreamMode::PreRecorded);
+
+    // Loss-only plan: everything on the loss side.
+    let mut a = mk();
+    let lossy = Simulator::run(
+        &mut a,
+        &SimConfig::with_faults(24, 300, FaultPlan::loss(0.3, 7)),
+    )
+    .unwrap();
+    let lr = lossy.loss.as_ref().unwrap();
+    assert!(lr.propagation_suppressed > 0);
+    assert_eq!(lr.propagation_from_crash, 0);
+    assert_eq!(lr.propagation_from_loss, lr.propagation_suppressed);
+
+    // Crash-only plan: everything on the crash side.
+    let mut b = mk();
+    let crashed = Simulator::run(
+        &mut b,
+        &SimConfig::with_faults(24, 300, FaultPlan::crash(NodeId(1), 2)),
+    )
+    .unwrap();
+    let cr = crashed.loss.as_ref().unwrap();
+    assert!(cr.propagation_suppressed > 0);
+    assert_eq!(cr.propagation_from_loss, 0);
+    assert_eq!(cr.propagation_from_crash, cr.propagation_suppressed);
+
+    // Mixed plan: both sides populated, split exact, engines agree.
+    let mut plan = FaultPlan::loss(0.2, 11);
+    plan.crashes.push((NodeId(1), 4));
+    let cfg = SimConfig::with_faults(24, 300, plan);
+    let mut c = mk();
+    let mixed = Simulator::run(&mut c, &cfg).unwrap();
+    let mut d = mk();
+    let mixed_fast = FastSimulator::run(&mut d, &cfg).unwrap();
+    assert_eq!(diff_fields(&mixed, &mixed_fast), Vec::<&str>::new());
+    let mr = mixed.loss.as_ref().unwrap();
+    assert!(mr.propagation_from_loss > 0, "loss should propagate too");
+    assert!(mr.propagation_from_crash > 0, "the crash should propagate");
+    assert_eq!(
+        mr.propagation_from_loss + mr.propagation_from_crash,
+        mr.propagation_suppressed
+    );
+}
