@@ -3,55 +3,119 @@
 # before merging; no network access is required (all external-looking
 # dependencies resolve to the in-tree `shims/` crates via path deps, and
 # Cargo.lock is committed).
+#
+# Tiers:
+#   ci.sh quick   fmt + clippy + build + workspace tests (the edit loop)
+#   ci.sh full    quick + doc lint + differential oracles + CLI smoke
+#                 matrix + bench regression check (the merge gate;
+#                 default when no tier is given)
+#
+# Per-stage wall-clock timings are printed at the end of the run.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+TIER="${1:-full}"
+case "$TIER" in
+quick | full) ;;
+*)
+    echo "ci.sh: unknown tier \`$TIER\` (valid tiers: quick, full)" >&2
+    exit 2
+    ;;
+esac
+
 export CARGO_NET_OFFLINE=true
 
-echo "== fmt =="
-cargo fmt --all --check
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "== clippy =="
-cargo clippy --workspace --all-targets --offline -- -D warnings
+# stage <name> <command...>: run one gate stage and record its wall time.
+stage() {
+    local name="$1"
+    shift
+    echo "== $name =="
+    local t0=$SECONDS
+    "$@"
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((SECONDS - t0)))
+}
 
-echo "== build (release) =="
-cargo build --workspace --release --offline
-
-echo "== test =="
-cargo test --workspace -q --offline
-
-echo "== differential oracle =="
-cargo test -q --test differential --offline
-
-echo "== slot/DES differential oracle =="
-cargo test -q --test des_differential --offline
-
-echo "== DES smoke (slot-faithful equivalence, checked mode) =="
-cargo run -q --release --offline -p clustream-cli --bin clustream -- \
-    simulate --scheme multitree --n 30 --d 3 --runtime des-checked
-cargo run -q --release --offline -p clustream-cli --bin clustream -- \
-    simulate --scheme hypercube --n 25 --runtime des-checked
-cargo run -q --release --offline -p clustream-cli --bin clustream -- \
-    simulate --scheme chain --n 12 --runtime des \
-    --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
-
-echo "== recovery fault-matrix smoke =="
-# Every recovery tier across a small churn/loss matrix, plus the
-# duration-unit flags, through the real CLI.
-for rec in off repair repair+nack; do
+des_smoke() {
     cargo run -q --release --offline -p clustream-cli --bin clustream -- \
-        simulate --scheme multitree --n 30 --d 3 --track 32 --runtime des \
-        --recovery "$rec" --churn-leave 0.002 --churn-rejoin 0.001 \
-        --churn-slots 160 --churn-seed 7 \
-        --suspect-timeout 6slots --nack-timeout 4slots
+        simulate --scheme multitree --n 30 --d 3 --runtime des-checked
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme hypercube --n 25 --runtime des-checked
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme chain --n 12 --runtime des \
+        --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
+}
+
+telemetry_smoke() {
+    # The metrics pipeline end to end: instrumented run -> JSONL file ->
+    # offline report. First through the checked runtime, which doubles as
+    # the zero-cost-off oracle (the recorded run must stay bit-identical
+    # to the bare engines); then through a recovery run, which populates
+    # the recovery.* series (recovery needs the plain des runtime).
+    local out=target/ci-metrics.jsonl
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme hypercube --n 25 --runtime des-checked \
+        --metrics-out "$out"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        report "$out"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 30 --d 3 --runtime des \
+        --recovery repair+nack --churn-leave 0.002 --churn-slots 120 \
+        --churn-seed 7 --metrics-out "$out"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        report "$out"
+}
+
+recovery_smoke() {
+    # Every recovery tier across a small churn/loss matrix, plus the
+    # duration-unit flags, through the real CLI.
+    local rec
+    for rec in off repair repair+nack; do
+        cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+            simulate --scheme multitree --n 30 --d 3 --track 32 --runtime des \
+            --recovery "$rec" --churn-leave 0.002 --churn-rejoin 0.001 \
+            --churn-slots 160 --churn-seed 7 \
+            --suspect-timeout 6slots --nack-timeout 4slots
+    done
+}
+
+recovery_off_regression() {
+    # With recovery off (even with knobs set) the DES must stay
+    # bit-identical to the slot engines; the checked runtime enforces it
+    # field-by-field.
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 40 --d 3 --runtime des-checked
+    cargo test -q --test recovery --offline
+    cargo test -q --test faults --offline
+}
+
+stage "fmt" cargo fmt --all --check
+stage "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
+stage "build (release)" cargo build --workspace --release --offline
+stage "test" cargo test --workspace -q --offline
+
+if [ "$TIER" = full ]; then
+    stage "doc (-D warnings)" \
+        env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+    stage "differential oracle" cargo test -q --test differential --offline
+    stage "slot/DES differential oracle" cargo test -q --test des_differential --offline
+    stage "DES smoke (slot-faithful equivalence, checked mode)" des_smoke
+    stage "telemetry smoke (metrics-out + report)" telemetry_smoke
+    stage "recovery fault-matrix smoke" recovery_smoke
+    stage "recovery-off DES equivalence regression" recovery_off_regression
+    # Tolerance is wider than the bench_check default: shared-container
+    # timing noise of ±30% is routine here, and a real regression past
+    # 2x is still caught. Correctness fields are always compared exactly.
+    stage "bench regression check" \
+        cargo run -q --release --offline -p clustream-bench --bin bench_check -- --tolerance 0.5
+fi
+
+echo
+echo "stage timings ($TIER tier):"
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-48s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
 done
-
-echo "== recovery-off DES equivalence regression =="
-# With recovery off (even with knobs set) the DES must stay bit-identical
-# to the slot engines; the checked runtime enforces it field-by-field.
-cargo run -q --release --offline -p clustream-cli --bin clustream -- \
-    simulate --scheme multitree --n 40 --d 3 --runtime des-checked
-cargo test -q --test recovery --offline
-cargo test -q --test faults --offline
-
-echo "CI gate passed."
+echo "CI gate passed ($TIER tier)."

@@ -8,73 +8,12 @@
 //! under uniform link jitter vs the Theorem 2 `h·d` bound. A
 //! machine-readable summary is written to `BENCH_des.json`.
 
-use clustream_baselines::ChainScheme;
 use clustream_bench::ext_jitter_sweep;
 use clustream_bench::render_table;
+use clustream_bench::suites::{des_workloads, DesReport, ThroughputRow};
 use clustream_bench::timing::bench;
-use clustream_core::Scheme;
 use clustream_des::{DesConfig, DesEngine};
-use clustream_hypercube::HypercubeStream;
-use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
 use clustream_sim::{diff_fields, FastEngine, SimConfig};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct ThroughputRow {
-    workload: String,
-    slots_run: u64,
-    events: u64,
-    samples: usize,
-    des_min_ns: u64,
-    fast_min_ns: u64,
-    events_per_sec: f64,
-    /// DES wall time over fast-slot-engine wall time (the price of the
-    /// event queue; < 1.0 would mean the DES is somehow faster).
-    slowdown_vs_fast: f64,
-}
-
-#[derive(Serialize)]
-struct DesReport {
-    build: String,
-    threads: usize,
-    throughput: Vec<ThroughputRow>,
-    jitter_sweep: Vec<clustream_bench::JitterRow>,
-}
-
-struct Workload {
-    name: &'static str,
-    track: u64,
-    samples: usize,
-    make: Box<dyn Fn() -> Box<dyn Scheme>>,
-}
-
-fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "multitree_n2000_d3_track48",
-            track: 48,
-            samples: 5,
-            make: Box::new(|| {
-                Box::new(MultiTreeScheme::new(
-                    greedy_forest(2000, 3).unwrap(),
-                    StreamMode::PreRecorded,
-                ))
-            }),
-        },
-        Workload {
-            name: "hypercube_n1023_track64",
-            track: 64,
-            samples: 5,
-            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
-        },
-        Workload {
-            name: "chain_n1023_track8",
-            track: 8,
-            samples: 3,
-            make: Box::new(|| Box::new(ChainScheme::new(1023))),
-        },
-    ]
-}
 
 fn main() {
     let build = if cfg!(debug_assertions) {
@@ -88,7 +27,7 @@ fn main() {
 
     let mut fast = FastEngine::new();
     let mut throughput = Vec::new();
-    for w in workloads() {
+    for w in des_workloads() {
         let sim = SimConfig::until_complete(w.track, 1_000_000);
         let des_cfg = DesConfig::slot_faithful(sim.clone());
 

@@ -6,98 +6,10 @@
 //! the fast-engine speedup. A machine-readable summary is written to
 //! `BENCH_engine.json` in the current directory.
 
-use clustream_baselines::ChainScheme;
 use clustream_bench::render_table;
+use clustream_bench::suites::{engine_workloads, EngineReport, EngineRow};
 use clustream_bench::timing::bench;
-use clustream_core::Scheme;
-use clustream_hypercube::HypercubeStream;
-use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
 use clustream_sim::{diff_fields, FastEngine, SimConfig, Simulator};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct EngineRow {
-    workload: String,
-    slots_run: u64,
-    transmissions: u64,
-    samples: usize,
-    reference_min_ns: u64,
-    fast_min_ns: u64,
-    reference_slots_per_sec: f64,
-    fast_slots_per_sec: f64,
-    speedup: f64,
-}
-
-#[derive(Serialize)]
-struct EngineReport {
-    build: String,
-    threads: usize,
-    rows: Vec<EngineRow>,
-    min_speedup: f64,
-}
-
-struct Workload {
-    name: &'static str,
-    track: u64,
-    samples: usize,
-    make: Box<dyn Fn() -> Box<dyn Scheme>>,
-}
-
-fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "fig4_multitree_n2000_d3_track48",
-            track: 48,
-            samples: 10,
-            make: Box::new(|| {
-                Box::new(MultiTreeScheme::new(
-                    greedy_forest(2000, 3).unwrap(),
-                    StreamMode::PreRecorded,
-                ))
-            }),
-        },
-        Workload {
-            name: "fig4_multitree_n2000_d2_track48",
-            track: 48,
-            samples: 10,
-            make: Box::new(|| {
-                Box::new(MultiTreeScheme::new(
-                    greedy_forest(2000, 2).unwrap(),
-                    StreamMode::PreRecorded,
-                ))
-            }),
-        },
-        Workload {
-            name: "table1_multitree_n1023_d3_track64",
-            track: 64,
-            samples: 10,
-            make: Box::new(|| {
-                Box::new(MultiTreeScheme::new(
-                    greedy_forest(1023, 3).unwrap(),
-                    StreamMode::PreRecorded,
-                ))
-            }),
-        },
-        Workload {
-            name: "table1_hypercube_n1023_track64",
-            track: 64,
-            samples: 10,
-            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
-        },
-        Workload {
-            name: "table1_chain_n1023_track8",
-            track: 8,
-            samples: 5,
-            make: Box::new(|| Box::new(ChainScheme::new(1023))),
-        },
-        Workload {
-            name: "scale_hypercube_n20000_track64",
-            track: 64,
-            samples: 3,
-            make: Box::new(|| Box::new(HypercubeStream::new(20_000).unwrap())),
-        },
-    ]
-}
 
 fn main() {
     let build = if cfg!(debug_assertions) {
@@ -111,7 +23,7 @@ fn main() {
 
     let mut engine = FastEngine::new();
     let mut rows = Vec::new();
-    for w in workloads() {
+    for w in engine_workloads() {
         let cfg = SimConfig::until_complete(w.track, 1_000_000);
 
         // Correctness first: both engines must agree bit for bit.

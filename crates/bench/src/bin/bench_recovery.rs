@@ -9,104 +9,10 @@
 //! `BENCH_recovery.json`.
 
 use clustream_bench::render_table;
-use clustream_des::{DesConfig, DesEngine, TICKS_PER_SLOT};
-use clustream_multitree::{Construction, StreamMode};
-use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
-use clustream_workloads::{ChurnTrace, ChurnTraceConfig};
-use serde::Serialize;
-use std::time::Instant;
-
-const N: usize = 60;
-const D: usize = 3;
-const TRACK: u64 = 48;
-const HORIZON: u64 = 240;
-const SEED: u64 = 11;
-
-#[derive(Serialize)]
-struct RecoveryRow {
-    churn_rate: f64,
-    mode: String,
-    departures: usize,
-    /// Fraction of the N·track tracked packets that reached their node.
-    delivered_fraction: f64,
-    missing_packets: u64,
-    failures_detected: u64,
-    repairs_committed: u64,
-    displaced_total: u64,
-    recovery_latency_avg_slots: f64,
-    recovery_latency_max_slots: f64,
-    nacks_sent: u64,
-    retransmissions: u64,
-    repaired_packets: u64,
-    abandoned_packets: u64,
-    control_messages: u64,
-    /// Control messages per data transmission (the overhead the
-    /// recovery layer adds to the stream).
-    control_overhead: f64,
-    wall_ms: f64,
-}
-
-#[derive(Serialize)]
-struct RecoveryReport {
-    build: String,
-    n: usize,
-    d: usize,
-    track: u64,
-    horizon: u64,
-    rows: Vec<RecoveryRow>,
-}
-
-fn trace_for(rate: f64) -> ChurnTrace {
-    ChurnTrace::generate(ChurnTraceConfig {
-        initial_members: N,
-        slots: HORIZON,
-        join_rate: 0.0,
-        leave_rate: rate,
-        rejoin_rate: rate / 2.0,
-        seed: SEED,
-    })
-}
-
-fn run_tier(trace: &ChurnTrace, rate: f64, mode: &str, rec: RecoveryConfig) -> RecoveryRow {
-    let mut scheme =
-        SelfHealingMultiTree::new(N, D, StreamMode::PreRecorded, Construction::Greedy).unwrap();
-    let cfg = DesConfig::slot_faithful(clustream_sim::SimConfig::until_complete(TRACK, HORIZON))
-        .with_churn(trace.clone())
-        .with_recovery(rec);
-    let start = Instant::now();
-    let r = DesEngine::new().run(&mut scheme, &cfg).unwrap();
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    let missing = r.loss.as_ref().map_or(0, |l| l.total_missing()) as u64;
-    let expected = (N as u64) * TRACK;
-    let res = r.resilience.unwrap_or_default();
-    let departures = trace
-        .events
-        .iter()
-        .filter(|e| matches!(e.action, clustream_workloads::ChurnAction::Leave { .. }))
-        .count();
-    RecoveryRow {
-        churn_rate: rate,
-        mode: mode.to_string(),
-        departures,
-        delivered_fraction: 1.0 - missing as f64 / expected as f64,
-        missing_packets: missing,
-        failures_detected: res.failures_detected,
-        repairs_committed: res.repairs_committed,
-        displaced_total: res.displaced_total,
-        recovery_latency_avg_slots: res
-            .avg_recovery_latency_slots(TICKS_PER_SLOT)
-            .unwrap_or(0.0),
-        recovery_latency_max_slots: res.recovery_latency_max_ticks as f64 / TICKS_PER_SLOT as f64,
-        nacks_sent: res.nacks_sent,
-        retransmissions: res.retransmissions,
-        repaired_packets: res.repaired_packets,
-        abandoned_packets: res.abandoned_packets,
-        control_messages: res.control_messages,
-        control_overhead: res.control_messages as f64 / r.total_transmissions.max(1) as f64,
-        wall_ms,
-    }
-}
+use clustream_bench::suites::{
+    recovery_tiers, recovery_trace_for, run_recovery_tier, RecoveryReport, RECOVERY_D,
+    RECOVERY_HORIZON, RECOVERY_N, RECOVERY_RATES, RECOVERY_TRACK,
+};
 
 fn main() {
     let build = if cfg!(debug_assertions) {
@@ -118,16 +24,11 @@ fn main() {
         eprintln!("warning: debug build — wall times are not representative");
     }
 
-    let tiers = [
-        ("off", RecoveryConfig::default()),
-        ("repair", RecoveryConfig::repair()),
-        ("repair+nack", RecoveryConfig::repair_nack()),
-    ];
     let mut rows = Vec::new();
-    for &rate in &[0.0005, 0.002, 0.005] {
-        let trace = trace_for(rate);
-        for (mode, rec) in tiers {
-            rows.push(run_tier(&trace, rate, mode, rec));
+    for &rate in &RECOVERY_RATES {
+        let trace = recovery_trace_for(rate);
+        for (mode, rec) in recovery_tiers() {
+            rows.push(run_recovery_tier(&trace, rate, mode, rec));
         }
         // Tier monotonicity (repair ≥ off ≥ …) is only a theorem for
         // interior crashes without rejoins (see tests/recovery.rs); with
@@ -168,10 +69,10 @@ fn main() {
 
     let report = RecoveryReport {
         build: build.to_string(),
-        n: N,
-        d: D,
-        track: TRACK,
-        horizon: HORIZON,
+        n: RECOVERY_N,
+        d: RECOVERY_D,
+        track: RECOVERY_TRACK,
+        horizon: RECOVERY_HORIZON,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");

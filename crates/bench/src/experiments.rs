@@ -12,7 +12,7 @@ use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
 use clustream_sim::{FastEngine, RunResult, SimConfig, Simulator};
 use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Run a scheme until `track` packets reached every receiver.
 pub fn simulate(scheme: &mut dyn Scheme, track: u64) -> RunResult {
@@ -765,7 +765,7 @@ pub fn ext_crash(n: usize, d: usize, crash_slot: u64, track: u64) -> Vec<CrashRo
 
 /// One jitter level of the DES sweep: observed playback QoS under
 /// uniform link jitter vs the synchronous Theorem 2 `h·d` bound.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JitterRow {
     pub jitter_slots: f64,
     pub max_delay: u64,

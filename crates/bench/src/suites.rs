@@ -1,0 +1,344 @@
+//! Shared definitions of the committed bench suites.
+//!
+//! The `bench_engine` / `bench_des` / `bench_recovery` binaries measure
+//! these workloads and commit the results (`BENCH_engine.json`,
+//! `BENCH_des.json`, `BENCH_recovery.json` at the repo root);
+//! `bench_check` re-runs a reduced tier of the *same* definitions and
+//! fails when a throughput number regresses past tolerance or a
+//! correctness-derived field (slot counts, transmission counts, the
+//! deterministic recovery counters) changes at all. Keeping workload
+//! tables and row schemas in one module is what makes that comparison
+//! meaningful: both sides are guaranteed to run the same simulations.
+
+use clustream_baselines::ChainScheme;
+use clustream_core::Scheme;
+use clustream_des::{DesConfig, DesEngine, TICKS_PER_SLOT};
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, Construction, MultiTreeScheme, StreamMode};
+use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
+use clustream_sim::SimConfig;
+use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One named simulation workload of a bench suite.
+pub struct Workload {
+    /// Stable identifier, the join key against committed baseline rows.
+    pub name: &'static str,
+    /// Tracked-packet window.
+    pub track: u64,
+    /// Timing samples for the full bench run (reduced by `bench_check`).
+    pub samples: usize,
+    /// Fresh-scheme factory (engines mutate schemes, so every run gets
+    /// its own instance).
+    pub make: Box<dyn Fn() -> Box<dyn Scheme>>,
+}
+
+/// The reference-vs-fast slot-engine suite (`BENCH_engine.json`).
+pub fn engine_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "fig4_multitree_n2000_d3_track48",
+            track: 48,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "fig4_multitree_n2000_d2_track48",
+            track: 48,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 2).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "table1_multitree_n1023_d3_track64",
+            track: 64,
+            samples: 10,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(1023, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "table1_hypercube_n1023_track64",
+            track: 64,
+            samples: 10,
+            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
+        },
+        Workload {
+            name: "table1_chain_n1023_track8",
+            track: 8,
+            samples: 5,
+            make: Box::new(|| Box::new(ChainScheme::new(1023))),
+        },
+        Workload {
+            name: "scale_hypercube_n20000_track64",
+            track: 64,
+            samples: 3,
+            make: Box::new(|| Box::new(HypercubeStream::new(20_000).unwrap())),
+        },
+    ]
+}
+
+/// The DES-throughput suite (`BENCH_des.json`).
+pub fn des_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "multitree_n2000_d3_track48",
+            track: 48,
+            samples: 5,
+            make: Box::new(|| {
+                Box::new(MultiTreeScheme::new(
+                    greedy_forest(2000, 3).unwrap(),
+                    StreamMode::PreRecorded,
+                ))
+            }),
+        },
+        Workload {
+            name: "hypercube_n1023_track64",
+            track: 64,
+            samples: 5,
+            make: Box::new(|| Box::new(HypercubeStream::new(1023).unwrap())),
+        },
+        Workload {
+            name: "chain_n1023_track8",
+            track: 8,
+            samples: 3,
+            make: Box::new(|| Box::new(ChainScheme::new(1023))),
+        },
+    ]
+}
+
+// ---------------------------------------------------------- row schemas
+
+/// One engine-suite workload: both slot engines timed on it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineRow {
+    pub workload: String,
+    pub slots_run: u64,
+    pub transmissions: u64,
+    pub samples: usize,
+    pub reference_min_ns: u64,
+    pub fast_min_ns: u64,
+    pub reference_slots_per_sec: f64,
+    pub fast_slots_per_sec: f64,
+    pub speedup: f64,
+}
+
+/// `BENCH_engine.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineReport {
+    pub build: String,
+    pub threads: usize,
+    pub rows: Vec<EngineRow>,
+    pub min_speedup: f64,
+}
+
+/// One DES-suite workload: event throughput vs the fast slot engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThroughputRow {
+    pub workload: String,
+    pub slots_run: u64,
+    pub events: u64,
+    pub samples: usize,
+    pub des_min_ns: u64,
+    pub fast_min_ns: u64,
+    pub events_per_sec: f64,
+    /// DES wall time over fast-slot-engine wall time (the price of the
+    /// event queue; < 1.0 would mean the DES is somehow faster).
+    pub slowdown_vs_fast: f64,
+}
+
+/// `BENCH_des.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesReport {
+    pub build: String,
+    pub threads: usize,
+    pub throughput: Vec<ThroughputRow>,
+    pub jitter_sweep: Vec<crate::JitterRow>,
+}
+
+/// One recovery-suite cell: a (churn rate, recovery tier) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryRow {
+    pub churn_rate: f64,
+    pub mode: String,
+    pub departures: usize,
+    /// Fraction of the N·track tracked packets that reached their node.
+    pub delivered_fraction: f64,
+    pub missing_packets: u64,
+    pub failures_detected: u64,
+    pub repairs_committed: u64,
+    pub displaced_total: u64,
+    pub recovery_latency_avg_slots: f64,
+    pub recovery_latency_max_slots: f64,
+    pub nacks_sent: u64,
+    pub retransmissions: u64,
+    pub repaired_packets: u64,
+    pub abandoned_packets: u64,
+    pub control_messages: u64,
+    /// Control messages per data transmission (the overhead the
+    /// recovery layer adds to the stream).
+    pub control_overhead: f64,
+    pub wall_ms: f64,
+}
+
+/// `BENCH_recovery.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    pub build: String,
+    pub n: usize,
+    pub d: usize,
+    pub track: u64,
+    pub horizon: u64,
+    pub rows: Vec<RecoveryRow>,
+}
+
+// ------------------------------------------------------- recovery suite
+
+/// Recovery-suite population.
+pub const RECOVERY_N: usize = 60;
+/// Recovery-suite tree degree.
+pub const RECOVERY_D: usize = 3;
+/// Recovery-suite tracked-packet window.
+pub const RECOVERY_TRACK: u64 = 48;
+/// Recovery-suite playback horizon (churned runs never "complete").
+pub const RECOVERY_HORIZON: u64 = 240;
+/// Recovery-suite churn-trace seed.
+pub const RECOVERY_SEED: u64 = 11;
+/// Per-slot per-member departure rates swept by the recovery suite.
+pub const RECOVERY_RATES: [f64; 3] = [0.0005, 0.002, 0.005];
+
+/// The seeded churn trace replayed through every tier at `rate`.
+pub fn recovery_trace_for(rate: f64) -> ChurnTrace {
+    ChurnTrace::generate(ChurnTraceConfig {
+        initial_members: RECOVERY_N,
+        slots: RECOVERY_HORIZON,
+        join_rate: 0.0,
+        leave_rate: rate,
+        rejoin_rate: rate / 2.0,
+        seed: RECOVERY_SEED,
+    })
+}
+
+/// The three recovery tiers, weakest first.
+pub fn recovery_tiers() -> [(&'static str, RecoveryConfig); 3] {
+    [
+        ("off", RecoveryConfig::default()),
+        ("repair", RecoveryConfig::repair()),
+        ("repair+nack", RecoveryConfig::repair_nack()),
+    ]
+}
+
+/// Replay `trace` through one recovery tier and summarize the outcome.
+///
+/// Every field except `wall_ms` is deterministic given the trace, so
+/// `bench_check` compares those exactly against the committed baseline.
+pub fn run_recovery_tier(
+    trace: &ChurnTrace,
+    rate: f64,
+    mode: &str,
+    rec: RecoveryConfig,
+) -> RecoveryRow {
+    let mut scheme = SelfHealingMultiTree::new(
+        RECOVERY_N,
+        RECOVERY_D,
+        StreamMode::PreRecorded,
+        Construction::Greedy,
+    )
+    .unwrap();
+    let cfg = DesConfig::slot_faithful(SimConfig::until_complete(RECOVERY_TRACK, RECOVERY_HORIZON))
+        .with_churn(trace.clone())
+        .with_recovery(rec);
+    let start = Instant::now();
+    let r = DesEngine::new().run(&mut scheme, &cfg).unwrap();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let missing = r.loss.as_ref().map_or(0, |l| l.total_missing()) as u64;
+    let expected = (RECOVERY_N as u64) * RECOVERY_TRACK;
+    let res = r.resilience.unwrap_or_default();
+    let departures = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.action, ChurnAction::Leave { .. }))
+        .count();
+    RecoveryRow {
+        churn_rate: rate,
+        mode: mode.to_string(),
+        departures,
+        delivered_fraction: 1.0 - missing as f64 / expected as f64,
+        missing_packets: missing,
+        failures_detected: res.failures_detected,
+        repairs_committed: res.repairs_committed,
+        displaced_total: res.displaced_total,
+        recovery_latency_avg_slots: res
+            .avg_recovery_latency_slots(TICKS_PER_SLOT)
+            .unwrap_or(0.0),
+        recovery_latency_max_slots: res.recovery_latency_max_ticks as f64 / TICKS_PER_SLOT as f64,
+        nacks_sent: res.nacks_sent,
+        retransmissions: res.retransmissions,
+        repaired_packets: res.repaired_packets,
+        abandoned_packets: res.abandoned_packets,
+        control_messages: res.control_messages,
+        control_overhead: res.control_messages as f64 / r.total_transmissions.max(1) as f64,
+        wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_are_unique() {
+        for suite in [engine_workloads(), des_workloads()] {
+            let mut names: Vec<&str> = suite.iter().map(|w| w.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), suite.len(), "duplicate workload name");
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let report = EngineReport {
+            build: "release".into(),
+            threads: 4,
+            rows: vec![EngineRow {
+                workload: "w".into(),
+                slots_run: 10,
+                transmissions: 20,
+                samples: 3,
+                reference_min_ns: 100,
+                fast_min_ns: 25,
+                reference_slots_per_sec: 1e6,
+                fast_slots_per_sec: 4e6,
+                speedup: 4.0,
+            }],
+            min_speedup: 4.0,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: EngineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows[0].slots_run, 10);
+        assert_eq!(back.rows[0].workload, "w");
+        assert!((back.min_speedup - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_trace_is_deterministic() {
+        let a = recovery_trace_for(0.002);
+        let b = recovery_trace_for(0.002);
+        assert_eq!(a.events.len(), b.events.len());
+    }
+}

@@ -11,6 +11,7 @@ use clustream_multitree::{
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
 use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
 use clustream_sim::{DiffHarness, FastSimulator, RunResult, SimConfig, Simulator};
+use clustream_telemetry::{from_jsonl, names as tm, to_jsonl, Histogram, MemoryRecorder};
 use clustream_workloads::{ChurnTrace, ChurnTraceConfig};
 use std::fmt::Write as _;
 
@@ -234,7 +235,13 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
         Some(trace) => args.u64_or("horizon", trace.config.slots.max(4 * track))?,
         None => 1_000_000,
     };
-    let cfg = SimConfig::until_complete(track, horizon);
+    let metrics = args
+        .optional("metrics-out")
+        .map(|p| (p.to_string(), MemoryRecorder::handle()));
+    let mut cfg = SimConfig::until_complete(track, horizon);
+    if let Some((_, (_, tel))) = &metrics {
+        cfg = cfg.with_telemetry(tel.clone());
+    }
     let mut des_stats = None;
     let (engine_name, r) = match runtime {
         RuntimeChoice::Slot => {
@@ -387,7 +394,160 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
         );
         let _ = writeln!(out, "control msgs: {}", res.control_messages);
     }
+    if let Some((path, (rec, _))) = &metrics {
+        std::fs::write(path, to_jsonl(&rec.snapshot()))
+            .map_err(|e| CliError::Usage(format!("cannot write --metrics-out `{path}`: {e}")))?;
+        let _ = writeln!(out, "metrics     : {path}");
+    }
     Ok(out)
+}
+
+/// `clustream report`: summarize a `--metrics-out` JSONL file.
+pub fn report(argv: &[String]) -> Result<String, CliError> {
+    let [path] = argv else {
+        return Err(CliError::Usage(
+            "report takes exactly one argument: clustream report <metrics.jsonl>".into(),
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read metrics file `{path}`: {e}")))?;
+    let snap = from_jsonl(&text).map_err(|e| CliError::Model(format!("{path}: {e}")))?;
+    Ok(render_report(&snap))
+}
+
+/// Render a metrics snapshot into the delay/buffer summary tables. The
+/// playback labels mirror `simulate`'s output lines exactly, so the
+/// report of a run's metrics file reproduces the run's own summary.
+fn render_report(snap: &clustream_telemetry::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let delay = snap.histogram(tm::ENGINE_PLAYBACK_DELAY);
+    let buffer = snap.histogram(tm::ENGINE_BUFFER_OCCUPANCY);
+    if let Some(d) = &delay {
+        let _ = writeln!(out, "receivers   : {}", d.count());
+    }
+    if snap.counters.contains_key(tm::ENGINE_SLOTS) {
+        let _ = writeln!(out, "slots run   : {}", snap.counter(tm::ENGINE_SLOTS));
+    }
+    if let Some(d) = &delay {
+        let _ = writeln!(out, "max delay   : {} slots", d.max());
+        let _ = writeln!(out, "avg delay   : {:.2} slots", d.mean());
+        let _ = writeln!(
+            out,
+            "delay p50/90: {} / {} slots",
+            d.quantile(0.5),
+            d.quantile(0.9)
+        );
+    }
+    if let Some(b) = &buffer {
+        let _ = writeln!(out, "max buffer  : {} packets", b.max());
+        let _ = writeln!(out, "avg buffer  : {:.2} packets", b.mean());
+    }
+    if snap.counters.contains_key(tm::ENGINE_TRANSMISSIONS) {
+        let _ = writeln!(
+            out,
+            "transmissions: {}",
+            snap.counter(tm::ENGINE_TRANSMISSIONS)
+        );
+    }
+    if snap.counters.contains_key(tm::ENGINE_DELIVERIES) {
+        let _ = writeln!(out, "deliveries  : {}", snap.counter(tm::ENGINE_DELIVERIES));
+    }
+    if snap.counters.contains_key(tm::ENGINE_HICCUPS) {
+        let _ = writeln!(out, "hiccups     : {}", snap.counter(tm::ENGINE_HICCUPS));
+    }
+    if let Some(d) = &delay {
+        render_hist_table(&mut out, "delay distribution (slots)", d);
+    }
+    if let Some(b) = &buffer {
+        render_hist_table(&mut out, "buffer distribution (packets)", b);
+    }
+    if snap.counters.contains_key(tm::DES_EVENTS) {
+        let _ = writeln!(out, "\ndes events  : {}", snap.counter(tm::DES_EVENTS));
+        if let Some(rate) = snap.rate_per_sec(tm::DES_EVENTS, tm::DES_RUN) {
+            let _ = writeln!(out, "des rate    : {rate:.0} events/sec");
+        }
+        if let Some(depth) = snap.gauges.get(tm::DES_QUEUE_DEPTH_MAX) {
+            let _ = writeln!(out, "queue depth : {depth} max");
+        }
+        for (k, v) in &snap.counters {
+            if let Some(class) = k.strip_prefix(tm::DES_EVENT_PREFIX) {
+                let service = snap
+                    .spans
+                    .get(&format!("{}{class}", tm::DES_SERVICE_PREFIX))
+                    .map(|s| format!("  ({:.1} µs total service)", s.total_ns as f64 / 1e3))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "  {class:<16} {v}{service}");
+            }
+        }
+    }
+    if snap.counters.keys().any(|k| k.starts_with("recovery."))
+        || snap.histograms.keys().any(|k| k.starts_with("recovery."))
+    {
+        let _ = writeln!(out, "\nrecovery:");
+        for (label, name) in [
+            ("repairs", tm::RECOVERY_REPAIRS),
+            ("retransmits", tm::RECOVERY_RETRANSMITS),
+            ("abandons", tm::RECOVERY_ABANDONS),
+            ("control msgs", tm::RECOVERY_CONTROL_MESSAGES),
+        ] {
+            if snap.counters.contains_key(name) {
+                let _ = writeln!(out, "  {label:<16} {}", snap.counter(name));
+            }
+        }
+        let slots = |ticks: u64| ticks as f64 / TICKS_PER_SLOT as f64;
+        if let Some(h) = snap.histogram(tm::RECOVERY_DETECTION_LATENCY) {
+            let _ = writeln!(
+                out,
+                "  detection lat    {:.2} slots avg, {:.2} slots max",
+                slots(h.sum()) / h.count() as f64,
+                slots(h.max())
+            );
+        }
+        if let Some(h) = snap.histogram(tm::RECOVERY_NACK_RTT) {
+            let _ = writeln!(
+                out,
+                "  nack rtt         {:.2} slots avg, {:.2} slots max",
+                slots(h.sum()) / h.count() as f64,
+                slots(h.max())
+            );
+        }
+    }
+    if snap.counters.contains_key(tm::SWEEP_CELLS) {
+        let _ = writeln!(out, "\nsweep cells : {}", snap.counter(tm::SWEEP_CELLS));
+        for (k, v) in &snap.counters {
+            if let Some(w) = k.strip_prefix(tm::SWEEP_WORKER_CLAIMS_PREFIX) {
+                let busy = snap
+                    .spans
+                    .get(&format!("{}{w}", tm::SWEEP_WORKER_BUSY_PREFIX))
+                    .map(|s| format!("  ({:.1} ms busy)", s.total_ns as f64 / 1e6))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "  worker{w:<10} {v} cells{busy}");
+            }
+        }
+    }
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "\nspans:");
+        for (name, s) in &snap.spans {
+            let _ = writeln!(
+                out,
+                "  {name:<28} {:>8} × {:>10.3} ms total",
+                s.count,
+                s.total_ns as f64 / 1e6
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("metrics file holds no recognized series\n");
+    }
+    out
+}
+
+/// One histogram as an indented bucket table.
+fn render_hist_table(out: &mut String, title: &str, h: &Histogram) {
+    let _ = writeln!(out, "\n{title}:");
+    for (lo, hi, count) in h.nonzero_buckets() {
+        let _ = writeln!(out, "  [{lo:>6}, {hi:>6})  {count}");
+    }
 }
 
 /// Human-readable latency-model label for the `engine` output line.
@@ -1033,6 +1193,148 @@ mod tests {
         .is_err());
         let help = run(&argv(&["help"])).unwrap();
         assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn metrics_out_writes_file_and_report_reproduces_the_summary() {
+        let path = std::env::temp_dir().join(format!(
+            "clustream-metrics-roundtrip-{}.jsonl",
+            std::process::id()
+        ));
+        let path_s = path.to_str().unwrap().to_string();
+        let sim = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "5",
+            "--metrics-out",
+            &path_s,
+        ]))
+        .unwrap();
+        assert!(sim.contains(&format!("metrics     : {path_s}")), "{sim}");
+        let rep = run(&argv(&["report", &path_s])).unwrap();
+        // The report of the run's metrics file reproduces the run's own
+        // delay/buffer summary lines, verbatim.
+        for label in ["max delay", "avg delay", "max buffer"] {
+            let line = sim
+                .lines()
+                .find(|l| l.starts_with(label))
+                .unwrap_or_else(|| panic!("simulate lacks `{label}`: {sim}"));
+            assert!(rep.contains(line), "report lacks `{line}`:\n{rep}");
+        }
+        // The metrics file does not perturb the run itself.
+        let plain = run(&argv(&["simulate", "--scheme", "chain", "--n", "5"])).unwrap();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("metrics"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&sim), strip(&plain));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_pins_hand_computed_summary() {
+        use clustream_telemetry::{names as tm, to_jsonl, MemoryRecorder};
+        let (rec, tel) = MemoryRecorder::handle();
+        // A hand-built run: 5 receivers with delays 1..=5 slots, buffer
+        // occupancies peaking at 2, 9 slots, 25 transmissions.
+        for d in 1..=5u64 {
+            tel.observe(tm::ENGINE_PLAYBACK_DELAY, d);
+        }
+        for b in [1u64, 2, 2, 1, 1] {
+            tel.observe(tm::ENGINE_BUFFER_OCCUPANCY, b);
+        }
+        tel.counter(tm::ENGINE_SLOTS, 9);
+        tel.counter(tm::ENGINE_TRANSMISSIONS, 25);
+        tel.counter(tm::ENGINE_DELIVERIES, 25);
+        let path = std::env::temp_dir().join(format!(
+            "clustream-report-pinned-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, to_jsonl(&rec.snapshot())).unwrap();
+        let rep = run(&argv(&["report", path.to_str().unwrap()])).unwrap();
+        for line in [
+            "receivers   : 5",
+            "slots run   : 9",
+            "max delay   : 5 slots",
+            "avg delay   : 3.00 slots",
+            "delay p50/90: 3 / 5 slots",
+            "max buffer  : 2 packets",
+            "avg buffer  : 1.40 packets",
+            "transmissions: 25",
+            "deliveries  : 25",
+        ] {
+            assert!(rep.contains(line), "missing `{line}` in:\n{rep}");
+        }
+        // The delay distribution table lists the five unit buckets.
+        for row in ["[     1,      2)  1", "[     5,      6)  1"] {
+            assert!(rep.contains(row), "missing `{row}` in:\n{rep}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_rejects_bad_invocations() {
+        // No argument, two arguments, a missing file, and a malformed
+        // file are all errors.
+        assert!(run(&argv(&["report"])).is_err());
+        assert!(run(&argv(&["report", "a.jsonl", "b.jsonl"])).is_err());
+        let err = run(&argv(&["report", "/nonexistent/metrics.jsonl"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot read metrics file"), "{err}");
+        let path = std::env::temp_dir().join(format!(
+            "clustream-report-malformed-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, "{\"kind\":\"counter\",\"name\":\"x\"}\n").unwrap();
+        let err = run(&argv(&["report", path.to_str().unwrap()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 1"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metrics_out_covers_des_and_recovery_series() {
+        let path = std::env::temp_dir().join(format!(
+            "clustream-metrics-des-{}.jsonl",
+            std::process::id()
+        ));
+        let path_s = path.to_str().unwrap().to_string();
+        run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "30",
+            "--d",
+            "3",
+            "--track",
+            "32",
+            "--runtime",
+            "des",
+            "--recovery",
+            "repair+nack",
+            "--churn-leave",
+            "0.002",
+            "--churn-slots",
+            "160",
+            "--churn-seed",
+            "7",
+            "--metrics-out",
+            &path_s,
+        ]))
+        .unwrap();
+        let rep = run(&argv(&["report", &path_s])).unwrap();
+        assert!(rep.contains("des events"), "{rep}");
+        assert!(rep.contains("playback_tick"), "{rep}");
+        assert!(rep.contains("recovery:"), "{rep}");
+        assert!(rep.contains("control msgs"), "{rep}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

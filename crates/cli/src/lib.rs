@@ -8,7 +8,9 @@
 //!   recommendation for a population;
 //! * `plan` — pick per-cluster schemes for a multi-cluster session from
 //!   buffer budgets, then verify the plan by simulation;
-//! * `trace` — follow one packet's delivery path to one node.
+//! * `trace` — follow one packet's delivery path to one node;
+//! * `report` — summarize a `--metrics-out` JSONL metrics file into
+//!   delay/buffer tables.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency surface at zero beyond the workspace itself.
@@ -25,6 +27,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| CliError::Usage(usage().into()))?;
+    // `report` takes a positional file path, which `ArgMap` (strictly
+    // `--key value` pairs) would reject — it parses its own arguments.
+    if cmd == "report" {
+        return commands::report(rest);
+    }
     let args = ArgMap::parse(rest)?;
     match cmd.as_str() {
         "simulate" => commands::simulate(&args),
@@ -51,6 +58,8 @@ USAGE:
                      [--latency <fixed|jitter|heavytail>]      (des runtime)
                      [--jitter <SLOTS>] [--scale <S>] [--alpha <A>] [--cap <C>]
                      [--uplink <unconstrained|serialized>] [--des-seed <SEED>]
+                     [--metrics-out <FILE.jsonl>]
+  clustream report   <FILE.jsonl>
   clustream analyze  --n <N> [--max-d <D>]
   clustream plan     --clusters <size[:budget],size[:budget],…> [--tc <T>] [--bigd <D>]
   clustream trace    --scheme <multitree|hypercube|chain> --n <N> [--d <D>]

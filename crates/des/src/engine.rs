@@ -68,6 +68,7 @@ use clustream_sim::faults::{default_cause, FaultCause, FaultPlan, LossReport};
 use clustream_sim::metrics::TrafficStats;
 use clustream_sim::trace::EventTrace;
 use clustream_sim::{ArrivalTable, ResilienceMetrics, RunResult};
+use clustream_telemetry::names as tm;
 use clustream_workloads::ResolvedChurnAction;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -124,6 +125,25 @@ impl StateView for DesState {
 
     fn slot(&self) -> Slot {
         self.slot
+    }
+}
+
+/// Telemetry names for one event class: the per-class counter
+/// (under [`tm::DES_EVENT_PREFIX`]) and service-time span (under
+/// [`tm::DES_SERVICE_PREFIX`]). Static strings so the disabled path
+/// never allocates.
+fn event_probe_names(kind: &EventKind) -> (&'static str, &'static str) {
+    match kind {
+        EventKind::Deliver { .. } => ("des.events.deliver", "des.service.deliver"),
+        EventKind::Churn(_) => ("des.events.churn", "des.service.churn"),
+        EventKind::SuspectTimeout { .. } => {
+            ("des.events.suspect_timeout", "des.service.suspect_timeout")
+        }
+        EventKind::RepairCommit { .. } => ("des.events.repair_commit", "des.service.repair_commit"),
+        EventKind::Nack { .. } => ("des.events.nack", "des.service.nack"),
+        EventKind::Retransmit { .. } => ("des.events.retransmit", "des.service.retransmit"),
+        EventKind::PlaybackTick => ("des.events.playback_tick", "des.service.playback_tick"),
+        EventKind::Send(_) => ("des.events.send", "des.service.send"),
     }
 }
 
@@ -217,6 +237,9 @@ impl DesEngine {
         cfg.validate().map_err(CoreError::InvalidConfig)?;
         self.stats = DesStats::default();
         let sim = &cfg.sim;
+        let tel = &sim.telemetry;
+        let tel_on = tel.enabled();
+        let _run_span = tel.span(tm::DES_RUN);
         let strict = cfg.is_slot_faithful();
 
         let n_ids = scheme.id_space();
@@ -279,6 +302,10 @@ impl DesEngine {
         // never perturbs the main loss process.
         let mut rec_rng = ChaCha8Rng::seed_from_u64(rec.seed);
         let mut resil = ResilienceMetrics::default();
+        // Telemetry-only bookkeeping: first NACK send tick per open
+        // (node, packet) chase, consumed when the repair lands to observe
+        // the NACK round-trip. Never touched with telemetry off.
+        let mut nack_sent_tick: BTreeMap<(u32, u64), u64> = BTreeMap::new();
         if rec_on {
             if let Some(f) = &sim.faults {
                 for &(node, slot) in f.crashes.iter().chain(f.stop_crashes.iter()) {
@@ -333,6 +360,17 @@ impl DesEngine {
 
         while let Some(ev) = q.pop() {
             self.stats.events_processed += 1;
+            // RAII service-time span: most arms exit via `continue`, so
+            // only a drop guard times every path uniformly.
+            let _event_span = if tel_on {
+                let (class_counter, service_span) = event_probe_names(&ev.kind);
+                tel.counter(tm::DES_EVENTS, 1);
+                tel.counter(class_counter, 1);
+                tel.gauge_max(tm::DES_QUEUE_DEPTH_MAX, q.len() as u64);
+                Some(tel.span(service_span))
+            } else {
+                None
+            };
             match ev.kind {
                 EventKind::Deliver { from, to, packet } => {
                     self.stats.deliveries += 1;
@@ -374,6 +412,14 @@ impl DesEngine {
                         // and fills an open gap.
                         if nacks.resolve(to.0, packet.seq()) {
                             resil.repaired_packets += 1;
+                            if tel_on {
+                                if let Some(sent) = nack_sent_tick.remove(&(to.0, packet.seq())) {
+                                    tel.observe(
+                                        tm::RECOVERY_NACK_RTT,
+                                        ev.time.saturating_sub(sent),
+                                    );
+                                }
+                            }
                         }
                         repair_buf.note(to.0, packet.seq());
                         if !from.is_source() {
@@ -543,6 +589,7 @@ impl DesEngine {
                         resil.recovery_latency_total_ticks += latency;
                         resil.recovery_latency_max_ticks =
                             resil.recovery_latency_max_ticks.max(latency);
+                        tel.observe(tm::RECOVERY_DETECTION_LATENCY, latency);
                         // The rebuilt schedule rewires who hears from whom;
                         // outstanding link timers must die, not misfire.
                         detector.clear_links();
@@ -597,6 +644,11 @@ impl DesEngine {
                     }
                     resil.nacks_sent += 1;
                     resil.control_messages += 1;
+                    if tel_on {
+                        nack_sent_tick
+                            .entry((node.0, packet.seq()))
+                            .or_insert(ev.time);
+                    }
                     // The NACK reaches the server one slot later; the retry
                     // timer re-fires after the (capped, jittered) backoff.
                     q.push(
@@ -817,6 +869,14 @@ impl DesEngine {
             }
         }
         self.stats.events_scheduled = q.total_pushed();
+        if tel_on && rec_on {
+            // End-of-run recovery totals, mirrored from the resilience
+            // counters so a metrics file alone tells the recovery story.
+            tel.counter(tm::RECOVERY_REPAIRS, resil.repairs_committed);
+            tel.counter(tm::RECOVERY_RETRANSMITS, resil.retransmissions);
+            tel.counter(tm::RECOVERY_ABANDONS, resil.abandoned_packets);
+            tel.counter(tm::RECOVERY_CONTROL_MESSAGES, resil.control_messages);
+        }
 
         // Calendar entries still waiting for a packet that never came are
         // downstream loss propagation, same as the slot engines count it.
@@ -1150,6 +1210,90 @@ mod tests {
         assert!(missing(3) > 0, "downstream of the departed node starves");
         assert!(missing(5) > 0);
         assert!(loss.crash_suppressed > 0, "departed sends are suppressed");
+    }
+
+    #[test]
+    fn event_probe_names_follow_the_registry_prefixes() {
+        let kinds = [
+            EventKind::PlaybackTick,
+            EventKind::Send(Transmission::local(SOURCE, NodeId(1), PacketId(0))),
+            EventKind::Deliver {
+                from: SOURCE,
+                to: NodeId(1),
+                packet: PacketId(0),
+            },
+            EventKind::Churn(ResolvedChurnAction::Join { ext: 9 }),
+            EventKind::SuspectTimeout {
+                watcher: NodeId(1),
+                subject: NodeId(2),
+            },
+            EventKind::RepairCommit { failed: NodeId(2) },
+            EventKind::Nack {
+                node: NodeId(1),
+                packet: PacketId(0),
+                attempt: 0,
+            },
+            EventKind::Retransmit {
+                from: SOURCE,
+                to: NodeId(1),
+                packet: PacketId(0),
+            },
+        ];
+        for kind in &kinds {
+            let (counter, span) = event_probe_names(kind);
+            assert!(counter.starts_with(tm::DES_EVENT_PREFIX), "{counter}");
+            assert!(span.starts_with(tm::DES_SERVICE_PREFIX), "{span}");
+            assert_eq!(
+                counter.strip_prefix(tm::DES_EVENT_PREFIX),
+                span.strip_prefix(tm::DES_SERVICE_PREFIX),
+                "counter and span must name the same event class"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_off_and_on_runs_are_identical_with_recovery() {
+        use clustream_sim::FaultPlan;
+        use clustream_telemetry::{MemoryRecorder, Telemetry};
+        let mut sim_cfg = SimConfig::with_faults(24, 200, FaultPlan::loss(0.2, 9));
+        let base = DesConfig::slot_faithful(sim_cfg.clone()).with_recovery(
+            clustream_recovery::RecoveryConfig {
+                mode: clustream_recovery::RecoveryMode::RepairNack,
+                ..Default::default()
+            },
+        );
+        let plain = DesEngine::new().run(&mut Chain { n: 6 }, &base).unwrap();
+        let (rec, tel) = MemoryRecorder::handle();
+        sim_cfg.telemetry = tel;
+        let cfg = DesConfig {
+            sim: sim_cfg,
+            ..base
+        };
+        let instrumented = DesEngine::new().run(&mut Chain { n: 6 }, &cfg).unwrap();
+        assert_eq!(
+            diff_fields(&plain, &instrumented),
+            Vec::<&str>::new(),
+            "telemetry must not perturb the run"
+        );
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(tm::DES_EVENTS),
+            instrumented_events(&instrumented, &snap)
+        );
+        assert!(snap.spans.contains_key(tm::DES_RUN));
+        assert!(snap.spans.contains_key("des.service.playback_tick"));
+        assert!(snap.gauges.contains_key(tm::DES_QUEUE_DEPTH_MAX));
+        let _ = Telemetry::disabled();
+    }
+
+    /// The per-class counters must sum to the total event counter, and
+    /// that total must equal the engine's own processed count.
+    fn instrumented_events(_r: &RunResult, snap: &clustream_telemetry::MetricsSnapshot) -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(tm::DES_EVENT_PREFIX))
+            .map(|(_, &v)| v)
+            .sum()
     }
 
     #[test]

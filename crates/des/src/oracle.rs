@@ -30,7 +30,9 @@ impl DesOracle {
     where
         F: FnMut() -> Box<dyn Scheme>,
     {
-        let slot = FastEngine::new().run(factory().as_mut(), cfg);
+        // Strip telemetry from the oracle-side run: a checked run should
+        // record its metrics once, not once per engine.
+        let slot = FastEngine::new().run(factory().as_mut(), &cfg.without_telemetry());
         let des = DesEngine::new().run(factory().as_mut(), &DesConfig::slot_faithful(cfg.clone()));
         match (slot, des) {
             (Ok(s), Ok(d)) => {

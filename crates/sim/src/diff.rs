@@ -76,7 +76,9 @@ impl DiffHarness {
     where
         F: FnMut() -> Box<dyn Scheme>,
     {
-        let reference = Simulator::run(factory().as_mut(), cfg);
+        // Strip telemetry from the oracle-side run: a checked run should
+        // record its metrics once, not once per engine.
+        let reference = Simulator::run(factory().as_mut(), &cfg.without_telemetry());
         let fast = FastEngine::new().run(factory().as_mut(), cfg);
         match (reference, fast) {
             (Ok(r), Ok(f)) => {

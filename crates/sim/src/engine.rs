@@ -37,6 +37,10 @@ pub struct SimConfig {
     pub faults: Option<crate::faults::FaultPlan>,
     /// Record every validated transmission into [`RunResult::trace`].
     pub record_trace: bool,
+    /// Instrumentation sink. Disabled by default; engines must produce
+    /// bit-identical [`RunResult`]s whether or not a recorder is attached
+    /// (enforced by `tests/telemetry.rs`).
+    pub telemetry: clustream_telemetry::Telemetry,
 }
 
 impl SimConfig {
@@ -69,6 +73,20 @@ impl SimConfig {
     pub fn traced(mut self) -> Self {
         self.record_trace = true;
         self
+    }
+
+    /// Attach a telemetry recorder to this configuration.
+    pub fn with_telemetry(mut self, telemetry: clustream_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// This configuration with telemetry removed — used by differential
+    /// harnesses so the oracle-side run does not double-record.
+    pub fn without_telemetry(&self) -> Self {
+        let mut cfg = self.clone();
+        cfg.telemetry = clustream_telemetry::Telemetry::disabled();
+        cfg
     }
 }
 
@@ -141,6 +159,8 @@ impl Simulator {
     /// (capacity/collision/holding violations) or if some receiver never
     /// obtains a tracked packet within the horizon (hiccup).
     pub fn run(scheme: &mut dyn Scheme, cfg: &SimConfig) -> Result<RunResult, CoreError> {
+        use clustream_telemetry::names as tm;
+        let _run_span = cfg.telemetry.span(tm::ENGINE_RUN);
         let n_ids = scheme.id_space();
         if n_ids == 0 {
             return Err(CoreError::InvalidConfig("empty id space".into()));
@@ -201,6 +221,7 @@ impl Simulator {
             slots_run = t + 1;
 
             // 1. Deliver packets whose arrival slot was t − 1 (usable from t).
+            let mut slot_deliveries: u64 = 0;
             if let Some(batch) = pending.remove(&t.wrapping_sub(1)) {
                 for (to, packet) in batch {
                     scheduled_arrivals.remove(&(t - 1, to.0));
@@ -230,8 +251,13 @@ impl Simulator {
                         remaining -= 1;
                     }
                     arrivals.record(to, packet, Slot(t));
+                    slot_deliveries += 1;
                 }
             }
+            cfg.telemetry
+                .counter(tm::ENGINE_DELIVERIES, slot_deliveries);
+            cfg.telemetry
+                .observe(tm::ENGINE_SLOT_DELIVERIES, slot_deliveries);
 
             if cfg.stop_when_complete && remaining == 0 {
                 break;
@@ -382,12 +408,16 @@ impl Simulator {
                 let pb = arrivals.analyze_lossy(*r);
                 if pb.missing > 0 {
                     loss_report.missing.push((*r, pb.missing));
+                    cfg.telemetry.counter(tm::ENGINE_HICCUPS, 1);
                 }
                 (pb.playback_delay, pb.max_buffer)
             } else {
                 let pb = arrivals.analyze(*r)?;
                 (pb.playback_delay, pb.max_buffer)
             };
+            cfg.telemetry.observe(tm::ENGINE_PLAYBACK_DELAY, delay);
+            cfg.telemetry
+                .observe(tm::ENGINE_BUFFER_OCCUPANCY, buffer as u64);
             nodes.push(NodeQos {
                 node: *r,
                 playback_delay: delay,
@@ -397,6 +427,10 @@ impl Simulator {
                 neighbors: stats.degree(*r),
             });
         }
+
+        cfg.telemetry.counter(tm::ENGINE_SLOTS, slots_run);
+        cfg.telemetry
+            .counter(tm::ENGINE_TRANSMISSIONS, stats.total_transmissions());
 
         let resilience = cfg.faults.as_ref().map(|_| {
             crate::resilience::ResilienceMetrics::from_missing(loss_report.total_missing() as u64)

@@ -299,6 +299,8 @@ impl FastEngine {
         scheme: &mut dyn Scheme,
         cfg: &SimConfig,
     ) -> Result<RunResult, CoreError> {
+        use clustream_telemetry::names as tm;
+        let _run_span = cfg.telemetry.span(tm::ENGINE_RUN);
         let n_ids = scheme.id_space();
         if n_ids == 0 {
             return Err(CoreError::InvalidConfig("empty id space".into()));
@@ -355,6 +357,7 @@ impl FastEngine {
             slots_run = t + 1;
 
             // 1. Deliver packets whose arrival slot was t − 1.
+            let mut slot_deliveries: u64 = 0;
             if t > 0 {
                 let cell_idx = self.ring.cell_index(t - 1);
                 if !self.ring.cells[cell_idx].is_empty() {
@@ -387,10 +390,15 @@ impl FastEngine {
                             remaining -= 1;
                         }
                         arrivals.record(to, packet, Slot(t));
+                        slot_deliveries += 1;
                     }
                     self.batch.clear();
                 }
             }
+            cfg.telemetry
+                .counter(tm::ENGINE_DELIVERIES, slot_deliveries);
+            cfg.telemetry
+                .observe(tm::ENGINE_SLOT_DELIVERIES, slot_deliveries);
 
             if cfg.stop_when_complete && remaining == 0 {
                 break;
@@ -541,12 +549,16 @@ impl FastEngine {
                 let pb = arrivals.analyze_lossy(*r);
                 if pb.missing > 0 {
                     loss_report.missing.push((*r, pb.missing));
+                    cfg.telemetry.counter(tm::ENGINE_HICCUPS, 1);
                 }
                 (pb.playback_delay, pb.max_buffer)
             } else {
                 let pb = arrivals.analyze(*r)?;
                 (pb.playback_delay, pb.max_buffer)
             };
+            cfg.telemetry.observe(tm::ENGINE_PLAYBACK_DELAY, delay);
+            cfg.telemetry
+                .observe(tm::ENGINE_BUFFER_OCCUPANCY, buffer as u64);
             nodes.push(NodeQos {
                 node: *r,
                 playback_delay: delay,
@@ -556,6 +568,10 @@ impl FastEngine {
                 neighbors: self.stats.degree(*r),
             });
         }
+
+        cfg.telemetry.counter(tm::ENGINE_SLOTS, slots_run);
+        cfg.telemetry
+            .counter(tm::ENGINE_TRANSMISSIONS, self.stats.total_transmissions);
 
         let resilience = cfg.faults.as_ref().map(|_| {
             crate::resilience::ResilienceMetrics::from_missing(loss_report.total_missing() as u64)

@@ -40,7 +40,7 @@ pub use diff::{diff_fields, DiffHarness};
 pub use engine::{RunResult, SimConfig, Simulator};
 pub use fast::{FastEngine, FastSimulator};
 pub use faults::{FaultCause, FaultPlan, LossReport, LossyPlayback};
-pub use parallel::{sweep, sweep_threads, sweep_with_threads};
+pub use parallel::{sweep, sweep_instrumented, sweep_threads, sweep_with_threads};
 pub use playback::{ArrivalTable, PlaybackAnalysis};
 pub use resilience::ResilienceMetrics;
 pub use trace::{EventTrace, TraceEvent};

@@ -15,7 +15,9 @@
 //! stalling on a pre-chunked straggler.
 
 use crate::fast::FastEngine;
+use clustream_telemetry::{names, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Number of worker threads a sweep will use for `n_cells` cells.
 pub fn sweep_threads(n_cells: usize) -> usize {
@@ -52,25 +54,82 @@ where
     R: Send,
     F: Fn(&mut FastEngine, &I) -> R + Sync,
 {
+    sweep_instrumented(cells, threads, &Telemetry::disabled(), run_cell)
+}
+
+/// [`sweep_with_threads`] with a telemetry sink for scheduler metrics.
+///
+/// With a recorder attached, the sweep records its wall time
+/// ([`names::SWEEP_RUN`]), total cells executed ([`names::SWEEP_CELLS`]),
+/// and per-worker work-claim counts and busy time
+/// (`sweep.claims.worker<w>` / `sweep.busy.worker<w>`), from which
+/// per-worker utilization is `busy / sweep.run`. Scheduling and results
+/// are unaffected: the same cells run in the same dynamic order and the
+/// output is bit-identical with telemetry on or off.
+pub fn sweep_instrumented<I, R, F>(
+    cells: &[I],
+    threads: usize,
+    telemetry: &Telemetry,
+    run_cell: F,
+) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&mut FastEngine, &I) -> R + Sync,
+{
+    let _sweep_span = telemetry.span(names::SWEEP_RUN);
     let threads = threads.max(1).min(cells.len().max(1));
     if threads <= 1 {
         let mut engine = FastEngine::new();
-        return cells.iter().map(|c| run_cell(&mut engine, c)).collect();
+        let results = if telemetry.enabled() {
+            let mut results = Vec::with_capacity(cells.len());
+            let busy = format!("{}0", names::SWEEP_WORKER_BUSY_PREFIX);
+            let claims = format!("{}0", names::SWEEP_WORKER_CLAIMS_PREFIX);
+            for c in cells {
+                let start = Instant::now();
+                results.push(run_cell(&mut engine, c));
+                telemetry.span_ns(&busy, start.elapsed().as_nanos() as u64);
+            }
+            telemetry.counter(&claims, cells.len() as u64);
+            results
+        } else {
+            cells.iter().map(|c| run_cell(&mut engine, c)).collect()
+        };
+        telemetry.counter(names::SWEEP_CELLS, cells.len() as u64);
+        return results;
     }
 
     let next = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let telemetry = telemetry.clone();
+                let (run_cell, next) = (&run_cell, &next);
+                s.spawn(move || {
                     let mut engine = FastEngine::new();
                     let mut local = Vec::new();
+                    let probe = telemetry.enabled().then(|| {
+                        (
+                            format!("{}{w}", names::SWEEP_WORKER_BUSY_PREFIX),
+                            format!("{}{w}", names::SWEEP_WORKER_CLAIMS_PREFIX),
+                        )
+                    });
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= cells.len() {
                             break;
                         }
-                        local.push((i, run_cell(&mut engine, &cells[i])));
+                        match &probe {
+                            Some((busy, _)) => {
+                                let start = Instant::now();
+                                local.push((i, run_cell(&mut engine, &cells[i])));
+                                telemetry.span_ns(busy, start.elapsed().as_nanos() as u64);
+                            }
+                            None => local.push((i, run_cell(&mut engine, &cells[i]))),
+                        }
+                    }
+                    if let Some((_, claims)) = &probe {
+                        telemetry.counter(claims, local.len() as u64);
                     }
                     local
                 })
@@ -81,6 +140,7 @@ where
             .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
+    telemetry.counter(names::SWEEP_CELLS, tagged.len() as u64);
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
 }
@@ -148,6 +208,39 @@ mod tests {
                 crate::Simulator::run(&mut s, &SimConfig::until_complete(cell.1, 500)).unwrap();
             assert_eq!(crate::diff::diff_fields(&want, got), Vec::<&str>::new());
         }
+    }
+
+    #[test]
+    fn instrumented_sweep_matches_plain_and_records() {
+        use clustream_telemetry::MemoryRecorder;
+        let cells: Vec<usize> = (1..12).collect();
+        let run = |engine: &mut FastEngine, &n: &usize| {
+            let mut s = Chain { n };
+            engine
+                .run(&mut s, &SimConfig::until_complete(6, 200))
+                .unwrap()
+                .qos
+                .max_delay()
+        };
+        let plain = sweep_with_threads(&cells, 2, run);
+        let (rec, tel) = MemoryRecorder::handle();
+        let inst = sweep_instrumented(&cells, 2, &tel, run);
+        assert_eq!(plain, inst, "telemetry must not change results");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(names::SWEEP_CELLS), cells.len() as u64);
+        // Every cell was claimed by exactly one worker.
+        let claims: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(names::SWEEP_WORKER_CLAIMS_PREFIX))
+            .map(|(_, &v)| v)
+            .sum();
+        assert_eq!(claims, cells.len() as u64);
+        assert!(snap.spans.contains_key(names::SWEEP_RUN));
+        assert!(snap
+            .spans
+            .keys()
+            .any(|k| k.starts_with(names::SWEEP_WORKER_BUSY_PREFIX)));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! JSONL export and import of a [`MetricsSnapshot`].
+//!
+//! One metric per line, self-describing via a `"kind"` field:
+//!
+//! ```text
+//! {"kind":"counter","name":"engine.deliveries","value":96000}
+//! {"kind":"gauge","name":"des.queue_depth_max","value":4096}
+//! {"kind":"histogram","name":"engine.buffer_occupancy","count":…,"sum":…,"min":…,"max":…,"buckets":[[lo,hi,c],…]}
+//! {"kind":"span","name":"engine.run","count":1,"total_ns":…,"min_ns":…,"max_ns":…}
+//! ```
+//!
+//! Lines are emitted in kind order (counters, gauges, histograms, spans)
+//! and name order within a kind, so exports of the same run are
+//! byte-identical. Unknown kinds are skipped on import so newer files
+//! stay readable by older readers.
+
+use crate::histogram::HistogramSnapshot;
+use crate::recorder::{MetricsSnapshot, SpanStats};
+use serde::{DeError, Deserialize, Serialize, Value};
+
+#[derive(Serialize, Deserialize)]
+struct CounterLine {
+    kind: String,
+    name: String,
+    value: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct GaugeLine {
+    kind: String,
+    name: String,
+    value: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct HistogramLine {
+    kind: String,
+    name: String,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: Vec<(u64, u64, u64)>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SpanLine {
+    kind: String,
+    name: String,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// The shim's `Value` does not itself implement the serde traits; this
+/// wrapper lets a line be parsed once and then dispatched on its `kind`.
+struct Raw(Value);
+
+impl Deserialize for Raw {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Raw(v.clone()))
+    }
+}
+
+/// Render a snapshot as JSONL (one metric per line, trailing newline).
+pub fn to_jsonl(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut push = |line: Result<String, serde_json::Error>| {
+        out.push_str(&line.expect("metric line is serializable"));
+        out.push('\n');
+    };
+    for (name, &value) in &snapshot.counters {
+        push(serde_json::to_string(&CounterLine {
+            kind: "counter".into(),
+            name: name.clone(),
+            value,
+        }));
+    }
+    for (name, &value) in &snapshot.gauges {
+        push(serde_json::to_string(&GaugeLine {
+            kind: "gauge".into(),
+            name: name.clone(),
+            value,
+        }));
+    }
+    for (name, h) in &snapshot.histograms {
+        push(serde_json::to_string(&HistogramLine {
+            kind: "histogram".into(),
+            name: name.clone(),
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h.buckets.clone(),
+        }));
+    }
+    for (name, s) in &snapshot.spans {
+        push(serde_json::to_string(&SpanLine {
+            kind: "span".into(),
+            name: name.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        }));
+    }
+    out
+}
+
+/// Parse a JSONL metrics file back into a snapshot.
+///
+/// Blank lines and lines with an unrecognized `kind` are skipped;
+/// malformed JSON or a known kind with missing fields is an error naming
+/// the offending line number.
+pub fn from_jsonl(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut snap = MetricsSnapshot::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |e: &dyn std::fmt::Display| format!("line {}: {e}", lineno + 1);
+        let raw: Raw = serde_json::from_str(line).map_err(|e| at(&e))?;
+        let kind = match raw.0.field("kind").map_err(|e| at(&e))? {
+            Value::Str(s) => s.clone(),
+            _ => return Err(at(&"metric line has no string \"kind\" field")),
+        };
+        match kind.as_str() {
+            "counter" => {
+                let l = CounterLine::from_value(&raw.0).map_err(|e| at(&e))?;
+                *snap.counters.entry(l.name).or_insert(0) += l.value;
+            }
+            "gauge" => {
+                let l = GaugeLine::from_value(&raw.0).map_err(|e| at(&e))?;
+                snap.gauges.insert(l.name, l.value);
+            }
+            "histogram" => {
+                let l = HistogramLine::from_value(&raw.0).map_err(|e| at(&e))?;
+                snap.histograms.insert(
+                    l.name,
+                    HistogramSnapshot {
+                        count: l.count,
+                        sum: l.sum,
+                        min: l.min,
+                        max: l.max,
+                        buckets: l.buckets,
+                    },
+                );
+            }
+            "span" => {
+                let l = SpanLine::from_value(&raw.0).map_err(|e| at(&e))?;
+                snap.spans.insert(
+                    l.name,
+                    SpanStats {
+                        count: l.count,
+                        total_ns: l.total_ns,
+                        min_ns: l.min_ns,
+                        max_ns: l.max_ns,
+                    },
+                );
+            }
+            _ => {} // forward compatibility: ignore unknown kinds
+        }
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MemoryRecorder;
+
+    fn sample() -> MetricsSnapshot {
+        let (rec, tel) = MemoryRecorder::handle();
+        tel.counter("b.count", 3);
+        tel.counter("a.count", 7);
+        tel.gauge_max("q.depth", 12);
+        tel.observe("h.delay", 1);
+        tel.observe("h.delay", 40);
+        tel.span_ns("run", 1_000);
+        tel.span_ns("run", 3_000);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let snap = sample();
+        let text = to_jsonl(&snap);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_sorted() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        // Counters first, name-sorted, then gauges, histograms, spans.
+        assert!(lines[0].contains("\"a.count\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"b.count\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"gauge\""), "{}", lines[2]);
+        assert!(lines[3].contains("\"histogram\""), "{}", lines[3]);
+        assert!(lines[4].contains("\"span\""), "{}", lines[4]);
+        assert_eq!(text, to_jsonl(&sample()));
+    }
+
+    #[test]
+    fn unknown_kinds_and_blank_lines_skipped() {
+        let text = "\n{\"kind\":\"frobnicator\",\"name\":\"x\"}\n{\"kind\":\"counter\",\"name\":\"c\",\"value\":2}\n";
+        let snap = from_jsonl(text).unwrap();
+        assert_eq!(snap.counter("c"), 2);
+        assert_eq!(snap.counters.len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_line_number() {
+        let err = from_jsonl("{\"kind\":\"counter\"\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err =
+            from_jsonl("{\"kind\":\"counter\",\"name\":\"c\",\"value\":2}\nnope\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn repeated_counter_lines_accumulate() {
+        // Sweep workers may export per-worker files that get concatenated.
+        let text = "{\"kind\":\"counter\",\"name\":\"c\",\"value\":2}\n{\"kind\":\"counter\",\"name\":\"c\",\"value\":3}\n";
+        assert_eq!(from_jsonl(text).unwrap().counter("c"), 5);
+    }
+}

@@ -4,7 +4,7 @@ use crate::{Strategy, TestRng};
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification for [`vec`]: a fixed size or a range of sizes.
+/// Length specification for [`vec()`]: a fixed size or a range of sizes.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     /// Inclusive lower bound.

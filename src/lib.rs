@@ -54,7 +54,9 @@
 //!   the E-4 Set Splitting reduction;
 //! * [`workloads`](mod@workloads) — churn traces and sweep grids;
 //! * [`recovery`](mod@recovery) — failure detection, self-healing tree
-//!   repair and NACK retransmission.
+//!   repair and NACK retransmission;
+//! * [`telemetry`](mod@telemetry) — zero-cost-when-disabled counters,
+//!   histograms and span timers behind every engine.
 
 #![warn(missing_docs)]
 
@@ -68,6 +70,7 @@ pub use clustream_npc as npc;
 pub use clustream_overlay as overlay;
 pub use clustream_recovery as recovery;
 pub use clustream_sim as sim;
+pub use clustream_telemetry as telemetry;
 pub use clustream_workloads as workloads;
 
 pub use clustream_core::{
@@ -98,6 +101,7 @@ pub mod prelude {
         diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, RunResult,
         SimConfig, Simulator,
     };
+    pub use clustream_telemetry::{MemoryRecorder, Recorder, Telemetry};
     pub use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
 }
 

@@ -1,0 +1,61 @@
+//! Guard rails for the tiered CI gate itself: `ci.sh` must reject an
+//! unknown tier up front (before any cargo command burns minutes) with
+//! an error naming the valid tiers, and the script must keep advertising
+//! both tiers so the cheap pre-flight here stays honest.
+
+use std::path::Path;
+use std::process::Command;
+
+fn ci_script() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/ci.sh"))
+}
+
+#[test]
+fn unknown_tier_fails_fast_and_lists_valid_tiers() {
+    let out = Command::new("bash")
+        .arg(ci_script())
+        .arg("nightly")
+        .output()
+        .expect("ci.sh should be runnable through bash");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown tier must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown tier"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("nightly"),
+        "must echo the bad tier: {stderr}"
+    );
+    assert!(
+        stderr.contains("quick, full"),
+        "must list the valid tiers: {stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "no stage may start under a bad tier: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn script_parses_and_defines_both_tiers() {
+    let out = Command::new("bash")
+        .arg("-n")
+        .arg(ci_script())
+        .output()
+        .expect("bash -n");
+    assert!(out.status.success(), "ci.sh has a syntax error");
+
+    let text = std::fs::read_to_string(ci_script()).unwrap();
+    for needle in [
+        "quick | full)",
+        "TIER=\"${1:-full}\"",
+        "bench_check",
+        "RUSTDOCFLAGS=\"-D warnings\"",
+    ] {
+        assert!(text.contains(needle), "ci.sh lost `{needle}`");
+    }
+}

@@ -1,0 +1,97 @@
+//! Zero-cost-off oracle for the telemetry layer: attaching a recorder
+//! must never perturb a simulation. For every scheme family and every
+//! engine (reference slot simulator, fast slot engine, slot-faithful
+//! DES) the [`RunResult`] of an instrumented run is compared **field for
+//! field** against the bare run, and the recorder is checked to have
+//! actually observed the run (so the equivalence is not vacuous).
+
+use clustream::prelude::*;
+use clustream::telemetry::names as tm;
+use proptest::prelude::*;
+
+/// The four scheme families exercised by the oracle.
+fn scheme_for(family: usize, n: usize, d: usize) -> Box<dyn Scheme> {
+    match family {
+        0 => Box::new(MultiTreeScheme::new(
+            greedy_forest(n, d).unwrap(),
+            StreamMode::PreRecorded,
+        )),
+        1 => Box::new(HypercubeStream::new(n).unwrap()),
+        2 => Box::new(ChainScheme::new(n)),
+        _ => Box::new(SingleTreeScheme::new(n, d)),
+    }
+}
+
+/// Run `family` on `engine` twice — bare, then with a live recorder —
+/// and return `(diffs, instrumented_counter)`.
+fn run_both(
+    family: usize,
+    n: usize,
+    d: usize,
+    track: u64,
+    engine: usize,
+) -> (Vec<&'static str>, u64) {
+    let bare_cfg = SimConfig::until_complete(track, 100_000);
+    let (recorder, tel) = MemoryRecorder::handle();
+    let on_cfg = bare_cfg.clone().with_telemetry(tel);
+
+    let run = |cfg: &SimConfig| match engine {
+        0 => Simulator::run(scheme_for(family, n, d).as_mut(), cfg).unwrap(),
+        1 => FastEngine::new()
+            .run(scheme_for(family, n, d).as_mut(), cfg)
+            .unwrap(),
+        _ => DesEngine::new()
+            .run(
+                scheme_for(family, n, d).as_mut(),
+                &DesConfig::slot_faithful(cfg.clone()),
+            )
+            .unwrap(),
+    };
+
+    let bare = run(&bare_cfg);
+    let instrumented = run(&on_cfg);
+    let snap = recorder.snapshot();
+    // Slot engines count slots, the DES counts events; either proves the
+    // recorder saw the instrumented run.
+    let observed = snap.counter(tm::ENGINE_SLOTS) + snap.counter(tm::DES_EVENTS);
+    (diff_fields(&bare, &instrumented), observed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recorder on vs off is bit-identical on every engine and family.
+    #[test]
+    fn recorder_never_perturbs_a_run(
+        family in 0usize..4,
+        engine in 0usize..3,
+        n in 1usize..60,
+        d in 1usize..5,
+        track in 4u64..32,
+    ) {
+        let (diffs, observed) = run_both(family, n, d, track, engine);
+        prop_assert!(diffs.is_empty(), "telemetry perturbed the run: {diffs:?}");
+        prop_assert!(observed > 0, "recorder attached but observed nothing");
+    }
+}
+
+/// Pin the non-vacuousness explicitly: the recorder's totals agree with
+/// the [`RunResult`] of the run it must not perturb.
+#[test]
+fn recorder_totals_agree_with_the_run_result() {
+    let (recorder, tel) = MemoryRecorder::handle();
+    let cfg = SimConfig::until_complete(16, 100_000).with_telemetry(tel);
+    let r = FastEngine::new()
+        .run(scheme_for(0, 30, 3).as_mut(), &cfg)
+        .unwrap();
+    let snap = recorder.snapshot();
+    assert_eq!(snap.counter(tm::ENGINE_SLOTS), r.slots_run);
+    assert_eq!(
+        snap.counter(tm::ENGINE_TRANSMISSIONS),
+        r.total_transmissions
+    );
+    assert!(
+        snap.spans.contains_key(tm::ENGINE_RUN),
+        "the whole run is timed under a span"
+    );
+}
