@@ -5,9 +5,11 @@
 # Cargo.lock is committed).
 #
 # Tiers:
-#   ci.sh quick   fmt + clippy + build + workspace tests (the edit loop)
+#   ci.sh quick   fmt + clippy + build + workspace tests + repro-corpus
+#                 replay (the edit loop)
 #   ci.sh full    quick + doc lint + differential oracles + CLI smoke
-#                 matrix + bench regression check (the merge gate;
+#                 matrix + exhaustive invariant lattice + coverage-guided
+#                 explore smoke + bench regression check (the merge gate;
 #                 default when no tier is given)
 #
 # Per-stage wall-clock timings are printed at the end of the run.
@@ -92,10 +94,33 @@ recovery_off_regression() {
     cargo test -q --test faults --offline
 }
 
+corpus_replay() {
+    # Every counterexample ever shrunk into tests/corpus/ must keep
+    # reproducing exactly as recorded, on all three engines.
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        check --replay-corpus --corpus tests/corpus
+}
+
+model_check_exhaustive() {
+    # The full bounded lattice: d ∈ {2,3,4}, N ≤ 64, both constructions,
+    # all four families, canonical fault plans, three engines — plus the
+    # recovery-repair sweep. Runs in a few seconds in release.
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        check --exhaustive
+}
+
+model_check_explore() {
+    # Fixed-seed coverage-guided exploration smoke: 500 genomes, and any
+    # counterexample found fails the gate with its shrunk repro.
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        check --explore --budget 500 --seed 7
+}
+
 stage "fmt" cargo fmt --all --check
 stage "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
 stage "build (release)" cargo build --workspace --release --offline
 stage "test" cargo test --workspace -q --offline
+stage "repro-corpus replay" corpus_replay
 
 if [ "$TIER" = full ]; then
     stage "doc (-D warnings)" \
@@ -106,6 +131,8 @@ if [ "$TIER" = full ]; then
     stage "telemetry smoke (metrics-out + report)" telemetry_smoke
     stage "recovery fault-matrix smoke" recovery_smoke
     stage "recovery-off DES equivalence regression" recovery_off_regression
+    stage "model check (exhaustive lattice)" model_check_exhaustive
+    stage "model check (explore smoke, seed 7)" model_check_explore
     # Tolerance is wider than the bench_check default: shared-container
     # timing noise of ±30% is routine here, and a real regression past
     # 2x is still caught. Correctness fields are always compared exactly.

@@ -10,7 +10,9 @@
 //!   buffer budgets, then verify the plan by simulation;
 //! * `trace` — follow one packet's delivery path to one node;
 //! * `report` — summarize a `--metrics-out` JSONL metrics file into
-//!   delay/buffer tables.
+//!   delay/buffer tables;
+//! * `check` — the invariant model-checker: exhaustive small-world
+//!   lattice sweep, coverage-guided exploration, repro-corpus replay.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency surface at zero beyond the workspace itself.
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod check;
 pub mod commands;
 
 pub use args::{ArgMap, CliError};
@@ -31,6 +34,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // `--key value` pairs) would reject — it parses its own arguments.
     if cmd == "report" {
         return commands::report(rest);
+    }
+    // `check` mixes boolean mode flags with valued ones, which `ArgMap`
+    // cannot express either.
+    if cmd == "check" {
+        return check::check(rest);
     }
     let args = ArgMap::parse(rest)?;
     match cmd.as_str() {
@@ -64,6 +72,9 @@ USAGE:
   clustream plan     --clusters <size[:budget],size[:budget],…> [--tc <T>] [--bigd <D>]
   clustream trace    --scheme <multitree|hypercube|chain> --n <N> [--d <D>]
                      --node <ID> [--packet <P>]
+  clustream check    [--exhaustive] [--explore] [--replay-corpus]
+                     [--budget <GENOMES>] [--seed <SEED>]
+                     [--corpus <DIR>] [--max-n <N>]
   clustream help
 "
 }

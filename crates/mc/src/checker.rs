@@ -1,0 +1,197 @@
+//! Running one genome through the engines and the invariant registry.
+
+use crate::genome::Genome;
+use crate::invariant::{bounds_for, check_result, violation_from_error, Bounds, Violation};
+use clustream_core::CoreError;
+use clustream_des::{DesConfig, DesEngine};
+use clustream_sim::{diff_fields, FastSimulator, RunResult, Simulator};
+use clustream_telemetry::Telemetry;
+
+/// Which engines a check runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engines {
+    /// Fast engine only (the explorer's and shrinker's inner loop).
+    FastOnly,
+    /// Reference, fast and slot-faithful DES, plus cross-engine
+    /// field-equality (the exhaustive driver and corpus replay).
+    All,
+}
+
+/// Outcome of checking one genome.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Every invariant violation found, across all engines run.
+    pub violations: Vec<Violation>,
+    /// `true` when the genome is outside the scheme family's domain
+    /// (the scheme could not even be built) — not a violation.
+    pub skipped: bool,
+    /// Engine runs executed.
+    pub runs: usize,
+}
+
+impl CheckReport {
+    /// Whether any violation was found.
+    pub fn violated(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Whether some violation matches `invariant` (any, when `None`).
+    pub fn violates(&self, invariant: Option<&str>) -> bool {
+        match invariant {
+            None => self.violated(),
+            Some(name) => self.violations.iter().any(|v| v.invariant == name),
+        }
+    }
+}
+
+fn run_one(
+    g: &Genome,
+    bounds: &Bounds,
+    engine: &str,
+    telemetry: Option<&Telemetry>,
+) -> Result<Result<RunResult, CoreError>, CoreError> {
+    let mut scheme = g.build_scheme()?;
+    let mut cfg = g.sim_config(bounds.delay);
+    if let Some(tel) = telemetry {
+        cfg = cfg.with_telemetry(tel.clone());
+    }
+    Ok(match engine {
+        "reference" => Simulator::run(&mut *scheme, &cfg),
+        "fast" => FastSimulator::run(&mut *scheme, &cfg),
+        "des" => DesEngine::new().run(&mut *scheme, &DesConfig::slot_faithful(cfg)),
+        other => unreachable!("unknown engine label {other}"),
+    })
+}
+
+/// Check `g` on the selected engines, optionally recording telemetry
+/// (fast engine only — the coverage signature source).
+pub fn check_genome_with(
+    g: &Genome,
+    engines: Engines,
+    telemetry: Option<&Telemetry>,
+) -> CheckReport {
+    let bounds = match bounds_for(g) {
+        Ok(b) => b,
+        Err(_) => {
+            return CheckReport {
+                violations: Vec::new(),
+                skipped: true,
+                runs: 0,
+            }
+        }
+    };
+    let labels: &[&str] = match engines {
+        Engines::FastOnly => &["fast"],
+        Engines::All => &["reference", "fast", "des"],
+    };
+    let mut violations = Vec::new();
+    let mut outcomes: Vec<(&str, Result<RunResult, CoreError>)> = Vec::new();
+    let mut runs = 0;
+    for label in labels {
+        let tel = (*label == "fast").then_some(telemetry).flatten();
+        match run_one(g, &bounds, label, tel) {
+            Ok(outcome) => {
+                runs += 1;
+                match &outcome {
+                    Ok(result) => violations.extend(check_result(g, &bounds, label, result)),
+                    Err(e) => violations.push(violation_from_error(e, label)),
+                }
+                outcomes.push((label, outcome));
+            }
+            Err(_) => {
+                // Build failure: outside the family's domain.
+                return CheckReport {
+                    violations: Vec::new(),
+                    skipped: true,
+                    runs,
+                };
+            }
+        }
+    }
+    // Cross-engine agreement: every engine must produce the identical
+    // RunResult (or fail with the identical error).
+    if outcomes.len() > 1 {
+        let (base_label, base) = &outcomes[0];
+        for (label, other) in &outcomes[1..] {
+            let detail = match (base, other) {
+                (Ok(a), Ok(b)) => {
+                    let diffs = diff_fields(a, b);
+                    (!diffs.is_empty()).then(|| format!("fields differ: {}", diffs.join(", ")))
+                }
+                (Err(a), Err(b)) => {
+                    let (a, b) = (a.to_string(), b.to_string());
+                    (a != b).then(|| format!("errors differ: `{a}` vs `{b}`"))
+                }
+                (Ok(_), Err(e)) => Some(format!("{base_label} succeeded, {label} failed: {e}")),
+                (Err(e), Ok(_)) => Some(format!("{base_label} failed ({e}), {label} succeeded")),
+            };
+            if let Some(detail) = detail {
+                violations.push(Violation {
+                    invariant: "EngineAgreement".to_string(),
+                    engine: format!("{base_label}≡{label}"),
+                    detail,
+                });
+            }
+        }
+    }
+    CheckReport {
+        violations,
+        skipped: false,
+        runs,
+    }
+}
+
+/// Check `g` on all three engines with cross-engine agreement.
+pub fn check_genome(g: &Genome) -> CheckReport {
+    check_genome_with(g, Engines::All, None)
+}
+
+/// Check `g` on the fast engine only.
+pub fn check_genome_fast(g: &Genome) -> CheckReport {
+    check_genome_with(g, Engines::FastOnly, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::{ConstructionChoice, Family};
+    use crate::sabotage::Sabotage;
+
+    #[test]
+    fn clean_genomes_pass_all_engines() {
+        for family in Family::ALL {
+            let g = Genome::clean(family, 13, 2, ConstructionChoice::Greedy);
+            let rep = check_genome(&g);
+            assert!(!rep.skipped, "{family:?} skipped");
+            assert_eq!(rep.runs, 3);
+            assert!(
+                rep.violations.is_empty(),
+                "{family:?}: {:?}",
+                rep.violations
+            );
+        }
+    }
+
+    #[test]
+    fn source_stall_violates_delay_bound_on_every_engine() {
+        let mut g = Genome::clean(Family::MultiTree, 20, 2, ConstructionChoice::Structured);
+        g.sabotage = Some(Sabotage::SourceStall(40));
+        let rep = check_genome(&g);
+        assert!(rep.violates(Some("DelayBound")), "{:?}", rep.violations);
+        // The stall shifts everything uniformly, so nothing else breaks.
+        assert!(
+            rep.violations.iter().all(|v| v.invariant == "DelayBound"),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn out_of_domain_genomes_are_skipped_not_violated() {
+        // A multi-tree forest cannot be built for n = 0 receivers.
+        let g = Genome::clean(Family::MultiTree, 0, 2, ConstructionChoice::Greedy);
+        let rep = check_genome(&g);
+        assert!(rep.skipped);
+        assert!(rep.violations.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The model checker's configuration genome.
+//!
+//! A [`Genome`] is a fully serializable description of one simulation
+//! configuration: scheme family, population, degree, construction, stream
+//! mode, tracked window, optional fault plan and optional sabotage. It is
+//! the unit the exhaustive driver enumerates, the explorer mutates, the
+//! shrinker minimizes and the corpus persists — so it must serialize to
+//! byte-identical JSON for identical values (guaranteed by the serde
+//! shim's insertion-ordered objects).
+
+use crate::sabotage::{Sabotage, SabotagedScheme};
+use clustream_baselines::{ChainScheme, SingleTreeScheme};
+use clustream_core::{CoreError, Scheme};
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{build_forest, Construction, MultiTreeScheme, StreamMode};
+use clustream_sim::{FaultPlan, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which scheme family the genome instantiates (mirrors the CLI
+/// `--scheme` choices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// §2 interior-disjoint multi-trees.
+    MultiTree,
+    /// §3 chained hypercubes with a `d`-way source split.
+    Hypercube,
+    /// The chain strawman.
+    Chain,
+    /// The elevated-capacity single tree strawman.
+    SingleTree,
+}
+
+impl Family {
+    /// All four families, in enumeration order.
+    pub const ALL: [Family; 4] = [
+        Family::MultiTree,
+        Family::Hypercube,
+        Family::Chain,
+        Family::SingleTree,
+    ];
+
+    /// Stable lowercase label (matches the CLI `--scheme` spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::MultiTree => "multitree",
+            Family::Hypercube => "hypercube",
+            Family::Chain => "chain",
+            Family::SingleTree => "singletree",
+        }
+    }
+}
+
+/// Serializable mirror of [`Construction`] (which has no serde derives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstructionChoice {
+    /// §2.2.1 group-rotation construction.
+    Structured,
+    /// §2.2.2 parity-greedy construction.
+    Greedy,
+}
+
+impl ConstructionChoice {
+    /// Both constructions, in enumeration order.
+    pub const ALL: [ConstructionChoice; 2] =
+        [ConstructionChoice::Structured, ConstructionChoice::Greedy];
+
+    /// The `clustream-multitree` selector this mirrors.
+    pub fn construction(self) -> Construction {
+        match self {
+            ConstructionChoice::Structured => Construction::Structured,
+            ConstructionChoice::Greedy => Construction::Greedy,
+        }
+    }
+}
+
+/// Serializable mirror of [`StreamMode`] (which has no serde derives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeChoice {
+    /// Pre-recorded: every packet available at slot 0.
+    Pre,
+    /// Live, source pre-buffers `d` packets.
+    Buffered,
+    /// Live, per-tree pipelined start.
+    Pipelined,
+}
+
+impl ModeChoice {
+    /// The `clustream-multitree` mode this mirrors.
+    pub fn mode(self) -> StreamMode {
+        match self {
+            ModeChoice::Pre => StreamMode::PreRecorded,
+            ModeChoice::Buffered => StreamMode::LivePrebuffered,
+            ModeChoice::Pipelined => StreamMode::LivePipelined,
+        }
+    }
+}
+
+/// One fully specified model-checking configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Genome {
+    /// Scheme family.
+    pub family: Family,
+    /// Receiver population.
+    pub n: usize,
+    /// Degree / source split (interpreted per family, as in the CLI).
+    pub d: usize,
+    /// Forest construction (multi-tree only; ignored elsewhere).
+    pub construction: ConstructionChoice,
+    /// Stream mode (multi-tree only; ignored elsewhere).
+    pub mode: ModeChoice,
+    /// Packets tracked for QoS measurement.
+    pub track: u64,
+    /// Optional fault plan (link loss / crashes).
+    pub faults: Option<FaultPlan>,
+    /// Optional deliberate schedule defect (see [`Sabotage`]) used to
+    /// prove the checker catches real bugs.
+    pub sabotage: Option<Sabotage>,
+}
+
+impl Genome {
+    /// A clean (fault-free, unsabotaged) genome with a family-appropriate
+    /// tracked window.
+    pub fn clean(family: Family, n: usize, d: usize, construction: ConstructionChoice) -> Genome {
+        Genome {
+            family,
+            n,
+            d,
+            construction,
+            mode: ModeChoice::Pre,
+            track: (2 * d as u64 + 6).max(8),
+            faults: None,
+            sabotage: None,
+        }
+    }
+
+    /// Instantiate the scheme this genome describes (wrapped in the
+    /// sabotage layer when one is present).
+    pub fn build_scheme(&self) -> Result<Box<dyn Scheme>, CoreError> {
+        let inner: Box<dyn Scheme> = match self.family {
+            Family::MultiTree => Box::new(MultiTreeScheme::new(
+                build_forest(self.n, self.d, self.construction.construction())?,
+                self.mode.mode(),
+            )),
+            Family::Hypercube => {
+                Box::new(HypercubeStream::with_groups(self.n, self.d.min(self.n))?)
+            }
+            Family::Chain => Box::new(ChainScheme::new(self.n)),
+            Family::SingleTree => Box::new(SingleTreeScheme::new(self.n, self.d)),
+        };
+        Ok(match &self.sabotage {
+            Some(s) => Box::new(SabotagedScheme::new(inner, *s)),
+            None => inner,
+        })
+    }
+
+    /// The slot horizon the checker runs this genome for: generous enough
+    /// that a correct scheme always completes, scaled up when sabotage
+    /// stretches latencies.
+    pub fn horizon(&self, delay_bound: u64) -> u64 {
+        let base = delay_bound + self.track + 64;
+        match self.sabotage {
+            Some(Sabotage::DelaySkew(extra)) => base * (extra as u64 + 1),
+            _ => base,
+        }
+    }
+
+    /// The [`SimConfig`] the checker runs this genome under. The trace is
+    /// always recorded so `CollisionFree` can be re-validated
+    /// independently of the engine's own checks.
+    pub fn sim_config(&self, delay_bound: u64) -> SimConfig {
+        let horizon = self.horizon(delay_bound);
+        let cfg = match &self.faults {
+            Some(f) => SimConfig::with_faults(self.track, horizon, f.clone()),
+            None => SimConfig::until_complete(self.track, horizon),
+        };
+        cfg.traced()
+    }
+
+    /// Canonical single-line JSON encoding (byte-identical for equal
+    /// genomes — the shrinker's determinism contract relies on this).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("genome is serializable")
+    }
+
+    /// Parse a genome from its JSON encoding.
+    pub fn from_json(text: &str) -> Result<Genome, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_json_round_trips_byte_identically() {
+        let g = Genome {
+            family: Family::MultiTree,
+            n: 17,
+            d: 3,
+            construction: ConstructionChoice::Greedy,
+            mode: ModeChoice::Buffered,
+            track: 12,
+            faults: Some(FaultPlan::loss(0.25, 7)),
+            sabotage: Some(Sabotage::DelaySkew(2)),
+        };
+        let j = g.to_json();
+        let back = Genome::from_json(&j).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.to_json(), j, "encoding is canonical");
+    }
+
+    #[test]
+    fn every_family_builds() {
+        for family in Family::ALL {
+            let g = Genome::clean(family, 9, 2, ConstructionChoice::Structured);
+            let s = g.build_scheme().unwrap();
+            assert_eq!(s.num_receivers(), 9, "{family:?}");
+        }
+    }
+
+    #[test]
+    fn sabotage_horizon_is_stretched() {
+        let mut g = Genome::clean(Family::Chain, 5, 2, ConstructionChoice::Greedy);
+        let clean = g.horizon(10);
+        g.sabotage = Some(Sabotage::DelaySkew(3));
+        assert!(g.horizon(10) >= 4 * clean);
+    }
+}

@@ -1,0 +1,144 @@
+//! Deliberate schedule defects.
+//!
+//! A [`Sabotage`] wraps a correct scheme and perturbs its transmission
+//! stream in a controlled way, so the checker's teeth can be proven: each
+//! variant violates a specific invariant class, and the shrinker can
+//! minimize the perturbation magnitude along with the population.
+
+use clustream_core::{
+    MembershipEvent, NodeId, RepairOutcome, Scheme, Slot, StateView, Transmission,
+};
+use serde::{Deserialize, Serialize};
+
+/// A seeded schedule defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sabotage {
+    /// Add the given number of slots to every transmission's latency.
+    /// Forwarding nodes then ship packets they have not yet received —
+    /// a model-validity violation the engine flags as `PacketNotHeld`.
+    DelaySkew(u16),
+    /// Shift the whole schedule by the given number of slots: nothing is
+    /// sent before slot `k`, and slot `t ≥ k` replays the original slot
+    /// `t − k`. Collision-freedom, ordering and buffers are untouched,
+    /// but every arrival is `k` slots late — a pure `DelayBound`
+    /// violation once `k` exceeds the theorem's slack.
+    SourceStall(u16),
+    /// Drop every transmission whose packet is ≡ `r (mod m)` (fields are
+    /// `(r, m)`). Receivers never complete — an `InOrderPlayback`
+    /// (hiccup) violation.
+    DropResidue(u16, u16),
+    /// Redirect the slot's second transmission onto the first one's
+    /// receiver and arrival slot — a `CollisionFree` violation
+    /// (`ReceiveCollision`).
+    Collide,
+}
+
+/// A scheme wrapper applying a [`Sabotage`] to the inner schedule.
+pub struct SabotagedScheme {
+    inner: Box<dyn Scheme>,
+    sabotage: Sabotage,
+}
+
+impl SabotagedScheme {
+    /// Wrap `inner`, applying `sabotage` to every slot's transmissions.
+    pub fn new(inner: Box<dyn Scheme>, sabotage: Sabotage) -> SabotagedScheme {
+        SabotagedScheme { inner, sabotage }
+    }
+}
+
+impl Scheme for SabotagedScheme {
+    fn name(&self) -> String {
+        format!("sabotaged[{:?}]({})", self.sabotage, self.inner.name())
+    }
+
+    fn num_receivers(&self) -> usize {
+        self.inner.num_receivers()
+    }
+
+    fn id_space(&self) -> usize {
+        self.inner.id_space()
+    }
+
+    fn receivers(&self) -> Vec<NodeId> {
+        self.inner.receivers()
+    }
+
+    fn send_capacity(&self, node: NodeId) -> usize {
+        self.inner.send_capacity(node)
+    }
+
+    fn availability(&self) -> clustream_core::Availability {
+        self.inner.availability()
+    }
+
+    fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>) {
+        match self.sabotage {
+            Sabotage::DelaySkew(extra) => {
+                self.inner.transmissions(slot, view, out);
+                for tx in out.iter_mut() {
+                    tx.latency += extra as u32;
+                }
+            }
+            Sabotage::SourceStall(k) => {
+                if slot.t() >= k as u64 {
+                    self.inner
+                        .transmissions(Slot(slot.t() - k as u64), view, out);
+                }
+            }
+            Sabotage::DropResidue(r, m) => {
+                self.inner.transmissions(slot, view, out);
+                let m = (m as u64).max(1);
+                out.retain(|tx| tx.packet.seq() % m != r as u64 % m);
+            }
+            Sabotage::Collide => {
+                self.inner.transmissions(slot, view, out);
+                if out.len() >= 2 {
+                    let (to, latency) = (out[0].to, out[0].latency);
+                    out[1].to = to;
+                    out[1].latency = latency;
+                }
+            }
+        }
+    }
+
+    fn membership_event(&mut self, node: NodeId, event: MembershipEvent) -> Option<RepairOutcome> {
+        self.inner.membership_event(node, event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_baselines::ChainScheme;
+    use clustream_core::CoreError;
+    use clustream_sim::{SimConfig, Simulator};
+
+    #[test]
+    fn source_stall_shifts_delay_without_model_errors() {
+        let mut clean = ChainScheme::new(4);
+        let base = Simulator::run(&mut clean, &SimConfig::until_complete(6, 500)).unwrap();
+        let mut stalled =
+            SabotagedScheme::new(Box::new(ChainScheme::new(4)), Sabotage::SourceStall(5));
+        let run = Simulator::run(&mut stalled, &SimConfig::until_complete(6, 500)).unwrap();
+        assert_eq!(run.qos.max_delay(), base.qos.max_delay() + 5);
+        assert_eq!(run.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn collide_triggers_receive_collision() {
+        // The chain sends ≥ 2 transmissions per slot once the pipeline
+        // fills; redirecting the second onto the first's receiver must
+        // trip the engine's collision check.
+        let mut s = SabotagedScheme::new(Box::new(ChainScheme::new(4)), Sabotage::Collide);
+        let err = Simulator::run(&mut s, &SimConfig::until_complete(6, 500)).unwrap_err();
+        assert!(matches!(err, CoreError::ReceiveCollision { .. }), "{err}");
+    }
+
+    #[test]
+    fn drop_residue_starves_playback() {
+        let mut s =
+            SabotagedScheme::new(Box::new(ChainScheme::new(3)), Sabotage::DropResidue(0, 2));
+        let err = Simulator::run(&mut s, &SimConfig::until_complete(6, 500)).unwrap_err();
+        assert!(matches!(err, CoreError::Hiccup { .. }), "{err}");
+    }
+}

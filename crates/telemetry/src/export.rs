@@ -137,16 +137,19 @@ pub fn from_jsonl(text: &str) -> Result<MetricsSnapshot, String> {
             }
             "histogram" => {
                 let l = HistogramLine::from_value(&raw.0).map_err(|e| at(&e))?;
-                snap.histograms.insert(
-                    l.name,
-                    HistogramSnapshot {
+                // Duplicate lines (concatenated per-worker exports) merge
+                // like counters do, keeping the exact min/max rather than
+                // letting the last line win.
+                snap.histograms
+                    .entry(l.name)
+                    .or_default()
+                    .merge(&HistogramSnapshot {
                         count: l.count,
                         sum: l.sum,
                         min: l.min,
                         max: l.max,
                         buckets: l.buckets,
-                    },
-                );
+                    });
             }
             "span" => {
                 let l = SpanLine::from_value(&raw.0).map_err(|e| at(&e))?;
@@ -226,5 +229,30 @@ mod tests {
         // Sweep workers may export per-worker files that get concatenated.
         let text = "{\"kind\":\"counter\",\"name\":\"c\",\"value\":2}\n{\"kind\":\"counter\",\"name\":\"c\",\"value\":3}\n";
         assert_eq!(from_jsonl(text).unwrap().counter("c"), 5);
+    }
+
+    #[test]
+    fn repeated_histogram_lines_merge_and_keep_exact_max() {
+        // Two workers observed the same histogram; worker A saw the true
+        // maximum 33 — one past the [32, 36) octave boundary, so bucket
+        // edges cannot reconstruct it. The import used to keep only the
+        // last line, silently dropping A's data and its exact max.
+        let (rec_a, tel_a) = MemoryRecorder::handle();
+        tel_a.observe("h.delay", 33);
+        tel_a.observe("h.delay", 4);
+        let (rec_b, tel_b) = MemoryRecorder::handle();
+        tel_b.observe("h.delay", 9);
+        let text = format!(
+            "{}{}",
+            to_jsonl(&rec_a.snapshot()),
+            to_jsonl(&rec_b.snapshot())
+        );
+        let merged = from_jsonl(&text).unwrap();
+        let h = &merged.histograms["h.delay"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 46);
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 33, "exact max, not the bucket edge 35 or B's 9");
+        assert_eq!(h.buckets, vec![(4, 5, 1), (9, 10, 1), (32, 36, 1)]);
     }
 }

@@ -192,6 +192,34 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Merge `other` into `self`, as if every observation behind both
+    /// snapshots had been recorded into one histogram: counts and sums
+    /// add, `min`/`max` stay the **exact** extremes (never re-derived
+    /// from bucket boundaries, which would round a max like 33 up to its
+    /// octave bucket edge), and buckets with equal boundaries combine.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(lo, hi, c) in &other.buckets {
+            match self.buckets.iter_mut().find(|b| b.0 == lo && b.1 == hi) {
+                Some(b) => b.2 += c,
+                None => self.buckets.push((lo, hi, c)),
+            }
+        }
+        self.buckets.sort_unstable();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +301,42 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let reparsed: HistogramSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(snap, reparsed);
+    }
+
+    #[test]
+    fn merge_preserves_exact_max_above_power_of_two_boundaries() {
+        // 17 and 33 sit just above octave boundaries: their buckets are
+        // [16, 18) and [32, 36), so a bucket-derived max would report 17
+        // and 35. The snapshot must keep the exact observed values.
+        let mut a = Histogram::new();
+        a.record(17);
+        let mut b = Histogram::new();
+        b.record(33);
+        b.record(5);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 55);
+        assert_eq!(merged.min, 5);
+        assert_eq!(merged.max, 33, "max must be exact, not the bucket edge 35");
+        assert_eq!(merged.buckets, vec![(5, 6, 1), (16, 18, 1), (32, 36, 1)]);
+        // Shared buckets combine rather than duplicate.
+        let mut c = Histogram::new();
+        c.record(34);
+        merged.merge(&c.snapshot());
+        assert_eq!(merged.max, 34);
+        assert!(
+            merged.buckets.contains(&(32, 36, 2)),
+            "{:?}",
+            merged.buckets
+        );
+        // Merging an empty snapshot is a no-op; merging into one copies.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

@@ -56,7 +56,10 @@
 //! * [`recovery`](mod@recovery) — failure detection, self-healing tree
 //!   repair and NACK retransmission;
 //! * [`telemetry`](mod@telemetry) — zero-cost-when-disabled counters,
-//!   histograms and span timers behind every engine.
+//!   histograms and span timers behind every engine;
+//! * [`mc`](mod@mc) — the invariant model-checker: pluggable invariant
+//!   registry, exhaustive small-world lattice driver, coverage-guided
+//!   explorer with shrinking repro corpus.
 
 #![warn(missing_docs)]
 
@@ -65,6 +68,7 @@ pub use clustream_baselines as baselines;
 pub use clustream_core as core;
 pub use clustream_des as des;
 pub use clustream_hypercube as hypercube;
+pub use clustream_mc as mc;
 pub use clustream_multitree as multitree;
 pub use clustream_npc as npc;
 pub use clustream_overlay as overlay;
@@ -91,6 +95,9 @@ pub mod prelude {
     };
     pub use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel};
     pub use clustream_hypercube::HypercubeStream;
+    pub use clustream_mc::{
+        check_genome, exhaustive, explore, shrink, ExploreOptions, Genome, LatticeOptions,
+    };
     pub use clustream_multitree::{
         build_forest, greedy_forest, structured_forest, Construction, DelayProfile, DisjointTrees,
         DynamicForest, MultiTreeScheme, StreamMode,

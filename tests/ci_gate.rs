@@ -55,7 +55,31 @@ fn script_parses_and_defines_both_tiers() {
         "TIER=\"${1:-full}\"",
         "bench_check",
         "RUSTDOCFLAGS=\"-D warnings\"",
+        // The model-checker stages: corpus replay guards every tier's
+        // edit loop; the exhaustive lattice and the fixed-seed explore
+        // smoke guard the merge gate.
+        "check --replay-corpus --corpus tests/corpus",
+        "check --exhaustive",
+        "check --explore --budget 500 --seed 7",
     ] {
         assert!(text.contains(needle), "ci.sh lost `{needle}`");
     }
+}
+
+#[test]
+fn corpus_replay_runs_in_the_quick_tier() {
+    // The replay stage must sit outside the full-tier block so `ci.sh
+    // quick` exercises it: it appears before the `[ "$TIER" = full ]`
+    // guard in the script text.
+    let text = std::fs::read_to_string(ci_script()).unwrap();
+    let replay = text
+        .find("stage \"repro-corpus replay\"")
+        .expect("ci.sh lost the repro-corpus replay stage");
+    let full_gate = text
+        .find("[ \"$TIER\" = full ]")
+        .expect("ci.sh lost the full-tier gate");
+    assert!(
+        replay < full_gate,
+        "repro-corpus replay must run in the quick tier"
+    );
 }
