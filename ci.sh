@@ -6,7 +6,7 @@
 #
 # Tiers:
 #   ci.sh quick   fmt + clippy + build + workspace tests + repro-corpus
-#                 replay (the edit loop)
+#                 replay + timing-wheel smoke (the edit loop)
 #   ci.sh full    quick + doc lint + differential oracles + CLI smoke
 #                 matrix + exhaustive invariant lattice + coverage-guided
 #                 explore smoke + bench regression check (the merge gate;
@@ -51,6 +51,18 @@ des_smoke() {
         --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
 }
 
+wheel_smoke() {
+    # The timing-wheel event queue end to end through the CLI: a
+    # wheel-backed DES run must stay field-identical to the slot engines
+    # (des-checked), and a jittered, uplink-serialized run must hold off
+    # slot-aligned ticks too.
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 30 --d 3 --runtime des-checked --queue wheel
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme chain --n 12 --runtime des --queue wheel \
+        --latency jitter --jitter 1.5 --uplink serialized --des-seed 1
+}
+
 telemetry_smoke() {
     # The metrics pipeline end to end: instrumented run -> JSONL file ->
     # offline report. First through the checked runtime, which doubles as
@@ -73,11 +85,14 @@ telemetry_smoke() {
 
 recovery_smoke() {
     # Every recovery tier across a small churn/loss matrix, plus the
-    # duration-unit flags, through the real CLI.
+    # duration-unit flags, through the real CLI — on the checked event
+    # queue, so the binary heap and the timing wheel run the whole fault
+    # matrix in lockstep (the first divergent pop panics).
     local rec
     for rec in off repair repair+nack; do
         cargo run -q --release --offline -p clustream-cli --bin clustream -- \
             simulate --scheme multitree --n 30 --d 3 --track 32 --runtime des \
+            --queue checked \
             --recovery "$rec" --churn-leave 0.002 --churn-rejoin 0.001 \
             --churn-slots 160 --churn-seed 7 \
             --suspect-timeout 6slots --nack-timeout 4slots
@@ -96,14 +111,15 @@ recovery_off_regression() {
 
 corpus_replay() {
     # Every counterexample ever shrunk into tests/corpus/ must keep
-    # reproducing exactly as recorded, on all three engines.
+    # reproducing exactly as recorded, on all four engine columns.
     cargo run -q --release --offline -p clustream-cli --bin clustream -- \
         check --replay-corpus --corpus tests/corpus
 }
 
 model_check_exhaustive() {
     # The full bounded lattice: d ∈ {2,3,4}, N ≤ 64, both constructions,
-    # all four families, canonical fault plans, three engines — plus the
+    # all four families, canonical fault plans, four engine columns
+    # (the timing-wheel DES included) — plus the
     # recovery-repair sweep. Runs in a few seconds in release.
     cargo run -q --release --offline -p clustream-cli --bin clustream -- \
         check --exhaustive
@@ -121,6 +137,7 @@ stage "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
 stage "build (release)" cargo build --workspace --release --offline
 stage "test" cargo test --workspace -q --offline
 stage "repro-corpus replay" corpus_replay
+stage "timing-wheel smoke (wheel queue)" wheel_smoke
 
 if [ "$TIER" = full ]; then
     stage "doc (-D warnings)" \

@@ -1,0 +1,59 @@
+//! Queue-only microbench: drive heap vs wheel with a chain-shaped
+//! synthetic schedule (per slot: a burst of same-tick Sends, next-slot
+//! Delivers, one PlaybackTick) and report ns/event. Not part of the
+//! bench suite.
+
+use clustream_core::{NodeId, PacketId, Transmission, SOURCE};
+use clustream_des::{EventKind, EventQueue, HeapQueue, WheelQueue};
+use std::time::Instant;
+
+fn drive<Q: EventQueue>(q: &mut Q, slots: u64, burst: u64) -> u64 {
+    let tx = Transmission::local(SOURCE, NodeId(1), PacketId(0));
+    let mut popped = 0u64;
+    q.push(0, EventKind::PlaybackTick);
+    while let Some(e) = q.pop() {
+        popped += 1;
+        match e.kind {
+            EventKind::PlaybackTick => {
+                let slot = e.time / 1024;
+                if slot >= slots {
+                    continue;
+                }
+                for _ in 0..burst {
+                    q.push(e.time, EventKind::Send(tx));
+                }
+                q.push(e.time + 1024, EventKind::PlaybackTick);
+            }
+            EventKind::Send(t) => {
+                q.push(
+                    e.time + 1024,
+                    EventKind::Deliver {
+                        from: t.from,
+                        to: t.to,
+                        packet: t.packet,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    popped
+}
+
+fn main() {
+    let slots: u64 = 1000;
+    let burst: u64 = 512;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut h = HeapQueue::new();
+        let n = drive(&mut h, slots, burst);
+        let heap_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+
+        let t0 = Instant::now();
+        let mut w = WheelQueue::new();
+        let m = drive(&mut w, slots, burst);
+        let wheel_ns = t0.elapsed().as_nanos() as f64 / m as f64;
+        assert_eq!(n, m);
+        println!("events {n}: heap {heap_ns:.1} ns/ev, wheel {wheel_ns:.1} ns/ev");
+    }
+}

@@ -19,8 +19,8 @@
 //! throughput floors are skipped — the baselines are release numbers.
 
 use clustream_bench::suites::{
-    des_workloads, engine_workloads, recovery_tiers, recovery_trace_for, run_recovery_tier,
-    DesReport, EngineReport, RecoveryReport, RECOVERY_RATES,
+    des_queues, des_workloads, engine_workloads, recovery_tiers, recovery_trace_for,
+    run_recovery_tier, DesReport, EngineReport, RecoveryReport, RECOVERY_RATES,
 };
 use clustream_bench::timing::bench;
 use clustream_des::{DesConfig, DesEngine};
@@ -133,33 +133,41 @@ fn check_engine(c: &mut Checker, baseline: &EngineReport) {
 fn check_des(c: &mut Checker, baseline: &DesReport) {
     let mut fast = FastEngine::new();
     for w in des_workloads() {
-        let ctx = format!("des/{}", w.name);
-        let Some(base) = baseline.throughput.iter().find(|r| r.workload == w.name) else {
-            c.fail(format!("{ctx}: no baseline row in BENCH_des.json"));
-            continue;
-        };
         let sim = SimConfig::until_complete(w.track, 1_000_000);
-        let des_cfg = DesConfig::slot_faithful(sim.clone());
         let reference = fast.run((w.make)().as_mut(), &sim).unwrap();
-        let mut engine = DesEngine::new();
-        let des = engine.run((w.make)().as_mut(), &des_cfg).unwrap();
-        let diffs = diff_fields(&reference, &des);
-        if !diffs.is_empty() {
-            c.fail(format!("{ctx}: DES diverges from slot engine on {diffs:?}"));
-        }
-        let events = engine.stats().events_processed;
-        c.exact(&ctx, "slots_run", base.slots_run, reference.slots_run);
-        c.exact(&ctx, "events", base.events, events);
-        if c.timing {
-            let m_des = bench(&format!("{}_des", w.name), REDUCED_SAMPLES, || {
-                engine.run((w.make)().as_mut(), &des_cfg).unwrap().slots_run
-            });
-            c.floor(
-                &ctx,
-                "events_per_sec",
-                base.events_per_sec,
-                events as f64 / m_des.min().as_secs_f64(),
-            );
+        for queue in des_queues() {
+            let ctx = format!("des/{}/{}", w.name, queue.label());
+            let Some(base) = baseline
+                .throughput
+                .iter()
+                .find(|r| r.workload == w.name && r.queue == queue.label())
+            else {
+                c.fail(format!("{ctx}: no baseline row in BENCH_des.json"));
+                continue;
+            };
+            let des_cfg = DesConfig::slot_faithful(sim.clone()).with_queue(queue);
+            let mut engine = DesEngine::new();
+            let des = engine.run((w.make)().as_mut(), &des_cfg).unwrap();
+            let diffs = diff_fields(&reference, &des);
+            if !diffs.is_empty() {
+                c.fail(format!("{ctx}: DES diverges from slot engine on {diffs:?}"));
+            }
+            let events = engine.stats().events_processed;
+            c.exact(&ctx, "slots_run", base.slots_run, reference.slots_run);
+            c.exact(&ctx, "events", base.events, events);
+            if c.timing {
+                let m_des = bench(
+                    &format!("{}_des_{}", w.name, queue.label()),
+                    REDUCED_SAMPLES,
+                    || engine.run((w.make)().as_mut(), &des_cfg).unwrap().slots_run,
+                );
+                c.floor(
+                    &ctx,
+                    "events_per_sec",
+                    base.events_per_sec,
+                    events as f64 / m_des.min().as_secs_f64(),
+                );
+            }
         }
     }
 

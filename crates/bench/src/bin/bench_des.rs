@@ -1,16 +1,17 @@
 //! Discrete-event runtime benchmark: event throughput on the standard
-//! simulation workloads plus the delay/buffer inflation the relaxed
-//! network models introduce over the synchronous slot model.
+//! simulation workloads — on both event queues (binary heap and timing
+//! wheel) — plus the delay/buffer inflation the relaxed network models
+//! introduce over the synchronous slot model.
 //!
-//! Every slot-faithful workload is first checked field-by-field against
-//! the fast slot engine (the PR's correctness anchor), then timed. The
-//! jitter table reuses `ext_jitter_sweep`: observed worst playback delay
-//! under uniform link jitter vs the Theorem 2 `h·d` bound. A
-//! machine-readable summary is written to `BENCH_des.json`.
+//! Every `(workload, queue)` cell is first checked field-by-field against
+//! the fast slot engine (the correctness anchor), then timed. The jitter
+//! table reuses `ext_jitter_sweep`: observed worst playback delay under
+//! uniform link jitter vs the Theorem 2 `h·d` bound. A machine-readable
+//! summary is written to `BENCH_des.json`.
 
 use clustream_bench::ext_jitter_sweep;
 use clustream_bench::render_table;
-use clustream_bench::suites::{des_workloads, DesReport, ThroughputRow};
+use clustream_bench::suites::{des_queues, des_workloads, DesReport, ThroughputRow};
 use clustream_bench::timing::bench;
 use clustream_des::{DesConfig, DesEngine};
 use clustream_sim::{diff_fields, FastEngine, SimConfig};
@@ -27,47 +28,70 @@ fn main() {
 
     let mut fast = FastEngine::new();
     let mut throughput = Vec::new();
+    let mut min_wheel_speedup = f64::INFINITY;
     for w in des_workloads() {
         let sim = SimConfig::until_complete(w.track, 1_000_000);
-        let des_cfg = DesConfig::slot_faithful(sim.clone());
-
-        // Correctness first: slot-faithful DES ≡ fast slot engine.
         let reference = fast.run((w.make)().as_mut(), &sim).unwrap();
-        let mut engine = DesEngine::new();
-        let des = engine.run((w.make)().as_mut(), &des_cfg).unwrap();
-        let diffs = diff_fields(&reference, &des);
-        assert!(diffs.is_empty(), "{}: DES diverges on {diffs:?}", w.name);
-        let events = engine.stats().events_processed;
-
-        let m_des = bench(&format!("{}_des", w.name), w.samples, || {
-            engine.run((w.make)().as_mut(), &des_cfg).unwrap().slots_run
-        });
         let m_fast = bench(&format!("{}_fast", w.name), w.samples, || {
             fast.run((w.make)().as_mut(), &sim).unwrap().slots_run
         });
 
-        let des_s = m_des.min().as_secs_f64();
-        throughput.push(ThroughputRow {
-            workload: w.name.to_string(),
-            slots_run: reference.slots_run,
-            events,
-            samples: w.samples,
-            des_min_ns: m_des.min().as_nanos() as u64,
-            fast_min_ns: m_fast.min().as_nanos() as u64,
-            events_per_sec: events as f64 / des_s,
-            slowdown_vs_fast: des_s / m_fast.min().as_secs_f64(),
-        });
+        let mut heap_min_ns = 0u64;
+        for queue in des_queues() {
+            let des_cfg = DesConfig::slot_faithful(sim.clone()).with_queue(queue);
+
+            // Correctness first: slot-faithful DES ≡ fast slot engine,
+            // whichever queue backs it.
+            let mut engine = DesEngine::new();
+            let des = engine.run((w.make)().as_mut(), &des_cfg).unwrap();
+            let diffs = diff_fields(&reference, &des);
+            assert!(
+                diffs.is_empty(),
+                "{}/{}: DES diverges on {diffs:?}",
+                w.name,
+                queue.label()
+            );
+            let events = engine.stats().events_processed;
+
+            let m_des = bench(
+                &format!("{}_des_{}", w.name, queue.label()),
+                w.samples,
+                || engine.run((w.make)().as_mut(), &des_cfg).unwrap().slots_run,
+            );
+
+            let des_min_ns = m_des.min().as_nanos() as u64;
+            if queue.label() == "heap" {
+                heap_min_ns = des_min_ns;
+            } else {
+                let speedup = heap_min_ns as f64 / des_min_ns as f64;
+                min_wheel_speedup = min_wheel_speedup.min(speedup);
+                println!("{}: wheel speedup over heap {speedup:.2}x", w.name);
+            }
+            let des_s = m_des.min().as_secs_f64();
+            throughput.push(ThroughputRow {
+                workload: w.name.to_string(),
+                queue: queue.label().to_string(),
+                slots_run: reference.slots_run,
+                events,
+                samples: w.samples,
+                des_min_ns,
+                fast_min_ns: m_fast.min().as_nanos() as u64,
+                events_per_sec: events as f64 / des_s,
+                slowdown_vs_fast: des_s / m_fast.min().as_secs_f64(),
+            });
+        }
     }
 
     println!(
         "\n{}",
         render_table(
-            &["workload", "slots", "events", "events/s", "vs fast"],
+            &["workload", "queue", "slots", "events", "events/s", "vs fast"],
             &throughput
                 .iter()
                 .map(|r| {
                     vec![
                         r.workload.clone(),
+                        r.queue.clone(),
                         r.slots_run.to_string(),
                         r.events.to_string(),
                         format!("{:.0}", r.events_per_sec),
@@ -77,6 +101,7 @@ fn main() {
                 .collect::<Vec<_>>()
         )
     );
+    println!("min wheel speedup over heap: {min_wheel_speedup:.2}x");
 
     // Jitter sweep: how far observed delay drifts past Theorem 2's
     // synchronous-model bound as link jitter grows.
@@ -114,6 +139,7 @@ fn main() {
         build: build.to_string(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         throughput,
+        min_wheel_speedup,
         jitter_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");

@@ -12,7 +12,7 @@
 
 use clustream_baselines::ChainScheme;
 use clustream_core::Scheme;
-use clustream_des::{DesConfig, DesEngine, TICKS_PER_SLOT};
+use clustream_des::{DesConfig, DesEngine, QueueKind, TICKS_PER_SLOT};
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, Construction, MultiTreeScheme, StreamMode};
 use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
@@ -145,10 +145,20 @@ pub struct EngineReport {
     pub min_speedup: f64,
 }
 
-/// One DES-suite workload: event throughput vs the fast slot engine.
+/// The event queues the DES suite times on every workload. `bench_check`
+/// matches baseline rows on `(workload, queue)`, so both columns are
+/// regression-gated independently.
+pub fn des_queues() -> [QueueKind; 2] {
+    [QueueKind::Heap, QueueKind::Wheel]
+}
+
+/// One DES-suite `(workload, queue)` cell: event throughput vs the fast
+/// slot engine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThroughputRow {
     pub workload: String,
+    /// Event-queue implementation (`heap` or `wheel`).
+    pub queue: String,
     pub slots_run: u64,
     pub events: u64,
     pub samples: usize,
@@ -166,6 +176,9 @@ pub struct DesReport {
     pub build: String,
     pub threads: usize,
     pub throughput: Vec<ThroughputRow>,
+    /// Smallest per-workload `heap_min_ns / wheel_min_ns` — the wheel's
+    /// worst-case speedup over the heap across the suite.
+    pub min_wheel_speedup: f64,
     pub jitter_sweep: Vec<crate::JitterRow>,
 }
 

@@ -3,7 +3,9 @@
 use crate::args::{ArgMap, CliError};
 use clustream_baselines::{ChainScheme, SingleTreeScheme};
 use clustream_core::{NodeId, PacketId, Scheme};
-use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel, TICKS_PER_SLOT};
+use clustream_des::{
+    DesConfig, DesEngine, DesOracle, LatencyModel, QueueKind, UplinkModel, TICKS_PER_SLOT,
+};
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{
     greedy_forest, node_calendar, Construction, MultiTreeScheme, StreamMode,
@@ -68,6 +70,21 @@ fn parse_runtime(args: &ArgMap) -> Result<RuntimeChoice, CliError> {
         "des-checked" => Ok(RuntimeChoice::DesChecked),
         other => Err(CliError::Usage(format!(
             "unknown --runtime `{other}`; valid options are: slot, des, des-checked"
+        ))),
+    }
+}
+
+/// Event-queue flag for the DES runtimes: `--queue heap|wheel|checked`.
+/// Result-invariant — every queue pops the identical event sequence — so
+/// it only trades wall clock (wheel) against self-checking (checked runs
+/// heap and wheel in lockstep, asserting identical pop order).
+fn parse_queue(args: &ArgMap) -> Result<QueueKind, CliError> {
+    match args.optional("queue").unwrap_or("heap") {
+        "heap" => Ok(QueueKind::Heap),
+        "wheel" => Ok(QueueKind::Wheel),
+        "checked" => Ok(QueueKind::Checked),
+        other => Err(CliError::Usage(format!(
+            "unknown --queue `{other}`; valid options are: heap, wheel, checked"
         ))),
     }
 }
@@ -213,8 +230,14 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     let engine = parse_engine(args)?;
     let latency = parse_latency(args)?;
     let uplink = parse_uplink(args)?;
+    let queue = parse_queue(args)?;
     let recovery = parse_recovery(args)?;
     let churn = parse_churn(args, args.required_usize("n")?)?;
+    if args.optional("queue").is_some() && runtime == RuntimeChoice::Slot {
+        return Err(CliError::Usage(
+            "--queue selects the DES event queue; it needs --runtime des or des-checked".into(),
+        ));
+    }
     if (recovery.mode.enabled() || churn.is_some()) && runtime != RuntimeChoice::Des {
         return Err(CliError::Usage(
             "--recovery/--churn-* need --runtime des (failure detection and churn are \
@@ -289,7 +312,8 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                 .with_latency(latency)
                 .with_uplink(uplink)
                 .seeded(args.u64_or("des-seed", 0)?)
-                .with_recovery(recovery);
+                .with_recovery(recovery)
+                .with_queue(queue);
             if let Some(trace) = churn.clone() {
                 des_cfg = des_cfg.with_churn(trace);
             }
@@ -309,7 +333,7 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                 engine.run(build_scheme(args)?.as_mut(), &des_cfg)?
             };
             des_stats = Some(*engine.stats());
-            let label = if recovery.mode.enabled() {
+            let mut label = if recovery.mode.enabled() {
                 format!(
                     "des ({}, self-healing {})",
                     describe_latency(&latency),
@@ -318,6 +342,9 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
             } else {
                 format!("des ({})", describe_latency(&latency))
             };
+            if queue != QueueKind::Heap {
+                label.push_str(&format!(", {} queue", queue.label()));
+            }
             (label, r)
         }
         RuntimeChoice::DesChecked => {
@@ -328,7 +355,11 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                         .into(),
                 ));
             }
-            let r = match DesOracle::check(|| build_scheme(args).expect("validated above"), &cfg) {
+            let r = match DesOracle::check_with_queue(
+                || build_scheme(args).expect("validated above"),
+                &cfg,
+                queue,
+            ) {
                 Ok(r) => r,
                 Err(Some(divergence)) => {
                     return Err(CliError::Model(format!(
@@ -341,7 +372,12 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                     return Err(err.into());
                 }
             };
-            ("des-checked (slot ≡ des)".to_string(), r)
+            let label = if queue == QueueKind::Heap {
+                "des-checked (slot ≡ des)".to_string()
+            } else {
+                format!("des-checked (slot ≡ des, {} queue)", queue.label())
+            };
+            (label, r)
         }
     };
     let mut out = String::new();
@@ -852,6 +888,98 @@ mod tests {
             assert!(out.contains("des"), "{rt}: {out}");
             assert_eq!(strip(&slot), strip(&out), "{rt}");
         }
+    }
+
+    #[test]
+    fn unknown_queue_error_lists_valid_options() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "5",
+            "--runtime",
+            "des",
+            "--queue",
+            "fibonacci",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown --queue `fibonacci`"), "{err}");
+        for opt in ["heap", "wheel", "checked"] {
+            assert!(err.contains(opt), "missing `{opt}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn queue_flag_selects_the_wheel_without_changing_results() {
+        // Every queue produces the identical report (only the engine
+        // label differs), on both DES runtimes. `des events` is dropped
+        // too: the des-checked report omits that line entirely.
+        let strip = |out: &str| {
+            out.lines()
+                .filter(|l| !l.starts_with("engine") && !l.starts_with("des events"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let base = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "30",
+            "--d",
+            "3",
+            "--runtime",
+            "des",
+        ]))
+        .unwrap();
+        for (rt, q) in [
+            ("des", "wheel"),
+            ("des", "checked"),
+            ("des-checked", "wheel"),
+        ] {
+            let out = run(&argv(&[
+                "simulate",
+                "--scheme",
+                "multitree",
+                "--n",
+                "30",
+                "--d",
+                "3",
+                "--runtime",
+                rt,
+                "--queue",
+                q,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("{q} queue")), "{rt}/{q}: {out}");
+            assert_eq!(strip(&base), strip(&out), "{rt}/{q}");
+        }
+        // The explicit default label stays unadorned.
+        let heap = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "5",
+            "--runtime",
+            "des",
+            "--queue",
+            "heap",
+        ]))
+        .unwrap();
+        assert!(!heap.contains("queue"), "{heap}");
+    }
+
+    #[test]
+    fn queue_flag_needs_a_des_runtime() {
+        let err = run(&argv(&[
+            "simulate", "--scheme", "chain", "--n", "5", "--queue", "wheel",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--runtime des"), "{err}");
     }
 
     #[test]

@@ -63,6 +63,7 @@ USAGE:
                      [--d <D>] [--mode <pre|buffered|pipelined>] [--track <P>]
                      [--runtime <slot|des|des-checked>]
                      [--engine <fast|reference|checked>]       (slot runtime)
+                     [--queue <heap|wheel|checked>]            (des runtimes)
                      [--latency <fixed|jitter|heavytail>]      (des runtime)
                      [--jitter <SLOTS>] [--scale <S>] [--alpha <A>] [--cap <C>]
                      [--uplink <unconstrained|serialized>] [--des-seed <SEED>]

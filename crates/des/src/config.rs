@@ -6,6 +6,37 @@ use clustream_recovery::RecoveryConfig;
 use clustream_sim::SimConfig;
 use clustream_workloads::ChurnTrace;
 
+/// Which [`crate::EventQueue`] implementation the engine drains.
+///
+/// Every choice pops the identical `(time, class, seq)` event sequence,
+/// so the [`clustream_sim::RunResult`] is bit-identical across kinds —
+/// the knob trades wall clock (wheel ≫ heap at scale) against the
+/// lockstep self-check (`Checked` runs both and asserts agreement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Binary min-heap ([`crate::HeapQueue`]): the original, obviously
+    /// correct `O(log n)` queue. The default.
+    #[default]
+    Heap,
+    /// Hierarchical timing wheel ([`crate::WheelQueue`]): O(1) pushes,
+    /// batched same-tick drains, allocation-free hot loop.
+    Wheel,
+    /// Both in lockstep ([`crate::CheckedQueue`]), panicking on any pop
+    /// divergence: the queue-level differential oracle.
+    Checked,
+}
+
+impl QueueKind {
+    /// CLI label (`--queue <label>`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Wheel => "wheel",
+            QueueKind::Checked => "checked",
+        }
+    }
+}
+
 /// Configuration of a discrete-event run.
 ///
 /// Embeds the slot-engine [`SimConfig`] (horizon, tracked window, faults,
@@ -34,6 +65,10 @@ pub struct DesConfig {
     /// which schedules no recovery events and keeps runs bit-identical to
     /// the fail-silent engine.
     pub recovery: RecoveryConfig,
+    /// Event-queue implementation. Result-invariant (every kind pops the
+    /// identical sequence); deliberately ignored by
+    /// [`DesConfig::is_slot_faithful`].
+    pub queue: QueueKind,
 }
 
 impl DesConfig {
@@ -46,6 +81,7 @@ impl DesConfig {
             latency_seed: 0,
             churn: None,
             recovery: RecoveryConfig::default(),
+            queue: QueueKind::default(),
         }
     }
 
@@ -76,6 +112,12 @@ impl DesConfig {
     /// Set the latency-noise seed.
     pub fn seeded(mut self, seed: u64) -> Self {
         self.latency_seed = seed;
+        self
+    }
+
+    /// Select the event-queue implementation.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -130,6 +172,19 @@ mod tests {
             },
         ));
         assert!(!churned.is_slot_faithful());
+    }
+
+    #[test]
+    fn queue_choice_does_not_affect_slot_faithfulness() {
+        // The queue is result-invariant, so picking the wheel must not
+        // kick the engine out of strict mode.
+        for queue in [QueueKind::Heap, QueueKind::Wheel, QueueKind::Checked] {
+            let cfg = DesConfig::slot_faithful(SimConfig::until_complete(8, 100)).with_queue(queue);
+            assert!(cfg.is_slot_faithful(), "{queue:?}");
+            assert!(cfg.validate().is_ok());
+        }
+        assert_eq!(QueueKind::default(), QueueKind::Heap);
+        assert_eq!(QueueKind::Wheel.label(), "wheel");
     }
 
     #[test]

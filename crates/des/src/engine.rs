@@ -56,9 +56,11 @@
 //! deterministic and recovery-off runs are bit-identical to the
 //! fail-silent engine (enforced by `tests/des_differential.rs`).
 
-use crate::config::DesConfig;
-use crate::event::{EventKind, EventQueue, TICKS_PER_SLOT};
+use crate::config::{DesConfig, QueueKind};
+use crate::event::{EventKind, EventQueue, HeapQueue, TICKS_PER_SLOT};
+use crate::hot::{ArrivalRing, FxHashMap, SeqSet};
 use crate::uplink::{UplinkGate, UplinkModel};
+use crate::wheel::{CheckedQueue, WheelQueue};
 use clustream_core::{
     Availability, CoreError, MembershipEvent, NodeId, NodeQos, PacketId, QosReport, Scheme, Slot,
     StateView, Transmission, SOURCE,
@@ -72,7 +74,7 @@ use clustream_telemetry::names as tm;
 use clustream_workloads::ResolvedChurnAction;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Counters describing one DES run (the bench denominators).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -104,7 +106,7 @@ pub struct DesStats {
 /// Simulator ground truth exposed to schemes, same shape as the slot
 /// engines'.
 struct DesState {
-    held: Vec<HashSet<u64>>,
+    held: Vec<SeqSet>,
     newest: Vec<Option<u64>>,
     slot: Slot,
     availability: Availability,
@@ -115,7 +117,7 @@ impl StateView for DesState {
         if node.is_source() {
             self.availability.produced(packet, self.slot)
         } else {
-            self.held[node.index()].contains(&packet.seq())
+            self.held[node.index()].contains(packet.seq())
         }
     }
 
@@ -152,7 +154,7 @@ fn event_probe_names(kind: &EventKind) -> (&'static str, &'static str) {
 /// calendar path and the deferred-release path share it without fighting
 /// the borrow checker.
 #[allow(clippy::too_many_arguments)]
-fn admit_relaxed(
+fn admit_relaxed<Q: EventQueue>(
     tx: &Transmission,
     now: u64,
     capacity: usize,
@@ -160,13 +162,13 @@ fn admit_relaxed(
     faults: Option<&FaultPlan>,
     loss_rng: &mut Option<ChaCha8Rng>,
     loss_report: &mut LossReport,
-    taint: &mut HashMap<(u32, u64), FaultCause>,
+    taint: &mut FxHashMap<(u32, u64), FaultCause>,
     uplink: UplinkModel,
     gate: &mut UplinkGate,
     stats: &mut TrafficStats,
     trace: &mut Option<EventTrace>,
     des_stats: &mut DesStats,
-    q: &mut EventQueue,
+    q: &mut Q,
 ) {
     let slot = now / TICKS_PER_SLOT;
     if let Some(f) = faults {
@@ -229,10 +231,29 @@ impl DesEngine {
     /// Run `scheme` under `cfg`, returning the same [`RunResult`] shape as
     /// the slot engines (so [`clustream_sim::diff_fields`] applies
     /// unchanged).
+    ///
+    /// The event queue implementation is chosen by [`DesConfig::queue`];
+    /// every choice pops the identical event sequence (see
+    /// [`crate::WheelQueue`] for the argument), so the `RunResult` is
+    /// bit-identical across queues — only the wall clock differs.
     pub fn run(
         &mut self,
         scheme: &mut dyn Scheme,
         cfg: &DesConfig,
+    ) -> Result<RunResult, CoreError> {
+        match cfg.queue {
+            QueueKind::Heap => self.run_with_queue(scheme, cfg, HeapQueue::new()),
+            QueueKind::Wheel => self.run_with_queue(scheme, cfg, WheelQueue::new()),
+            QueueKind::Checked => self.run_with_queue(scheme, cfg, CheckedQueue::new()),
+        }
+    }
+
+    /// The monomorphized engine loop behind [`DesEngine::run`].
+    fn run_with_queue<Q: EventQueue>(
+        &mut self,
+        scheme: &mut dyn Scheme,
+        cfg: &DesConfig,
+        mut q: Q,
     ) -> Result<RunResult, CoreError> {
         cfg.validate().map_err(CoreError::InvalidConfig)?;
         self.stats = DesStats::default();
@@ -254,28 +275,29 @@ impl DesEngine {
         }
 
         let mut state = DesState {
-            held: vec![HashSet::new(); n_ids],
+            held: vec![SeqSet::default(); n_ids],
             newest: vec![None; n_ids],
             slot: Slot(0),
             availability: scheme.availability(),
         };
         let mut arrivals = ArrivalTable::new(n_ids, sim.track_packets);
         let mut stats = TrafficStats::new(n_ids);
-        let mut q = EventQueue::new();
         let mut gate = UplinkGate::new(n_ids);
 
         // Strict mode: one pending arrival per (arrival slot, node), the
         // value being the occupying packet — the receive-capacity guard,
-        // mirroring the slot engines' `scheduled_arrivals` set.
-        let mut occupied: HashMap<(u64, u32), PacketId> = HashMap::new();
+        // mirroring the slot engines' `scheduled_arrivals` set. Arrival
+        // slots never repeat, so claims are never released; see
+        // [`ArrivalRing`] for why a ring replaces a hash map here.
+        let mut occupied = ArrivalRing::new(n_ids);
         // Relaxed mode: calendar entries waiting for their packet, keyed
         // by (sender, packet). A BTreeMap so the end-of-run leftover
         // attribution walks entries in a deterministic order.
         let mut waiting: BTreeMap<(u32, u64), Vec<Transmission>> = BTreeMap::new();
         let mut departed = vec![false; n_ids];
         // First cause that took out each (node, packet) copy; lookup-only
-        // (never iterated), so a HashMap keeps determinism.
-        let mut taint: HashMap<(u32, u64), FaultCause> = HashMap::new();
+        // (never iterated), so a hash map keeps determinism.
+        let mut taint: FxHashMap<(u32, u64), FaultCause> = FxHashMap::default();
 
         // Recovery layer. All state is allocated unconditionally (cheap)
         // but only touched when `rec_on`; recovery-off runs schedule no
@@ -390,9 +412,9 @@ impl DesEngine {
                         arrivals.record(to, packet, Slot(usable));
                         continue;
                     }
-                    if strict {
-                        occupied.remove(&(usable - 1, to.0));
-                    }
+                    // The `occupied` claim for this arrival needs no
+                    // release: arrival slots are strictly in the past of
+                    // every later send, so the cell can never match again.
                     // Fail-stopped receivers drop arrivals on the floor.
                     if let Some(f) = &sim.faults {
                         if f.stopped(to, usable - 1) {
@@ -463,7 +485,7 @@ impl DesEngine {
                         while *cur < horizon {
                             let s = *cur;
                             *cur += 1;
-                            if !state.held[to.index()].contains(&s) && nacks.open(to.0, s) {
+                            if !state.held[to.index()].contains(s) && nacks.open(to.0, s) {
                                 q.push(
                                     ev.time,
                                     EventKind::Nack {
@@ -750,7 +772,7 @@ impl DesEngine {
                                         packet: tx.packet,
                                     });
                                 }
-                            } else if !state.held[tx.from.index()].contains(&tx.packet.seq()) {
+                            } else if !state.held[tx.from.index()].contains(tx.packet.seq()) {
                                 if let Some(f) = &sim.faults {
                                     // A fault propagating downstream:
                                     // attribute the suppression to whatever
@@ -798,14 +820,15 @@ impl DesEngine {
                                 }
                             }
                             let arrival_slot = t + tx.latency as u64 - 1;
-                            if let Some(&other) = occupied.get(&(arrival_slot, tx.to.0)) {
+                            if let Err(other) =
+                                occupied.try_insert(arrival_slot, tx.to.0, tx.packet.seq(), t)
+                            {
                                 return Err(CoreError::ReceiveCollision {
                                     node: tx.to,
                                     slot: Slot(arrival_slot),
-                                    packets: (other, tx.packet),
+                                    packets: (PacketId(other), tx.packet),
                                 });
                             }
-                            occupied.insert((arrival_slot, tx.to.0), tx.packet);
                             stats.record(tx);
                             if let Some(tr) = trace.as_mut() {
                                 tr.push(t, tx);
@@ -820,7 +843,7 @@ impl DesEngine {
                                         packet: tx.packet,
                                     });
                                 }
-                            } else if !state.held[tx.from.index()].contains(&tx.packet.seq()) {
+                            } else if !state.held[tx.from.index()].contains(tx.packet.seq()) {
                                 // Reactive node: send the moment it arrives.
                                 self.stats.deferred_sends += 1;
                                 waiting
@@ -1011,6 +1034,37 @@ mod tests {
             .run(&mut Chain { n: 6 }, &DesConfig::slot_faithful(sim_cfg))
             .unwrap();
         assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn every_queue_kind_reproduces_the_heap_run() {
+        // Strict, faulty and recovery-heavy runs: the queue choice must
+        // never show up in the RunResult, only in the wall clock.
+        use clustream_sim::FaultPlan;
+        let configs = [
+            DesConfig::slot_faithful(SimConfig::until_complete(16, 200)),
+            DesConfig::slot_faithful(SimConfig::with_faults(24, 80, FaultPlan::loss(0.25, 42))),
+            DesConfig::slot_faithful(SimConfig::with_faults(24, 200, FaultPlan::loss(0.2, 9)))
+                .with_recovery(clustream_recovery::RecoveryConfig {
+                    mode: clustream_recovery::RecoveryMode::RepairNack,
+                    ..Default::default()
+                }),
+            DesConfig::slot_faithful(SimConfig::until_complete(12, 2000))
+                .with_latency(LatencyModel::UniformJitter { jitter: 3.0 })
+                .seeded(11),
+        ];
+        for cfg in configs {
+            let mut heap_engine = DesEngine::new();
+            let want = heap_engine.run(&mut Chain { n: 6 }, &cfg).unwrap();
+            for queue in [QueueKind::Wheel, QueueKind::Checked] {
+                let mut engine = DesEngine::new();
+                let got = engine
+                    .run(&mut Chain { n: 6 }, &cfg.clone().with_queue(queue))
+                    .unwrap();
+                assert_eq!(diff_fields(&want, &got), Vec::<&str>::new(), "{queue:?}");
+                assert_eq!(engine.stats(), heap_engine.stats(), "{queue:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Hot-path containers for the event loop: a growable per-node packet
+//! bitset and a non-cryptographic hasher for the engine's point-lookup
+//! maps.
+//!
+//! Both replace `std` defaults that dominated the per-event profile:
+//! SipHash costs ~25ns per probe and the engine makes several probes per
+//! transmission, while packet possession is a dense predicate over a
+//! contiguous sequence space, for which a bitset is both smaller and
+//! branch-free. Neither structure is ever iterated, so determinism is
+//! untouched — every access is a point lookup keyed by values the
+//! simulation already ordered.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Dense set of packet sequence numbers held by one node.
+///
+/// Sequence numbers start at zero and grow with the schedule, so the
+/// word vector stays proportional to the newest packet seen — the same
+/// asymptotics as a hash set over a dense run, with a 64× smaller
+/// constant and no hashing.
+#[derive(Debug, Clone, Default)]
+pub struct SeqSet {
+    words: Vec<u64>,
+}
+
+impl SeqSet {
+    /// Whether `seq` is in the set.
+    #[inline]
+    pub fn contains(&self, seq: u64) -> bool {
+        let w = (seq >> 6) as usize;
+        w < self.words.len() && self.words[w] & (1 << (seq & 63)) != 0
+    }
+
+    /// Insert `seq`; returns `true` when it was newly inserted (the
+    /// `HashSet::insert` contract the duplicate counter relies on).
+    #[inline]
+    pub fn insert(&mut self, seq: u64) -> bool {
+        let w = (seq >> 6) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (seq & 63);
+        let newly = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        newly
+    }
+}
+
+/// The strict-mode receive-capacity guard: at most one pending arrival
+/// per `(arrival slot, node)`.
+///
+/// Replaces a `HashMap<(u64, u32), PacketId>`, which spent most of the
+/// DES hot loop churning tombstones — every slot inserts and removes one
+/// entry per transmission, so the map rehashed continuously. The ring
+/// exploits two monotonicity facts instead:
+///
+/// * arrival slots never repeat — a send from playback slot `t` targets
+///   an arrival slot `≥ t`, and `t` has already passed every slot whose
+///   deliveries fired — so an entry never needs removal: a stale cell
+///   can never match a live query's slot;
+/// * pending arrivals span at most the largest in-flight latency, so a
+///   ring of `width >` that span never aliases two live entries.
+///
+/// Cells are keyed by their exact slot, making overwrite-on-stale safe,
+/// and the ring grows (re-seating live cells, no hashing anywhere) when
+/// a latency outgrows the current width.
+#[derive(Debug)]
+pub struct ArrivalRing {
+    /// `width × n_ids` cells, slot-major: `(slot, packet)`, slot
+    /// `u64::MAX` when vacant.
+    cells: Vec<(u64, PacketId2)>,
+    n_ids: usize,
+    /// Power of two, strictly greater than any in-flight latency span.
+    width: u64,
+}
+
+/// The packet payload stored in a ring cell. A plain `u64` (the packet
+/// seq) keeps the cell `Copy` without importing core types here.
+type PacketId2 = u64;
+
+/// Vacant-cell marker; real slots are bounded by `SimConfig::max_slots`.
+const VACANT: u64 = u64::MAX;
+
+impl ArrivalRing {
+    /// A ring for `n_ids` nodes with the minimum width.
+    pub fn new(n_ids: usize) -> ArrivalRing {
+        let width = 8;
+        ArrivalRing {
+            cells: vec![(VACANT, 0); width as usize * n_ids],
+            n_ids,
+            width,
+        }
+    }
+
+    /// Claim `(arrival_slot, node)` for packet seq `packet`. Returns the
+    /// already-pending packet seq on a collision. `now_slot` is the
+    /// current playback slot (the live-window floor, needed on growth).
+    #[inline]
+    pub fn try_insert(
+        &mut self,
+        arrival_slot: u64,
+        node: u32,
+        packet: u64,
+        now_slot: u64,
+    ) -> Result<(), u64> {
+        debug_assert!(arrival_slot >= now_slot);
+        if arrival_slot - now_slot + 2 > self.width {
+            self.grow(arrival_slot - now_slot + 2, now_slot);
+        }
+        let cell = &mut self.cells
+            [(arrival_slot & (self.width - 1)) as usize * self.n_ids + node as usize];
+        if cell.0 == arrival_slot {
+            return Err(cell.1);
+        }
+        *cell = (arrival_slot, packet);
+        Ok(())
+    }
+
+    /// Re-seat every live cell (slot ≥ `now_slot`) into a wider ring.
+    fn grow(&mut self, need: u64, now_slot: u64) {
+        let width = need.next_power_of_two();
+        let mut cells = vec![(VACANT, 0); width as usize * self.n_ids];
+        for (i, &(slot, packet)) in self.cells.iter().enumerate() {
+            if slot != VACANT && slot >= now_slot {
+                let node = i % self.n_ids;
+                cells[(slot & (width - 1)) as usize * self.n_ids + node] = (slot, packet);
+            }
+        }
+        self.cells = cells;
+        self.width = width;
+    }
+}
+
+/// Multiply-xor hasher (the FxHash construction) for the engine's
+/// integer-keyed maps. Not DoS-resistant — fine here, since every key is
+/// generated by the deterministic simulation itself.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's multiplicative constant, as used by rustc's FxHash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` with the fast hasher; used only for point lookups.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_set_inserts_and_probes() {
+        let mut s = SeqSet::default();
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "second insert reports already-present");
+        assert!(s.contains(0));
+        assert!(!s.contains(63));
+        assert!(s.insert(63));
+        assert!(s.insert(64), "crosses a word boundary");
+        assert!(s.contains(64));
+        assert!(!s.contains(1000));
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+    }
+
+    #[test]
+    fn arrival_ring_detects_same_slot_collisions() {
+        let mut r = ArrivalRing::new(4);
+        assert_eq!(r.try_insert(5, 2, 10, 5), Ok(()));
+        assert_eq!(r.try_insert(5, 2, 11, 5), Err(10), "same (slot, node)");
+        assert_eq!(r.try_insert(5, 3, 11, 5), Ok(()), "other node is free");
+        assert_eq!(r.try_insert(6, 2, 12, 5), Ok(()), "other slot is free");
+    }
+
+    #[test]
+    fn arrival_ring_stale_cells_never_match() {
+        let mut r = ArrivalRing::new(2);
+        assert_eq!(r.try_insert(3, 1, 7, 3), Ok(()));
+        // Slot 3's delivery has fired; slot 11 aliases it (mod 8) and
+        // must overwrite the stale cell, not report a collision.
+        assert_eq!(r.try_insert(11, 1, 8, 10), Ok(()));
+        assert_eq!(r.try_insert(11, 1, 9, 10), Err(8));
+    }
+
+    #[test]
+    fn arrival_ring_grows_past_long_latencies() {
+        let mut r = ArrivalRing::new(3);
+        for slot in 0..40 {
+            assert_eq!(r.try_insert(slot, 1, slot, 0), Ok(()));
+        }
+        // Every claim survives the growth re-seat.
+        for slot in 0..40 {
+            assert_eq!(r.try_insert(slot, 1, slot + 100, 0), Err(slot));
+        }
+    }
+
+    #[test]
+    fn fx_map_behaves_like_a_map() {
+        let mut m: FxHashMap<(u64, u32), u64> = FxHashMap::default();
+        assert!(m.insert((3, 7), 10).is_none());
+        assert_eq!(m.insert((3, 7), 11), Some(10));
+        assert_eq!(m.get(&(3, 7)), Some(&11));
+        assert_eq!(m.remove(&(3, 7)), Some(11));
+        assert!(!m.contains_key(&(3, 7)));
+    }
+}

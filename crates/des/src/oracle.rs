@@ -8,7 +8,7 @@
 //! over all four scheme families; the CLI's `--runtime des-checked` and
 //! `ci.sh` run it on every gate.
 
-use crate::config::DesConfig;
+use crate::config::{DesConfig, QueueKind};
 use crate::engine::DesEngine;
 use clustream_core::Scheme;
 use clustream_sim::{diff_fields, FastEngine, RunResult, SimConfig};
@@ -26,14 +26,34 @@ impl DesOracle {
     /// * Both fail with identically-rendered errors → `Err(None)`.
     /// * Any divergence → `Err(Some(description))`.
     #[allow(clippy::type_complexity)]
-    pub fn check<F>(mut factory: F, cfg: &SimConfig) -> Result<RunResult, Option<String>>
+    pub fn check<F>(factory: F, cfg: &SimConfig) -> Result<RunResult, Option<String>>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        Self::check_with_queue(factory, cfg, QueueKind::Heap)
+    }
+
+    /// [`DesOracle::check`] with an explicit event-queue choice for the
+    /// DES side. `QueueKind::Checked` composes both oracles in one run:
+    /// the queue lockstep asserts wheel ≡ heap pop for pop, and the field
+    /// diff asserts DES ≡ slot engine — which is how the differential
+    /// suite covers the wheel without running every scheme twice.
+    #[allow(clippy::type_complexity)]
+    pub fn check_with_queue<F>(
+        mut factory: F,
+        cfg: &SimConfig,
+        queue: QueueKind,
+    ) -> Result<RunResult, Option<String>>
     where
         F: FnMut() -> Box<dyn Scheme>,
     {
         // Strip telemetry from the oracle-side run: a checked run should
         // record its metrics once, not once per engine.
         let slot = FastEngine::new().run(factory().as_mut(), &cfg.without_telemetry());
-        let des = DesEngine::new().run(factory().as_mut(), &DesConfig::slot_faithful(cfg.clone()));
+        let des = DesEngine::new().run(
+            factory().as_mut(),
+            &DesConfig::slot_faithful(cfg.clone()).with_queue(queue),
+        );
         match (slot, des) {
             (Ok(s), Ok(d)) => {
                 let diffs = diff_fields(&s, &d);
@@ -82,7 +102,20 @@ impl DesOracle {
     where
         F: FnMut() -> Box<dyn Scheme>,
     {
-        match Self::check(factory, cfg) {
+        Self::run_checked_with_queue(factory, cfg, QueueKind::Heap)
+    }
+
+    /// [`DesOracle::run_checked`] with an explicit event-queue choice
+    /// (`--runtime des-checked --queue …` on the CLI).
+    pub fn run_checked_with_queue<F>(
+        factory: F,
+        cfg: &SimConfig,
+        queue: QueueKind,
+    ) -> Result<RunResult, String>
+    where
+        F: FnMut() -> Box<dyn Scheme>,
+    {
+        match Self::check_with_queue(factory, cfg, queue) {
             Ok(r) => Ok(r),
             Err(None) => Err("both engines failed identically".into()),
             Err(Some(divergence)) => panic!("DES differential oracle: {divergence}"),
@@ -128,6 +161,16 @@ mod tests {
         )
         .expect("engines must agree");
         assert_eq!(r.qos.max_delay(), 6);
+    }
+
+    #[test]
+    fn every_queue_kind_passes_the_oracle() {
+        let cfg = SimConfig::with_faults(24, 80, clustream_sim::FaultPlan::loss(0.25, 42));
+        for queue in [QueueKind::Heap, QueueKind::Wheel, QueueKind::Checked] {
+            let r = DesOracle::check_with_queue(|| Box::new(Chain { n: 6 }), &cfg, queue)
+                .unwrap_or_else(|d| panic!("{queue:?}: {d:?}"));
+            assert!(r.loss.as_ref().unwrap().lost_in_flight > 0);
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::genome::Genome;
 use crate::invariant::{bounds_for, check_result, violation_from_error, Bounds, Violation};
 use clustream_core::CoreError;
-use clustream_des::{DesConfig, DesEngine};
+use clustream_des::{DesConfig, DesEngine, QueueKind};
 use clustream_sim::{diff_fields, FastSimulator, RunResult, Simulator};
 use clustream_telemetry::Telemetry;
 
@@ -12,7 +12,8 @@ use clustream_telemetry::Telemetry;
 pub enum Engines {
     /// Fast engine only (the explorer's and shrinker's inner loop).
     FastOnly,
-    /// Reference, fast and slot-faithful DES, plus cross-engine
+    /// Reference, fast and slot-faithful DES — the latter twice, on the
+    /// heap and timing-wheel event queues — plus cross-engine
     /// field-equality (the exhaustive driver and corpus replay).
     All,
 }
@@ -59,6 +60,10 @@ fn run_one(
         "reference" => Simulator::run(&mut *scheme, &cfg),
         "fast" => FastSimulator::run(&mut *scheme, &cfg),
         "des" => DesEngine::new().run(&mut *scheme, &DesConfig::slot_faithful(cfg)),
+        "des-wheel" => DesEngine::new().run(
+            &mut *scheme,
+            &DesConfig::slot_faithful(cfg).with_queue(QueueKind::Wheel),
+        ),
         other => unreachable!("unknown engine label {other}"),
     })
 }
@@ -82,7 +87,7 @@ pub fn check_genome_with(
     };
     let labels: &[&str] = match engines {
         Engines::FastOnly => &["fast"],
-        Engines::All => &["reference", "fast", "des"],
+        Engines::All => &["reference", "fast", "des", "des-wheel"],
     };
     let mut violations = Vec::new();
     let mut outcomes: Vec<(&str, Result<RunResult, CoreError>)> = Vec::new();
@@ -141,7 +146,8 @@ pub fn check_genome_with(
     }
 }
 
-/// Check `g` on all three engines with cross-engine agreement.
+/// Check `g` on all four engine columns (reference, fast, heap-DES,
+/// wheel-DES) with cross-engine agreement.
 pub fn check_genome(g: &Genome) -> CheckReport {
     check_genome_with(g, Engines::All, None)
 }
@@ -163,7 +169,7 @@ mod tests {
             let g = Genome::clean(family, 13, 2, ConstructionChoice::Greedy);
             let rep = check_genome(&g);
             assert!(!rep.skipped, "{family:?} skipped");
-            assert_eq!(rep.runs, 3);
+            assert_eq!(rep.runs, 4, "reference, fast, des, des-wheel");
             assert!(
                 rep.violations.is_empty(),
                 "{family:?}: {:?}",

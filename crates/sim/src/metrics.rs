@@ -7,24 +7,35 @@
 //! headline difference in Table 1.
 
 use clustream_core::{NodeId, Transmission};
-use std::collections::HashSet;
 
 /// Accumulates per-node neighbor sets and global traffic counters.
+///
+/// Neighbor sets are sorted `Vec<u32>`s, not hash sets: degrees are
+/// `O(d)` / `O(log N)` by the paper's construction, so a binary-search
+/// insert into a handful of contiguous words beats a hashed probe —
+/// `record` sits on the per-transmission hot path of every engine.
 #[derive(Debug, Clone)]
 pub struct TrafficStats {
-    out_neighbors: Vec<HashSet<u32>>,
-    in_neighbors: Vec<HashSet<u32>>,
+    out_neighbors: Vec<Vec<u32>>,
+    in_neighbors: Vec<Vec<u32>>,
     uploads: Vec<u64>,
     total_transmissions: u64,
     duplicate_deliveries: u64,
+}
+
+/// Set-insert into a sorted vector.
+fn insert_sorted(set: &mut Vec<u32>, id: u32) {
+    if let Err(at) = set.binary_search(&id) {
+        set.insert(at, id);
+    }
 }
 
 impl TrafficStats {
     /// Stats for an id space of `n_ids` nodes.
     pub fn new(n_ids: usize) -> Self {
         TrafficStats {
-            out_neighbors: vec![HashSet::new(); n_ids],
-            in_neighbors: vec![HashSet::new(); n_ids],
+            out_neighbors: vec![Vec::new(); n_ids],
+            in_neighbors: vec![Vec::new(); n_ids],
             uploads: vec![0; n_ids],
             total_transmissions: 0,
             duplicate_deliveries: 0,
@@ -33,8 +44,8 @@ impl TrafficStats {
 
     /// Record one transmission (called once per validated send).
     pub fn record(&mut self, tx: &Transmission) {
-        self.out_neighbors[tx.from.index()].insert(tx.to.0);
-        self.in_neighbors[tx.to.index()].insert(tx.from.0);
+        insert_sorted(&mut self.out_neighbors[tx.from.index()], tx.to.0);
+        insert_sorted(&mut self.in_neighbors[tx.to.index()], tx.from.0);
         self.uploads[tx.from.index()] += 1;
         self.total_transmissions += 1;
     }
@@ -66,11 +77,26 @@ impl TrafficStats {
         self.in_neighbors[node.index()].len()
     }
 
-    /// Distinct nodes communicated with in either direction.
+    /// Distinct nodes communicated with in either direction: two-pointer
+    /// merge count over the sorted adjacency vectors.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.out_neighbors[node.index()]
-            .union(&self.in_neighbors[node.index()])
-            .count()
+        let (a, b) = (
+            &self.out_neighbors[node.index()],
+            &self.in_neighbors[node.index()],
+        );
+        let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            count += 1;
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count + (a.len() - i) + (b.len() - j)
     }
 
     /// Total validated transmissions over the run.

@@ -93,7 +93,10 @@ pub mod prelude {
         Availability, CoreError, NodeId, NodeQos, PacketId, QosReport, Scheme, Slot, StateView,
         Transmission, SOURCE,
     };
-    pub use clustream_des::{DesConfig, DesEngine, DesOracle, LatencyModel, UplinkModel};
+    pub use clustream_des::{
+        CheckedQueue, DesConfig, DesEngine, DesOracle, Event, EventKind, EventQueue, HeapQueue,
+        LatencyModel, QueueKind, UplinkModel, WheelQueue,
+    };
     pub use clustream_hypercube::HypercubeStream;
     pub use clustream_mc::{
         check_genome, exhaustive, explore, shrink, ExploreOptions, Genome, LatticeOptions,

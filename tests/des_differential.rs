@@ -12,14 +12,20 @@
 //! (jitter, heavy tails, uplink serialization, churn): any measured
 //! deviation from the slot model is then attributable to the network
 //! model, not engine drift.
+//!
+//! Every case here runs the DES on [`QueueKind::Checked`] — the heap and
+//! timing-wheel event queues in lockstep, panicking on the first pop
+//! where they disagree — so the whole suite doubles as the wheel's
+//! queue-equivalence harness without running each scheme twice.
 
 use clustream::prelude::*;
 use clustream::sim::FaultPlan;
 use proptest::prelude::*;
 
-/// Assertion-friendly wrapper: `None` = slot and DES engines agree.
+/// Assertion-friendly wrapper: `None` = slot and DES engines agree (and,
+/// via the checked queue, the wheel agrees with the heap pop for pop).
 fn divergence(factory: impl FnMut() -> Box<dyn Scheme>, cfg: &SimConfig) -> Option<String> {
-    match DesOracle::check(factory, cfg) {
+    match DesOracle::check_with_queue(factory, cfg, QueueKind::Checked) {
         Ok(_) | Err(None) => None,
         Err(Some(d)) => Some(d),
     }

@@ -1,0 +1,320 @@
+//! Queue-equivalence harness: the timing-wheel event queue against the
+//! binary heap, pop for pop.
+//!
+//! The DES engine's determinism contract is a total order on events —
+//! `(time, class, seq)` — and the wheel reimplements it with cascading
+//! tick buckets instead of a comparison heap. This suite drives both
+//! implementations through the same randomized schedules (interleaved
+//! pushes, pops, cancellations, same-tick bursts, far-future timers that
+//! cross the 2³⁰-tick wheel horizon, and pushes at `u64::MAX`) and
+//! asserts the pop sequences are identical event for event, with `len()`
+//! agreeing after every operation. Named regressions pin the cascade
+//! edges that randomized schedules hit only occasionally: an empty-bucket
+//! cascade, and an event inserted exactly at the current cascade
+//! boundary of each wheel level.
+//!
+//! The engine-level analogues live in `tests/des_differential.rs` (every
+//! case there runs `QueueKind::Checked`) and in the mc corpus/lattice
+//! (`des-wheel` engine column); this file is the queue-only harness that
+//! localizes a divergence to a single pop.
+
+use clustream::prelude::*;
+use clustream::telemetry::names as tm;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ harness
+
+/// Pop both queues once and assert they agree on the event (or both run
+/// dry), then on the live count.
+fn pop_both(h: &mut HeapQueue, w: &mut WheelQueue) -> Option<Event> {
+    let (a, b) = (h.pop(), w.pop());
+    assert_eq!(a, b, "heap and wheel disagree on pop");
+    assert_eq!(h.len(), w.len(), "live counts diverge after pop");
+    a
+}
+
+/// Payloads keyed to `tag` across several event classes, so a stale or
+/// reordered payload (not just a wrong timestamp) fails the equality.
+fn kind_for(class_sel: u8, tag: u64) -> EventKind {
+    let node = |x: u64| NodeId((x % 997) as u32 + 1);
+    match class_sel % 5 {
+        0 => EventKind::Deliver {
+            from: node(tag),
+            to: node(tag >> 3),
+            packet: PacketId(tag),
+        },
+        1 => EventKind::SuspectTimeout {
+            watcher: node(tag),
+            subject: node(tag.rotate_left(17)),
+        },
+        2 => EventKind::RepairCommit { failed: node(tag) },
+        3 => EventKind::PlaybackTick,
+        _ => EventKind::Nack {
+            node: node(tag),
+            packet: PacketId(tag ^ 0xA5A5),
+            attempt: (tag % 7) as u32,
+        },
+    }
+}
+
+/// Time offsets relative to the last popped tick, chosen to land in
+/// every wheel level and on both sides of every cascade boundary.
+const DELTAS: [u64; 12] = [
+    0, // same-tick burst
+    1,
+    63,
+    1023,          // last L0 bucket of the window
+    1024,          // first L1 tick
+    (1 << 20) - 1, // last L1 tick
+    1 << 20,       // first L2 tick
+    (1 << 30) - 1, // last L2 tick
+    1 << 30,       // first overflow-calendar tick
+    (1 << 30) + 12_345,
+    1 << 34,  // deep calendar
+    u64::MAX, // max-tick wraparound sentinel (clamped absolute)
+];
+
+/// One randomized schedule: interpret `ops` against both queues in
+/// lockstep. Returns how many events were popped (so callers can assert
+/// the schedule actually exercised something).
+fn run_schedule(ops: &[(u8, u8, u8, u16)]) -> usize {
+    let mut h = HeapQueue::new();
+    let mut w = WheelQueue::new();
+    let mut floor = 0u64; // time of the last popped event: the push contract
+    let mut seqs: Vec<u64> = Vec::new();
+    let mut popped = 0usize;
+    for &(op, delta_sel, class_sel, tag) in ops {
+        match op % 8 {
+            // Pushes outnumber pops ~2:1 so schedules build real depth.
+            0..=3 => {
+                let delta = DELTAS[delta_sel as usize % DELTAS.len()];
+                let time = floor.saturating_add(delta);
+                let kind = kind_for(class_sel, tag as u64);
+                let sh = h.push(time, kind);
+                let sw = w.push(time, kind);
+                assert_eq!(sh, sw, "seq allocation diverged");
+                seqs.push(sh);
+            }
+            4 | 5 => {
+                if let Some(e) = pop_both(&mut h, &mut w) {
+                    floor = e.time;
+                    popped += 1;
+                }
+            }
+            6 => {
+                // Cancel an arbitrary previously-allocated seq — live,
+                // already popped, or already cancelled; the lazy
+                // tombstone semantics must match in every case.
+                if !seqs.is_empty() {
+                    let s = seqs[tag as usize % seqs.len()];
+                    h.cancel(s);
+                    w.cancel(s);
+                    assert_eq!(h.len(), w.len(), "live counts diverge after cancel");
+                }
+            }
+            _ => {
+                for _ in 0..4 {
+                    if let Some(e) = pop_both(&mut h, &mut w) {
+                        floor = e.time;
+                        popped += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(h.total_pushed(), w.total_pushed());
+    }
+    // Drain to empty: the tail order (everything still buffered across
+    // levels and the calendar) must match too.
+    while let Some(e) = pop_both(&mut h, &mut w) {
+        assert!(e.time >= floor, "drain went back in time");
+        floor = e.time;
+        popped += 1;
+    }
+    assert_eq!(h.len(), 0);
+    popped
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized interleaved schedules: every pop identical, every
+    /// intermediate `len()` identical, full drain identical.
+    #[test]
+    fn random_schedules_pop_identically(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u16>()),
+            1..250,
+        ),
+    ) {
+        run_schedule(&ops);
+    }
+
+    /// Same-tick bursts with mixed classes: intra-tick `(class, seq)`
+    /// order is where a per-class-lane batch could drift from a heap.
+    #[test]
+    fn same_tick_bursts_pop_identically(
+        classes in proptest::collection::vec(any::<u8>(), 1..60),
+        interleave in any::<bool>(),
+    ) {
+        let mut h = HeapQueue::new();
+        let mut w = WheelQueue::new();
+        for (i, &c) in classes.iter().enumerate() {
+            let kind = kind_for(c, i as u64);
+            assert_eq!(h.push(7, kind), w.push(7, kind));
+            if interleave && i % 3 == 2 {
+                // Pop mid-burst: later same-tick pushes must still join
+                // the in-flight tick in both implementations.
+                pop_both(&mut h, &mut w);
+            }
+        }
+        while pop_both(&mut h, &mut w).is_some() {}
+    }
+
+    /// Far-future timers: pushes beyond the 2³⁰-tick wheel horizon land
+    /// in the overflow calendar and must re-enter the wheel in heap
+    /// order, interleaved with near-term traffic.
+    #[test]
+    fn horizon_crossing_timers_pop_identically(
+        far in proptest::collection::vec((0u64..(1 << 40), any::<u8>()), 1..40),
+        near in proptest::collection::vec((0u64..2048, any::<u8>()), 1..40),
+    ) {
+        let mut h = HeapQueue::new();
+        let mut w = WheelQueue::new();
+        for (i, &(t, c)) in far.iter().enumerate() {
+            let time = (1u64 << 30) + t;
+            let kind = kind_for(c, i as u64);
+            assert_eq!(h.push(time, kind), w.push(time, kind));
+        }
+        for (i, &(t, c)) in near.iter().enumerate() {
+            let kind = kind_for(c, (i + far.len()) as u64);
+            assert_eq!(h.push(t, kind), w.push(t, kind));
+        }
+        while pop_both(&mut h, &mut w).is_some() {}
+    }
+}
+
+// ------------------------------------------------- named regressions
+
+/// An event whose L1/L2 window is otherwise empty: the cascade must skip
+/// straight over the empty buckets (bitmap scan) and still pop at the
+/// right tick — compared against the heap, not just against intuition.
+#[test]
+fn regression_empty_bucket_cascade_pops_identically() {
+    let mut h = HeapQueue::new();
+    let mut w = WheelQueue::new();
+    // One lone event deep in L1, one deep in L2, nothing in between.
+    for (t, tag) in [(5_000u64, 1u64), ((1 << 21) + 17, 2), (3, 0)] {
+        let kind = kind_for(0, tag);
+        assert_eq!(h.push(t, kind), w.push(t, kind));
+    }
+    let times: Vec<u64> = std::iter::from_fn(|| pop_both(&mut h, &mut w))
+        .map(|e| e.time)
+        .collect();
+    assert_eq!(times, vec![3, 5_000, (1 << 21) + 17]);
+}
+
+/// Events inserted exactly at a cascade boundary — the first tick of a
+/// fresh L1 window (1024), L2 window (2²⁰), and calendar epoch (2³⁰) —
+/// both cold (cursor at zero) and hot (pushed after popping the tick
+/// just before the boundary, so the cursor sits at the window edge).
+#[test]
+fn regression_event_exactly_at_the_cascade_boundary_pops_identically() {
+    for boundary in [1u64 << 10, 1 << 20, 1 << 30] {
+        // Cold: all three pushed up front.
+        let mut h = HeapQueue::new();
+        let mut w = WheelQueue::new();
+        for (i, t) in [boundary - 1, boundary, boundary + 1].iter().enumerate() {
+            let kind = kind_for(i as u8, *t);
+            assert_eq!(h.push(*t, kind), w.push(*t, kind));
+        }
+        let times: Vec<u64> = std::iter::from_fn(|| pop_both(&mut h, &mut w))
+            .map(|e| e.time)
+            .collect();
+        assert_eq!(
+            times,
+            vec![boundary - 1, boundary, boundary + 1],
+            "cold {boundary}"
+        );
+
+        // Hot: pop up to the boundary's predecessor first, then insert
+        // exactly at the boundary while the cursor sits against it.
+        let mut h = HeapQueue::new();
+        let mut w = WheelQueue::new();
+        let kind = kind_for(0, 7);
+        assert_eq!(h.push(boundary - 1, kind), w.push(boundary - 1, kind));
+        assert_eq!(pop_both(&mut h, &mut w).map(|e| e.time), Some(boundary - 1));
+        let kind = kind_for(1, 8);
+        assert_eq!(h.push(boundary, kind), w.push(boundary, kind));
+        assert_eq!(
+            pop_both(&mut h, &mut w).map(|e| e.time),
+            Some(boundary),
+            "hot {boundary}"
+        );
+        assert!(pop_both(&mut h, &mut w).is_none());
+    }
+}
+
+/// The largest representable tick: events at `u64::MAX` must neither be
+/// lost nor reordered, and duplicate max-tick pushes keep seq order.
+#[test]
+fn regression_max_tick_events_pop_identically() {
+    let mut h = HeapQueue::new();
+    let mut w = WheelQueue::new();
+    for (t, tag) in [(u64::MAX, 1u64), (u64::MAX, 2), (0, 0), (u64::MAX - 1, 3)] {
+        let kind = kind_for(tag as u8, tag);
+        assert_eq!(h.push(t, kind), w.push(t, kind));
+    }
+    let popped: Vec<Event> = std::iter::from_fn(|| pop_both(&mut h, &mut w)).collect();
+    assert_eq!(popped.len(), 4);
+    assert_eq!(
+        popped.iter().map(|e| e.time).collect::<Vec<_>>(),
+        vec![0, u64::MAX - 1, u64::MAX, u64::MAX]
+    );
+}
+
+/// Cancelling the only copy of a far-future timer, then re-arming it
+/// nearer — the recovery layer's suspect-timer reschedule shape — must
+/// leave both queues agreeing on what remains.
+#[test]
+fn regression_cancel_and_rearm_pops_identically() {
+    let mut h = HeapQueue::new();
+    let mut w = WheelQueue::new();
+    let kind = kind_for(1, 42);
+    let sh = h.push(1 << 31, kind);
+    let sw = w.push(1 << 31, kind);
+    assert_eq!(sh, sw);
+    h.cancel(sh);
+    w.cancel(sw);
+    assert_eq!(h.len(), w.len());
+    let kind = kind_for(1, 43);
+    assert_eq!(h.push(100, kind), w.push(100, kind));
+    assert_eq!(pop_both(&mut h, &mut w).map(|e| e.time), Some(100));
+    assert!(
+        pop_both(&mut h, &mut w).is_none(),
+        "tombstoned timer expired"
+    );
+}
+
+// ------------------------------------------- telemetry cross-check
+
+/// The `des.queue_depth_max` gauge is computed from `EventQueue::len()`,
+/// so a heap run and a wheel run of the same workload must report the
+/// identical high-water mark (cancelled-but-unexpired entries included).
+#[test]
+fn queue_depth_gauge_agrees_between_heap_and_wheel() {
+    let depth = |queue: QueueKind| {
+        let (rec, tel) = MemoryRecorder::handle();
+        let sim = SimConfig::until_complete(24, 100_000).with_telemetry(tel);
+        let cfg = DesConfig::slot_faithful(sim).with_queue(queue);
+        let mut scheme =
+            MultiTreeScheme::new(greedy_forest(40, 3).unwrap(), StreamMode::PreRecorded);
+        DesEngine::new().run(&mut scheme, &cfg).unwrap();
+        let snap = rec.snapshot();
+        let _ = Telemetry::disabled();
+        snap.gauges[tm::DES_QUEUE_DEPTH_MAX]
+    };
+    let heap = depth(QueueKind::Heap);
+    let wheel = depth(QueueKind::Wheel);
+    assert!(heap > 0, "workload never built queue depth");
+    assert_eq!(heap, wheel, "queue-depth gauge diverges between queues");
+}

@@ -1,9 +1,10 @@
 //! Zero-cost-off oracle for the telemetry layer: attaching a recorder
 //! must never perturb a simulation. For every scheme family and every
 //! engine (reference slot simulator, fast slot engine, slot-faithful
-//! DES) the [`RunResult`] of an instrumented run is compared **field for
-//! field** against the bare run, and the recorder is checked to have
-//! actually observed the run (so the equivalence is not vacuous).
+//! DES on both the heap and timing-wheel event queues) the
+//! [`RunResult`] of an instrumented run is compared **field for field**
+//! against the bare run, and the recorder is checked to have actually
+//! observed the run (so the equivalence is not vacuous).
 
 use clustream::prelude::*;
 use clustream::telemetry::names as tm;
@@ -40,10 +41,14 @@ fn run_both(
         1 => FastEngine::new()
             .run(scheme_for(family, n, d).as_mut(), cfg)
             .unwrap(),
-        _ => DesEngine::new()
+        e => DesEngine::new()
             .run(
                 scheme_for(family, n, d).as_mut(),
-                &DesConfig::slot_faithful(cfg.clone()),
+                &DesConfig::slot_faithful(cfg.clone()).with_queue(if e == 2 {
+                    QueueKind::Heap
+                } else {
+                    QueueKind::Wheel
+                }),
             )
             .unwrap(),
     };
@@ -64,7 +69,7 @@ proptest! {
     #[test]
     fn recorder_never_perturbs_a_run(
         family in 0usize..4,
-        engine in 0usize..3,
+        engine in 0usize..4,
         n in 1usize..60,
         d in 1usize..5,
         track in 4u64..32,
