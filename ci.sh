@@ -6,11 +6,13 @@
 #
 # Tiers:
 #   ci.sh quick   fmt + clippy + build + workspace tests + repro-corpus
-#                 replay + timing-wheel smoke (the edit loop)
+#                 replay + timing-wheel smoke + loopback cluster smoke
+#                 with DES replay oracle (the edit loop)
 #   ci.sh full    quick + doc lint + differential oracles + CLI smoke
 #                 matrix + exhaustive invariant lattice + coverage-guided
-#                 explore smoke + bench regression check (the merge gate;
-#                 default when no tier is given)
+#                 explore smoke + 32-node kill-injection cluster smoke +
+#                 bench regression check (the merge gate; default when no
+#                 tier is given)
 #
 # Per-stage wall-clock timings are printed at the end of the run.
 set -euo pipefail
@@ -132,12 +134,41 @@ model_check_explore() {
         check --explore --budget 500 --seed 7
 }
 
+cluster_smoke() {
+    # The networked deployment end to end over loopback: 8 real
+    # clustream-node processes on Unix sockets deliver a short stream,
+    # the orchestrator records the per-link latency trace, and the DES
+    # replays it under the recorded latencies with a delivery-order
+    # concordance floor (the replay oracle).
+    local trace=target/ci-cluster-trace.json
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        cluster --nodes 8 --transport uds --track 12 --slot-us 3000 \
+        --trace-out "$trace"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        replay --trace "$trace" --min-concordance 0.85
+}
+
+cluster_kill_smoke() {
+    # The full acceptance run: 32 node processes over TCP loopback with
+    # a SIGKILL injected mid-stream. Every survivor must still complete
+    # the tracked window (gap-chase NACKs to the source), the kill must
+    # be detected and repaired with reported wall-clocks, and the
+    # recorded trace must replay concordantly through the DES.
+    local trace=target/ci-cluster-kill-trace.json
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        cluster --nodes 32 --transport tcp --track 24 --slot-us 5000 \
+        --kill 5@2 --suspect-timeout-slots 4 --trace-out "$trace"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        replay --trace "$trace" --min-concordance 0.85
+}
+
 stage "fmt" cargo fmt --all --check
 stage "clippy" cargo clippy --workspace --all-targets --offline -- -D warnings
 stage "build (release)" cargo build --workspace --release --offline
 stage "test" cargo test --workspace -q --offline
 stage "repro-corpus replay" corpus_replay
 stage "timing-wheel smoke (wheel queue)" wheel_smoke
+stage "cluster smoke (8 nodes, uds + replay oracle)" cluster_smoke
 
 if [ "$TIER" = full ]; then
     stage "doc (-D warnings)" \
@@ -150,6 +181,7 @@ if [ "$TIER" = full ]; then
     stage "recovery-off DES equivalence regression" recovery_off_regression
     stage "model check (exhaustive lattice)" model_check_exhaustive
     stage "model check (explore smoke, seed 7)" model_check_explore
+    stage "cluster kill-injection smoke (32 nodes, tcp + replay oracle)" cluster_kill_smoke
     # Tolerance is wider than the bench_check default: shared-container
     # timing noise of ±30% is routine here, and a real regression past
     # 2x is still caught. Correctness fields are always compared exactly.

@@ -912,6 +912,50 @@ mod tests {
     }
 
     #[test]
+    fn unknown_transport_error_lists_valid_options() {
+        let err = run(&argv(&[
+            "cluster",
+            "--nodes",
+            "4",
+            "--transport",
+            "carrier-pigeon",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown --transport `carrier-pigeon`"),
+            "{err}"
+        );
+        for opt in ["tcp", "uds"] {
+            assert!(err.contains(opt), "missing `{opt}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_kill_spec_names_the_entry_and_format() {
+        let err = run(&argv(&["cluster", "--nodes", "4", "--kill", "3-7"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`3-7`"), "{err}");
+        assert!(err.contains("NODE@SLOT"), "{err}");
+        // Killing the source is rejected up front, not at run time.
+        let err = run(&argv(&["cluster", "--nodes", "4", "--kill", "0@3"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("source"), "{err}");
+    }
+
+    #[test]
+    fn replay_requires_a_readable_trace() {
+        let err = run(&argv(&["replay"])).unwrap_err().to_string();
+        assert!(err.contains("missing required --trace"), "{err}");
+        let err = run(&argv(&["replay", "--trace", "/nonexistent/t.json"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot read --trace"), "{err}");
+    }
+
+    #[test]
     fn queue_flag_selects_the_wheel_without_changing_results() {
         // Every queue produces the identical report (only the engine
         // label differs), on both DES runtimes. `des events` is dropped

@@ -12,7 +12,12 @@
 //! * `report` — summarize a `--metrics-out` JSONL metrics file into
 //!   delay/buffer tables;
 //! * `check` — the invariant model-checker: exhaustive small-world
-//!   lattice sweep, coverage-guided exploration, repro-corpus replay.
+//!   lattice sweep, coverage-guided exploration, repro-corpus replay;
+//! * `cluster` — spawn a real networked cluster of `clustream-node`
+//!   processes over loopback, optionally SIGKILLing nodes mid-stream,
+//!   and report detection/repair wall-clocks;
+//! * `replay` — re-run a recorded cluster trace through the DES under
+//!   the observed link latencies and score delivery-order concordance.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to keep the
 //! dependency surface at zero beyond the workspace itself.
@@ -22,6 +27,7 @@
 pub mod args;
 pub mod check;
 pub mod commands;
+pub mod net_cmd;
 
 pub use args::{ArgMap, CliError};
 
@@ -46,6 +52,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "analyze" => commands::analyze(&args),
         "plan" => commands::plan(&args),
         "trace" => commands::trace(&args),
+        "cluster" => net_cmd::cluster(&args),
+        "replay" => net_cmd::replay(&args),
         "help" | "--help" | "-h" => Ok(usage().into()),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}`\n\n{}",
@@ -76,6 +84,13 @@ USAGE:
   clustream check    [--exhaustive] [--explore] [--replay-corpus]
                      [--budget <GENOMES>] [--seed <SEED>]
                      [--corpus <DIR>] [--max-n <N>]
+  clustream cluster  --nodes <N> [--transport <tcp|uds>] [--scheme <FAMILY>]
+                     [--d <D>] [--track <P>] [--slot-us <MICROS>]
+                     [--kill <NODE@SLOT,…>] [--suspect-timeout-slots <S>]
+                     [--suspect-threshold <W>] [--horizon-slack <S>]
+                     [--trace-out <FILE.json>] [--metrics-out <FILE.jsonl>]
+                     [--node-bin <PATH>]
+  clustream replay   --trace <FILE.json> [--min-concordance <F>]
   clustream help
 "
 }

@@ -1,6 +1,7 @@
 //! DES run configuration: a [`SimConfig`] plus network-model knobs.
 
 use crate::latency::LatencyModel;
+use crate::replay::RecordedLatencies;
 use crate::uplink::UplinkModel;
 use clustream_recovery::RecoveryConfig;
 use clustream_sim::SimConfig;
@@ -69,6 +70,13 @@ pub struct DesConfig {
     /// identical sequence); deliberately ignored by
     /// [`DesConfig::is_slot_faithful`].
     pub queue: QueueKind,
+    /// Observed per-link latencies from a networked run
+    /// ([`crate::replay::RecordedLatencies`]). When present, every `Send`
+    /// consumes its link's next recorded sample instead of drawing from
+    /// `latency`, and the engine runs relaxed (recorded wire times are
+    /// not slot-exact and networked nodes are reactive) — the replay
+    /// oracle for `clustream cluster`.
+    pub recorded: Option<RecordedLatencies>,
 }
 
 impl DesConfig {
@@ -82,6 +90,7 @@ impl DesConfig {
             churn: None,
             recovery: RecoveryConfig::default(),
             queue: QueueKind::default(),
+            recorded: None,
         }
     }
 
@@ -121,6 +130,12 @@ impl DesConfig {
         self
     }
 
+    /// Install recorded per-link latencies (the networked replay oracle).
+    pub fn with_recorded_latencies(mut self, recorded: RecordedLatencies) -> Self {
+        self.recorded = Some(recorded);
+        self
+    }
+
     /// Whether this configuration is in the degenerate slot-equivalent
     /// regime (fixed latencies, no uplink contention, no churn) where the
     /// engine runs in strict mode and must match the slot engines exactly.
@@ -129,6 +144,7 @@ impl DesConfig {
             && self.uplink == UplinkModel::Unconstrained
             && self.churn.is_none()
             && !self.recovery.mode.enabled()
+            && self.recorded.is_none()
     }
 
     /// Validate model parameters.
@@ -155,6 +171,13 @@ mod tests {
 
         let gated = cfg.clone().with_uplink(UplinkModel::Serialized);
         assert!(!gated.is_slot_faithful());
+
+        // Recorded latencies are concrete numbers but not slot-exact, and
+        // replayed nodes are reactive: the engine must run relaxed.
+        let replayed = cfg
+            .clone()
+            .with_recorded_latencies(crate::replay::RecordedLatencies::new());
+        assert!(!replayed.is_slot_faithful());
 
         let recovering = cfg
             .clone()

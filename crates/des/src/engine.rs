@@ -358,6 +358,9 @@ impl DesEngine {
             .latency
             .needs_rng()
             .then(|| ChaCha8Rng::seed_from_u64(cfg.latency_seed));
+        // Networked replay: per-link recorded samples override the
+        // parametric latency model, consumed FIFO per link.
+        let mut replay = cfg.recorded.as_ref().map(crate::replay::ReplayCursor::new);
         let mut trace = sim.record_trace.then(EventTrace::default);
 
         if sim.max_slots > 0 {
@@ -879,7 +882,10 @@ impl DesEngine {
                     if stopped {
                         continue;
                     }
-                    let lat = cfg.latency.sample_ticks(tx.latency, &mut lat_rng);
+                    let lat = match replay.as_mut() {
+                        Some(r) => r.sample_ticks(tx.from.0, tx.to.0, tx.latency),
+                        None => cfg.latency.sample_ticks(tx.latency, &mut lat_rng),
+                    };
                     q.push(
                         ev.time + lat,
                         EventKind::Deliver {

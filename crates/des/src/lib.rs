@@ -47,6 +47,7 @@ pub mod event;
 pub mod hot;
 pub mod latency;
 pub mod oracle;
+pub mod replay;
 pub mod uplink;
 pub mod wheel;
 
@@ -55,5 +56,6 @@ pub use engine::{DesEngine, DesStats};
 pub use event::{Event, EventKind, EventQueue, HeapQueue, TICKS_PER_SLOT};
 pub use latency::LatencyModel;
 pub use oracle::DesOracle;
+pub use replay::RecordedLatencies;
 pub use uplink::{UplinkGate, UplinkModel};
 pub use wheel::{CheckedQueue, WheelQueue};

@@ -1,0 +1,126 @@
+//! Recorded-trace latency replay: re-run a networked cluster run in-sim.
+//!
+//! The networked runtime (`clustream-net`) records the observed latency
+//! of every per-link delivery. [`RecordedLatencies`] holds those samples
+//! keyed by link, in per-link arrival order (which equals per-link send
+//! order: each link is one FIFO stream connection). Installing a table
+//! via [`crate::DesConfig::with_recorded_latencies`] makes the engine
+//! consume the recorded sample for each `Send` on that link instead of
+//! drawing from the parametric [`crate::LatencyModel`] — the DES becomes
+//! a *replay oracle*: the same schedule under the physically observed
+//! latencies must reproduce the networked run's per-node delivery order
+//! within tolerance.
+//!
+//! A recorded table forces the engine into **relaxed** mode even though
+//! every sample is a concrete number: recorded latencies are not
+//! slot-exact, and the networked nodes are reactive (a calendar send
+//! whose packet has not arrived is deferred, then sent on arrival) —
+//! exactly the relaxed engine's semantics.
+
+use crate::event::TICKS_PER_SLOT;
+use std::collections::BTreeMap;
+
+/// Observed per-link latency samples, in per-link send order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordedLatencies {
+    links: BTreeMap<(u32, u32), Vec<u64>>,
+}
+
+impl RecordedLatencies {
+    /// An empty table.
+    pub fn new() -> Self {
+        RecordedLatencies::default()
+    }
+
+    /// Append a sample for the link `from → to`, in ticks. Clamped to at
+    /// least one tick: a zero-tick wire would deliver before it sent.
+    pub fn push(&mut self, from: u32, to: u32, ticks: u64) {
+        self.links.entry((from, to)).or_default().push(ticks.max(1));
+    }
+
+    /// Total samples across all links.
+    pub fn len(&self) -> usize {
+        self.links.values().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Number of distinct links with at least one sample.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+/// Per-run consumption state over a [`RecordedLatencies`] table: each
+/// link's samples are popped FIFO, one per `Send`.
+#[derive(Debug)]
+pub(crate) struct ReplayCursor<'a> {
+    table: &'a RecordedLatencies,
+    next: BTreeMap<(u32, u32), usize>,
+}
+
+impl<'a> ReplayCursor<'a> {
+    /// A cursor at the start of every link's sample list.
+    pub(crate) fn new(table: &'a RecordedLatencies) -> Self {
+        ReplayCursor {
+            table,
+            next: BTreeMap::new(),
+        }
+    }
+
+    /// The latency for the next send on `from → to`, in ticks.
+    ///
+    /// Links with more sends than samples repeat their last sample (the
+    /// networked run ended; its final observation is the best estimate
+    /// for traffic past it), and links never observed — e.g. repair
+    /// paths the networked run did not exercise — fall back to the
+    /// nominal `base_slots` wire time.
+    pub(crate) fn sample_ticks(&mut self, from: u32, to: u32, base_slots: u32) -> u64 {
+        match self.table.links.get(&(from, to)) {
+            Some(samples) if !samples.is_empty() => {
+                let idx = self.next.entry((from, to)).or_insert(0);
+                let s = samples[(*idx).min(samples.len() - 1)];
+                *idx += 1;
+                s
+            }
+            _ => base_slots as u64 * TICKS_PER_SLOT,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_pop_fifo_then_repeat_last() {
+        let mut rec = RecordedLatencies::new();
+        rec.push(0, 1, 10);
+        rec.push(0, 1, 20);
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.link_count(), 1);
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(0, 1, 1), 10);
+        assert_eq!(cur.sample_ticks(0, 1, 1), 20);
+        assert_eq!(cur.sample_ticks(0, 1, 1), 20, "exhausted link repeats");
+    }
+
+    #[test]
+    fn unknown_links_use_the_nominal_latency() {
+        let rec = RecordedLatencies::new();
+        assert!(rec.is_empty());
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(3, 4, 2), 2 * TICKS_PER_SLOT);
+    }
+
+    #[test]
+    fn zero_samples_are_clamped_to_one_tick() {
+        let mut rec = RecordedLatencies::new();
+        rec.push(1, 2, 0);
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(1, 2, 1), 1);
+    }
+}

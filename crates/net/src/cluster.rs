@@ -1,0 +1,717 @@
+//! The cluster orchestrator: spawn `clustream-node` processes, drive the
+//! control plane, inject kills, and collect the run trace.
+//!
+//! One `run_cluster` call is a full experiment: lower the schedule
+//! (reference simulator), spawn `n + 1` local processes (node 0 is the
+//! source), distribute per-node [`NodeConfig`]s, release the stream with
+//! a synchronized `Start`, SIGKILL the scheduled victims at their slot
+//! deadlines, tally `Suspect` frames into detection wall-clocks
+//! ([`clustream_recovery::FailureDetector`] at the configured watcher
+//! threshold), and wait for every expected survivor's `Complete`. Child
+//! processes are owned by a [`Reaper`] drop guard, so they are killed
+//! and waited even when the orchestrator panics mid-run — `cargo test`
+//! must never leak a node process.
+
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::killspec::KillSpec;
+use crate::schedule::{lower_schedule, NodeConfig, NodeReport, PeerAddr, SchemeParams};
+use crate::trace::{KillObs, LinkObs, NodeDeliveries, RunTrace};
+use crate::transport::{NetListener, Transport};
+use clustream_recovery::FailureDetector;
+use clustream_telemetry::{names as tm, Telemetry};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::node::sys_ns;
+
+/// Parameters of one orchestrated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// Receiver population (`n` node processes plus the source).
+    pub nodes: u64,
+    /// Socket family for every link.
+    pub transport: Transport,
+    /// Scheme to lower; `params.n` must equal `nodes`.
+    pub params: SchemeParams,
+    /// Tracked window (packets `0..track`).
+    pub track: u64,
+    /// Wall-clock slot length, microseconds.
+    pub slot_micros: u64,
+    /// Kill schedule (validated against the lowered horizon).
+    pub kills: Vec<KillSpec>,
+    /// Distinct watchers that must suspect a node before the
+    /// orchestrator calls it detected.
+    pub suspect_threshold: u64,
+    /// Per-node silence horizon before suspecting, in slots.
+    pub suspect_timeout_slots: u64,
+    /// Slots past the expected arrival before the first NACK.
+    pub gap_slack_slots: u64,
+    /// Slots between NACK retries.
+    pub nack_retry_slots: u64,
+    /// NACK attempts per packet before giving up.
+    pub nack_max_attempts: u64,
+    /// Path to the `clustream-node` binary.
+    pub node_bin: PathBuf,
+    /// Extra slots past the lowered horizon the nodes keep running
+    /// (repair headroom).
+    pub horizon_slack: u64,
+    /// Telemetry sink for aggregated transport counters.
+    pub telemetry: Telemetry,
+}
+
+impl ClusterOptions {
+    /// Defaults for an `n`-receiver multi-tree run with no kills.
+    pub fn new(nodes: u64, node_bin: PathBuf) -> ClusterOptions {
+        ClusterOptions {
+            nodes,
+            transport: Transport::Tcp,
+            params: SchemeParams {
+                family: "multitree".into(),
+                n: nodes,
+                d: 2,
+            },
+            track: 24,
+            slot_micros: 5_000,
+            kills: Vec::new(),
+            suspect_threshold: 1,
+            suspect_timeout_slots: 8,
+            gap_slack_slots: 4,
+            nack_retry_slots: 6,
+            nack_max_attempts: 12,
+            node_bin,
+            horizon_slack: 64,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// What happened to one scheduled kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillOutcome {
+    /// The victim.
+    pub node: u32,
+    /// Requested kill slot.
+    pub slot: u64,
+    /// Wall clock when the SIGKILL was delivered, UNIX nanoseconds.
+    pub kill_ns: u64,
+    /// Wall clock when `suspect_threshold` distinct watchers had
+    /// suspected the victim; `None` if never detected.
+    pub detection_ns: Option<u64>,
+    /// Wall clock of the last survivor `Complete` at or after the kill —
+    /// the moment the stream was whole again; `None` if survivors did
+    /// not all complete.
+    pub repair_ns: Option<u64>,
+}
+
+impl KillOutcome {
+    /// Detection latency in milliseconds, if detected.
+    pub fn detection_ms(&self) -> Option<f64> {
+        self.detection_ns
+            .map(|d| d.saturating_sub(self.kill_ns) as f64 / 1e6)
+    }
+
+    /// Repair latency in milliseconds, if repaired.
+    pub fn repair_ms(&self) -> Option<f64> {
+        self.repair_ns
+            .map(|r| r.saturating_sub(self.kill_ns) as f64 / 1e6)
+    }
+}
+
+/// Everything a cluster run produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Final per-node reports, sorted by node id (killed nodes absent).
+    pub reports: Vec<NodeReport>,
+    /// Per-kill wall-clock accounting.
+    pub kills: Vec<KillOutcome>,
+    /// Survivors that reported `Complete`.
+    pub completed: u64,
+    /// Survivors expected to complete (receivers minus victims).
+    pub expected_complete: u64,
+    /// Wall clock of the whole run (Start to last event), nanoseconds.
+    pub wall_ns: u64,
+    /// The recorded trace, replayable via [`crate::trace::replay_in_des`].
+    pub trace: RunTrace,
+    /// PIDs of every spawned child (all reaped by return time).
+    pub child_pids: Vec<u32>,
+}
+
+/// Drop guard owning the spawned node processes: whatever way the
+/// orchestrator exits — success, error return, or panic — every child is
+/// SIGKILLed and waited, so no test run leaks processes.
+#[derive(Debug, Default)]
+pub struct Reaper {
+    children: Vec<(u32, Option<Child>)>,
+}
+
+impl Reaper {
+    /// An empty guard.
+    pub fn new() -> Reaper {
+        Reaper::default()
+    }
+
+    /// Take ownership of `child`, spawned for `node`.
+    pub fn push(&mut self, node: u32, child: Child) {
+        self.children.push((node, Some(child)));
+    }
+
+    /// PIDs of every child ever pushed, in push order.
+    pub fn pids(&self) -> Vec<u32> {
+        self.children
+            .iter()
+            .filter_map(|(_, c)| c.as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// SIGKILL and reap `node` now. No-op if already reaped.
+    pub fn kill(&mut self, node: u32) {
+        for (id, slot) in &mut self.children {
+            if *id == node {
+                if let Some(mut child) = slot.take() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+            }
+        }
+    }
+
+    /// Reap children that exited on their own; SIGKILL the rest after
+    /// `grace`.
+    pub fn wait_all(&mut self, grace: Duration) {
+        let deadline = Instant::now() + grace;
+        loop {
+            let mut alive = false;
+            for (_, slot) in &mut self.children {
+                if let Some(child) = slot {
+                    match child.try_wait() {
+                        Ok(Some(_)) => *slot = None,
+                        Ok(None) => alive = true,
+                        Err(_) => *slot = None,
+                    }
+                }
+            }
+            if !alive || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for (_, slot) in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for (_, slot) in &mut self.children {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Unique-per-call suffix for the run's socket directory.
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One frame read off a node's control connection.
+type ControlEvent = (u32, Frame);
+
+/// Read one frame from `conn` within `timeout`.
+fn read_one_timeout(conn: &mut crate::transport::Conn, timeout: Duration) -> Result<Frame, String> {
+    conn.set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let got = read_frame(conn).map_err(|e| e.to_string())?;
+    conn.set_read_timeout(None).map_err(|e| e.to_string())?;
+    match got {
+        Some((frame, _)) => Ok(frame),
+        None => Err("control connection closed".into()),
+    }
+}
+
+/// Run a full orchestrated cluster experiment. See the module docs.
+pub fn run_cluster(opts: &ClusterOptions) -> Result<ClusterOutcome, String> {
+    let n = opts.nodes;
+    if n == 0 {
+        return Err("a cluster needs at least one receiver".into());
+    }
+    if opts.params.n != n {
+        return Err(format!(
+            "scheme population {} does not match --nodes {n}",
+            opts.params.n
+        ));
+    }
+    let lowered = lower_schedule(&opts.params, opts.track)?;
+    let max_slots = lowered.slots_run + opts.horizon_slack;
+    for k in &opts.kills {
+        if u64::from(k.node) > n {
+            return Err(format!(
+                "kill target {} is outside the population 1..={n}",
+                k.node
+            ));
+        }
+        if k.slot >= lowered.slots_run {
+            return Err(format!(
+                "kill slot {} is past the schedule horizon {} — the stream \
+                 would already be complete",
+                k.slot, lowered.slots_run
+            ));
+        }
+    }
+
+    // Scratch directory for Unix sockets (harmless under TCP).
+    let dir = std::env::temp_dir().join(format!(
+        "clustream-cluster-{}-{}",
+        std::process::id(),
+        RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let result = run_cluster_in(opts, &lowered, max_slots, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn run_cluster_in(
+    opts: &ClusterOptions,
+    lowered: &crate::schedule::LoweredSchedule,
+    max_slots: u64,
+    dir: &std::path::Path,
+) -> Result<ClusterOutcome, String> {
+    let n = opts.nodes;
+    let (control_listener, control_addr) =
+        NetListener::bind(opts.transport, dir, "control.sock").map_err(|e| e.to_string())?;
+
+    // Spawn the source and every receiver under the reaper.
+    let mut reaper = Reaper::new();
+    for node in 0..=n as u32 {
+        let child = Command::new(&opts.node_bin)
+            .arg("--node")
+            .arg(node.to_string())
+            .arg("--control")
+            .arg(&control_addr)
+            .arg("--transport")
+            .arg(opts.transport.label())
+            .arg("--socket-dir")
+            .arg(dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", opts.node_bin.display()))?;
+        reaper.push(node, child);
+    }
+    let child_pids = reaper.pids();
+
+    // Accept every Hello within the handshake deadline.
+    control_listener
+        .set_nonblocking(true)
+        .map_err(|e| e.to_string())?;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut controls: BTreeMap<u32, crate::transport::Conn> = BTreeMap::new();
+    let mut data_addrs: BTreeMap<u32, String> = BTreeMap::new();
+    while controls.len() < (n + 1) as usize {
+        match control_listener.accept() {
+            Ok(mut conn) => match read_one_timeout(&mut conn, Duration::from_secs(10))? {
+                Frame::Hello { node, listen_addr } => {
+                    data_addrs.insert(node, listen_addr);
+                    controls.insert(node, conn);
+                }
+                other => return Err(format!("expected Hello, got {other:?}")),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(format!(
+                        "only {}/{} nodes reported in before the handshake deadline",
+                        controls.len(),
+                        n + 1
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(format!("accept control connection: {e}")),
+        }
+    }
+
+    // Distribute configs and collect Ready.
+    let source_addr = data_addrs
+        .get(&0)
+        .cloned()
+        .ok_or("the source never said Hello")?;
+    for node in 0..=n as u32 {
+        let sends = lowered.sends.get(&node).cloned().unwrap_or_default();
+        let expects = lowered.expects.get(&node).cloned().unwrap_or_default();
+        // The source learns every receiver's address (NACK replies dial
+        // lazily); receivers only their scheduled downstream peers.
+        let peer_ids: BTreeSet<u32> = if node == 0 {
+            (1..=n as u32).collect()
+        } else {
+            sends.iter().map(|s| s.to).collect()
+        };
+        let peers: Vec<PeerAddr> = peer_ids
+            .iter()
+            .filter_map(|id| {
+                data_addrs.get(id).map(|addr| PeerAddr {
+                    node: *id,
+                    addr: addr.clone(),
+                })
+            })
+            .collect();
+        let cfg = NodeConfig {
+            node,
+            n,
+            track: opts.track,
+            max_slots,
+            slot_micros: opts.slot_micros,
+            suspect_timeout_slots: opts.suspect_timeout_slots,
+            gap_slack_slots: opts.gap_slack_slots,
+            nack_retry_slots: opts.nack_retry_slots,
+            nack_max_attempts: opts.nack_max_attempts,
+            sends,
+            expects,
+            peers,
+            source_addr: if node == 0 {
+                String::new()
+            } else {
+                source_addr.clone()
+            },
+        };
+        let payload = serde_json::to_string(&cfg).map_err(|e| e.to_string())?;
+        let conn = controls.get_mut(&node).expect("accepted above");
+        write_frame(conn, &Frame::Config { payload }).map_err(|e| e.to_string())?;
+    }
+    for (node, conn) in controls.iter_mut() {
+        match read_one_timeout(conn, Duration::from_secs(20))? {
+            Frame::Ready { node: who } if who == *node => {}
+            other => return Err(format!("expected Ready from node {node}, got {other:?}")),
+        }
+    }
+
+    // Hand each control conn's read half to a reader thread; release.
+    let (ev_tx, ev_rx) = mpsc::channel::<ControlEvent>();
+    for (node, conn) in controls.iter() {
+        let mut rd = conn.try_clone().map_err(|e| e.to_string())?;
+        let tx = ev_tx.clone();
+        let node = *node;
+        std::thread::spawn(move || loop {
+            match read_frame(&mut rd) {
+                Ok(Some((frame, _))) => {
+                    if tx.send((node, frame)).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => return,
+            }
+        });
+    }
+    drop(ev_tx);
+
+    let t0 = Instant::now();
+    let start_ns = sys_ns();
+    for conn in controls.values_mut() {
+        write_frame(conn, &Frame::Start).map_err(|e| e.to_string())?;
+    }
+
+    // The stream runs; kills fire at their slot deadlines.
+    let slot_dur = Duration::from_micros(opts.slot_micros.max(1));
+    let mut kill_queue: Vec<KillSpec> = opts.kills.clone();
+    kill_queue.sort_by_key(|k| k.slot);
+    let mut kill_outcomes: Vec<KillOutcome> = Vec::new();
+    let killed: BTreeSet<u32> = kill_queue.iter().map(|k| k.node).collect();
+    let expected_complete = n - killed.len() as u64;
+    let mut detector = FailureDetector::new(opts.suspect_threshold.max(1) as usize, 0);
+    let mut completions: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut reports: BTreeMap<u32, NodeReport> = BTreeMap::new();
+    // Generous overall deadline: 4× the nominal stream plus repair slack.
+    let overall = Duration::from_secs(10).max(slot_dur * (max_slots as u32) * 4);
+    let run_deadline = Instant::now() + overall;
+    let mut next_kill = 0usize;
+
+    loop {
+        if completions.len() as u64 >= expected_complete && next_kill >= kill_queue.len() {
+            break;
+        }
+        if Instant::now() > run_deadline {
+            break;
+        }
+        // Fire every kill whose slot deadline has passed.
+        while next_kill < kill_queue.len() {
+            let k = kill_queue[next_kill];
+            let due = t0 + slot_dur * (k.slot as u32);
+            if Instant::now() < due {
+                break;
+            }
+            reaper.kill(k.node);
+            kill_outcomes.push(KillOutcome {
+                node: k.node,
+                slot: k.slot,
+                kill_ns: sys_ns(),
+                detection_ns: None,
+                repair_ns: None,
+            });
+            next_kill += 1;
+        }
+        let wait = if next_kill < kill_queue.len() {
+            let due = t0 + slot_dur * (kill_queue[next_kill].slot as u32);
+            due.saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(50))
+        } else {
+            Duration::from_millis(50)
+        };
+        match ev_rx.recv_timeout(wait) {
+            Ok((from, frame)) => match frame {
+                Frame::Suspect { subject, .. } => {
+                    detector.suspect(from, subject);
+                    if detector.confirm(subject) {
+                        let now = sys_ns();
+                        for ko in kill_outcomes.iter_mut() {
+                            if ko.node == subject && ko.detection_ns.is_none() {
+                                ko.detection_ns = Some(now);
+                            }
+                        }
+                    }
+                }
+                Frame::Complete { node, at_ns } => {
+                    completions.insert(node, at_ns);
+                }
+                Frame::Report { payload } => {
+                    if let Ok(report) = serde_json::from_str::<NodeReport>(&payload) {
+                        reports.insert(report.node, report);
+                    }
+                }
+                _ => {}
+            },
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let wall_ns = sys_ns().saturating_sub(start_ns);
+
+    // Stop everyone still alive and drain their final reports.
+    for (node, conn) in controls.iter_mut() {
+        if !killed.contains(node) {
+            let _ = write_frame(conn, &Frame::Stop);
+        }
+    }
+    let report_deadline = Instant::now() + Duration::from_secs(10);
+    while reports.len() < (n + 1 - killed.len() as u64) as usize {
+        let left = report_deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match ev_rx.recv_timeout(left.min(Duration::from_millis(100))) {
+            Ok((_, Frame::Report { payload })) => {
+                if let Ok(report) = serde_json::from_str::<NodeReport>(&payload) {
+                    reports.insert(report.node, report);
+                }
+            }
+            Ok((node, Frame::Complete { node: who, at_ns })) => {
+                let _ = node;
+                completions.insert(who, at_ns);
+            }
+            Ok(_) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    reaper.wait_all(Duration::from_secs(5));
+
+    // Repair wall-clock: the last survivor completion at or after each kill.
+    for ko in kill_outcomes.iter_mut() {
+        let all_done = completions.len() as u64 >= expected_complete;
+        if all_done {
+            ko.repair_ns = completions
+                .values()
+                .copied()
+                .filter(|&c| c >= ko.kill_ns)
+                .max()
+                .or(Some(ko.kill_ns));
+        }
+    }
+
+    let reports: Vec<NodeReport> = reports.into_values().collect();
+    record_telemetry(&opts.telemetry, &reports);
+    let trace = assemble_trace(opts, max_slots, &kill_outcomes, &reports);
+    Ok(ClusterOutcome {
+        reports,
+        kills: kill_outcomes,
+        completed: completions.len() as u64,
+        expected_complete,
+        wall_ns,
+        trace,
+        child_pids,
+    })
+}
+
+/// Fold per-node transport counters into the telemetry sink.
+fn record_telemetry(tel: &Telemetry, reports: &[NodeReport]) {
+    if !tel.enabled() {
+        return;
+    }
+    for r in reports {
+        tel.counter(tm::NET_FRAMES_SENT, r.frames_sent);
+        tel.counter(tm::NET_FRAMES_RECEIVED, r.frames_received);
+        tel.counter(tm::NET_BYTES_SENT, r.bytes_sent);
+        tel.counter(tm::NET_BYTES_RECEIVED, r.bytes_received);
+        tel.counter(tm::NET_RECONNECTS, r.reconnects);
+        tel.counter(tm::NET_NACKS, r.nacks_sent);
+        tel.counter(tm::NET_RETRANSMITS, r.retransmits_served);
+        tel.gauge_max(tm::NET_SEND_QUEUE_HIGH_WATER, r.send_queue_high_water);
+        for a in &r.arrivals {
+            let us = a.recv_ns.saturating_sub(a.sent_ns) / 1_000;
+            tel.observe(tm::NET_LINK_LATENCY_US, us);
+        }
+    }
+}
+
+/// Build the replayable [`RunTrace`] from the survivors' observations.
+fn assemble_trace(
+    opts: &ClusterOptions,
+    max_slots: u64,
+    kills: &[KillOutcome],
+    reports: &[NodeReport],
+) -> RunTrace {
+    let mut trace = RunTrace {
+        params: opts.params.clone(),
+        track: opts.track,
+        max_slots,
+        slot_micros: opts.slot_micros,
+        links: Vec::new(),
+        kills: kills
+            .iter()
+            .map(|k| KillObs {
+                node: k.node,
+                slot: k.slot,
+            })
+            .collect(),
+        deliveries: Vec::new(),
+    };
+    // Per-link samples in arrival order (= send order per FIFO stream);
+    // retransmissions are repair traffic, not calendar traffic.
+    let mut link_obs: Vec<(u64, LinkObs)> = Vec::new();
+    for r in reports {
+        if r.node == 0 {
+            continue;
+        }
+        let mut packets: Vec<(u64, u64)> = Vec::new(); // (recv_ns, packet)
+        for a in &r.arrivals {
+            if !a.retransmit {
+                link_obs.push((
+                    a.recv_ns,
+                    LinkObs {
+                        from: a.from,
+                        to: r.node,
+                        ticks: trace.ns_to_ticks(a.recv_ns.saturating_sub(a.sent_ns)),
+                    },
+                ));
+            }
+            packets.push((a.recv_ns, a.packet));
+        }
+        packets.sort_unstable();
+        trace.deliveries.push(NodeDeliveries {
+            node: r.node,
+            packets: packets.into_iter().map(|(_, p)| p).collect(),
+        });
+    }
+    link_obs.sort_by_key(|(recv_ns, _)| *recv_ns);
+    trace.links = link_obs.into_iter().map(|(_, l)| l).collect();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_to_a_consistent_population() {
+        let o = ClusterOptions::new(16, PathBuf::from("/bin/true"));
+        assert_eq!(o.params.n, 16);
+        assert_eq!(o.transport, Transport::Tcp);
+        assert!(o.kills.is_empty());
+    }
+
+    #[test]
+    fn population_mismatch_is_rejected() {
+        let mut o = ClusterOptions::new(8, PathBuf::from("/bin/true"));
+        o.params.n = 9;
+        let err = run_cluster(&o).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_kills_are_rejected() {
+        let mut o = ClusterOptions::new(8, PathBuf::from("/bin/true"));
+        o.kills = vec![KillSpec { node: 9, slot: 1 }];
+        let err = run_cluster(&o).unwrap_err();
+        assert!(err.contains("outside the population"), "{err}");
+
+        o.kills = vec![KillSpec {
+            node: 3,
+            slot: 1_000_000,
+        }];
+        let err = run_cluster(&o).unwrap_err();
+        assert!(err.contains("past the schedule horizon"), "{err}");
+    }
+
+    #[test]
+    fn reaper_kills_children_on_drop() {
+        let mut reaper = Reaper::new();
+        let child = Command::new("sleep")
+            .arg("30")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn sleep");
+        let pid = child.id();
+        reaper.push(1, child);
+        assert_eq!(reaper.pids(), vec![pid]);
+        drop(reaper);
+        // After the drop the PID must be gone (or a zombie already reaped
+        // — /proc/<pid> disappears once waited).
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "child {pid} survived the reaper"
+        );
+    }
+
+    #[test]
+    fn reaper_reaps_even_when_the_holder_panics() {
+        let child = Command::new("sleep")
+            .arg("30")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn sleep");
+        let pid = child.id();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut reaper = Reaper::new();
+            reaper.push(1, child);
+            panic!("orchestrator exploded");
+        }));
+        assert!(result.is_err());
+        assert!(
+            !std::path::Path::new(&format!("/proc/{pid}")).exists(),
+            "child {pid} leaked through a panic"
+        );
+    }
+
+    #[test]
+    fn wait_all_reaps_fast_exits_without_killing() {
+        let mut reaper = Reaper::new();
+        let child = Command::new("true")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .expect("spawn true");
+        reaper.push(1, child);
+        reaper.wait_all(Duration::from_secs(5));
+        // Nothing to assert beyond "returns promptly and drop is clean".
+    }
+}

@@ -1,0 +1,580 @@
+//! The length-prefixed wire format.
+//!
+//! Every message on a cluster link — control plane or data plane — is one
+//! frame: a 4-byte little-endian body length followed by the body, whose
+//! first byte is the frame tag. Integers are little-endian, strings are a
+//! `u32` byte length followed by UTF-8. The format is deliberately
+//! byte-level (not JSON) on the data path so a `Packet` frame costs a few
+//! dozen bytes; the two bulky control messages ([`Frame::Config`] and
+//! [`Frame::Report`]) carry a JSON payload as a single string field, so
+//! the schedule structs keep their serde derivations.
+//!
+//! Decoding never panics: truncated, oversized and corrupt inputs all
+//! surface as typed [`FrameError`]s (pinned by the unit tests below, and
+//! a proptest round-trips every frame shape).
+
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame body, bytes. Large enough for a lowered
+/// schedule for thousands of nodes, small enough that a corrupt length
+/// prefix cannot ask the reader to allocate gigabytes.
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// A decode failure. Distinct from [`io::Error`]: these are protocol
+/// violations in bytes that did arrive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The body ended before the fields it promised.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized {
+        /// The advertised body length.
+        len: usize,
+        /// The allowed maximum.
+        max: usize,
+    },
+    /// Structurally invalid: unknown tag, trailing bytes, bad UTF-8.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for io::Error {
+    fn from(e: FrameError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// One wire message. Control-plane frames flow between the orchestrator
+/// and nodes; `Packet`/`Nack` flow on the node-to-node data links.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Node → orchestrator, first frame on the control link: identifies
+    /// the node and carries the address its own listener bound (the node
+    /// binds an ephemeral port, so only it knows).
+    Hello {
+        /// The sender's node id.
+        node: u32,
+        /// The address the node's data listener is bound to.
+        listen_addr: String,
+    },
+    /// Orchestrator → node: the node's lowered schedule and parameters,
+    /// as a JSON-encoded [`crate::schedule::NodeConfig`].
+    Config {
+        /// JSON payload.
+        payload: String,
+    },
+    /// Node → orchestrator: schedule installed, peer links connected.
+    Ready {
+        /// The sender's node id.
+        node: u32,
+    },
+    /// Orchestrator → all nodes: slot 0 begins now.
+    Start,
+    /// Orchestrator → all nodes: stream over, report and exit.
+    Stop,
+    /// A stream packet on a data link.
+    Packet {
+        /// Sending node.
+        from: u32,
+        /// Receiving node.
+        to: u32,
+        /// Packet sequence number.
+        packet: u64,
+        /// The sender's slot when it sent.
+        slot: u64,
+        /// Sender wall clock, UNIX nanoseconds (same host, so comparable).
+        sent_ns: u64,
+        /// `true` for a NACK-triggered retransmission.
+        retransmit: bool,
+    },
+    /// A retransmission request on a data link (receiver → source).
+    Nack {
+        /// The requesting node.
+        from: u32,
+        /// The missing packet.
+        packet: u64,
+    },
+    /// Node → orchestrator: a watched upstream link has gone silent past
+    /// the suspect timeout.
+    Suspect {
+        /// The node raising the suspicion.
+        watcher: u32,
+        /// The node suspected dead.
+        subject: u32,
+        /// Watcher wall clock at suspicion, UNIX nanoseconds.
+        at_ns: u64,
+    },
+    /// Node → orchestrator: every tracked packet has arrived.
+    Complete {
+        /// The completing node.
+        node: u32,
+        /// Wall clock at completion, UNIX nanoseconds.
+        at_ns: u64,
+    },
+    /// Node → orchestrator, sent on `Stop` (or at the horizon): final
+    /// per-node statistics, as a JSON-encoded
+    /// [`crate::schedule::NodeReport`].
+    Report {
+        /// JSON payload.
+        payload: String,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_CONFIG: u8 = 2;
+const TAG_READY: u8 = 3;
+const TAG_START: u8 = 4;
+const TAG_STOP: u8 = 5;
+const TAG_PACKET: u8 = 6;
+const TAG_NACK: u8 = 7;
+const TAG_SUSPECT: u8 = 8;
+const TAG_COMPLETE: u8 = 9;
+const TAG_REPORT: u8 = 10;
+
+impl Frame {
+    /// Encode the frame body (no length prefix).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Frame::Hello { node, listen_addr } => {
+                b.push(TAG_HELLO);
+                put_u32(&mut b, *node);
+                put_str(&mut b, listen_addr);
+            }
+            Frame::Config { payload } => {
+                b.push(TAG_CONFIG);
+                put_str(&mut b, payload);
+            }
+            Frame::Ready { node } => {
+                b.push(TAG_READY);
+                put_u32(&mut b, *node);
+            }
+            Frame::Start => b.push(TAG_START),
+            Frame::Stop => b.push(TAG_STOP),
+            Frame::Packet {
+                from,
+                to,
+                packet,
+                slot,
+                sent_ns,
+                retransmit,
+            } => {
+                b.push(TAG_PACKET);
+                put_u32(&mut b, *from);
+                put_u32(&mut b, *to);
+                put_u64(&mut b, *packet);
+                put_u64(&mut b, *slot);
+                put_u64(&mut b, *sent_ns);
+                b.push(u8::from(*retransmit));
+            }
+            Frame::Nack { from, packet } => {
+                b.push(TAG_NACK);
+                put_u32(&mut b, *from);
+                put_u64(&mut b, *packet);
+            }
+            Frame::Suspect {
+                watcher,
+                subject,
+                at_ns,
+            } => {
+                b.push(TAG_SUSPECT);
+                put_u32(&mut b, *watcher);
+                put_u32(&mut b, *subject);
+                put_u64(&mut b, *at_ns);
+            }
+            Frame::Complete { node, at_ns } => {
+                b.push(TAG_COMPLETE);
+                put_u32(&mut b, *node);
+                put_u64(&mut b, *at_ns);
+            }
+            Frame::Report { payload } => {
+                b.push(TAG_REPORT);
+                put_str(&mut b, payload);
+            }
+        }
+        b
+    }
+
+    /// Decode one frame body (the bytes after the length prefix).
+    /// Trailing bytes after the last field are corrupt, not ignored —
+    /// silent slack would hide framing bugs forever.
+    pub fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
+        let mut cur = Cursor { buf: body, pos: 0 };
+        let tag = cur.u8()?;
+        let frame = match tag {
+            TAG_HELLO => Frame::Hello {
+                node: cur.u32()?,
+                listen_addr: cur.string()?,
+            },
+            TAG_CONFIG => Frame::Config {
+                payload: cur.string()?,
+            },
+            TAG_READY => Frame::Ready { node: cur.u32()? },
+            TAG_START => Frame::Start,
+            TAG_STOP => Frame::Stop,
+            TAG_PACKET => Frame::Packet {
+                from: cur.u32()?,
+                to: cur.u32()?,
+                packet: cur.u64()?,
+                slot: cur.u64()?,
+                sent_ns: cur.u64()?,
+                retransmit: match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(FrameError::Corrupt(format!(
+                            "retransmit flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                },
+            },
+            TAG_NACK => Frame::Nack {
+                from: cur.u32()?,
+                packet: cur.u64()?,
+            },
+            TAG_SUSPECT => Frame::Suspect {
+                watcher: cur.u32()?,
+                subject: cur.u32()?,
+                at_ns: cur.u64()?,
+            },
+            TAG_COMPLETE => Frame::Complete {
+                node: cur.u32()?,
+                at_ns: cur.u64()?,
+            },
+            TAG_REPORT => Frame::Report {
+                payload: cur.string()?,
+            },
+            other => return Err(FrameError::Corrupt(format!("unknown frame tag {other}"))),
+        };
+        if cur.pos != body.len() {
+            return Err(FrameError::Corrupt(format!(
+                "{} trailing bytes after a complete frame",
+                body.len() - cur.pos
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated {
+            needed: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated {
+                needed: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| FrameError::Corrupt(format!("string field is not UTF-8: {e}")))
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
+    let body = frame.encode_body();
+    debug_assert!(body.len() <= MAX_FRAME, "encoder produced oversized frame");
+    let mut msg = Vec::with_capacity(4 + body.len());
+    msg.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    msg.extend_from_slice(&body);
+    w.write_all(&msg)?;
+    Ok(msg.len())
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the peer closed between frames); EOF mid-frame is
+/// [`FrameError::Truncated`] surfaced as an [`io::ErrorKind::InvalidData`]
+/// error. The second tuple element is the bytes consumed.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<(Frame, usize)>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(FrameError::Truncated {
+                needed: 4,
+                got: filled,
+            }
+            .into());
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME,
+        }
+        .into());
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0;
+    while got < len {
+        let n = r.read(&mut body[got..])?;
+        if n == 0 {
+            return Err(FrameError::Truncated { needed: len, got }.into());
+        }
+        got += n;
+    }
+    let frame = Frame::decode_body(&body)?;
+    Ok(Some((frame, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(f: &Frame) {
+        let body = f.encode_body();
+        let back = Frame::decode_body(&body).expect("decodes");
+        assert_eq!(*f, back);
+        // And through the length-prefixed stream path.
+        let mut wire = Vec::new();
+        let written = write_frame(&mut wire, f).unwrap();
+        assert_eq!(written, wire.len());
+        let mut r = wire.as_slice();
+        let (got, consumed) = read_frame(&mut r).unwrap().expect("one frame");
+        assert_eq!(got, *f);
+        assert_eq!(consumed, wire.len());
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after");
+    }
+
+    /// Build an ASCII string from sampled bytes (the wire format allows
+    /// any UTF-8; sampling printable ASCII keeps failures readable).
+    fn s(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| (b'!' + b % 90) as char).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        fn any_frame_roundtrips(
+            shape in 0usize..10,
+            a in 0u32..u32::MAX,
+            b in 0u32..u32::MAX,
+            x in 0u64..u64::MAX,
+            y in 0u64..u64::MAX,
+            z in 0u64..u64::MAX,
+            flag in any::<bool>(),
+            text in proptest::collection::vec(0u8..255, 0..64),
+        ) {
+            let frame = match shape {
+                0 => Frame::Hello { node: a, listen_addr: s(&text) },
+                1 => Frame::Config { payload: s(&text) },
+                2 => Frame::Ready { node: a },
+                3 => Frame::Start,
+                4 => Frame::Stop,
+                5 => Frame::Packet {
+                    from: a, to: b, packet: x, slot: y, sent_ns: z,
+                    retransmit: flag,
+                },
+                6 => Frame::Nack { from: a, packet: x },
+                7 => Frame::Suspect { watcher: a, subject: b, at_ns: x },
+                8 => Frame::Complete { node: a, at_ns: x },
+                _ => Frame::Report { payload: s(&text) },
+            };
+            roundtrip(&frame);
+        }
+
+        /// Truncating a valid body anywhere never panics and never
+        /// decodes to a frame that re-encodes differently.
+        fn truncation_is_detected_or_harmless(
+            a in 0u32..u32::MAX,
+            x in 0u64..u64::MAX,
+            cut in 0usize..64,
+        ) {
+            let body = Frame::Suspect { watcher: a, subject: a, at_ns: x }
+                .encode_body();
+            prop_assume!(cut < body.len());
+            match Frame::decode_body(&body[..cut]) {
+                Err(_) => {}
+                Ok(f) => prop_assert_eq!(f.encode_body(), body[..cut].to_vec()),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_body_is_truncated_not_panic() {
+        assert_eq!(
+            Frame::decode_body(&[]),
+            Err(FrameError::Truncated { needed: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn truncated_fields_report_needed_and_got() {
+        // A Ready frame missing its node id: tag present, 4 bytes absent.
+        let err = Frame::decode_body(&[TAG_READY, 0, 1]).unwrap_err();
+        assert_eq!(err, FrameError::Truncated { needed: 5, got: 3 });
+        assert!(err.to_string().contains("needed 5 bytes, got 3"));
+    }
+
+    #[test]
+    fn string_length_overrunning_body_is_truncated() {
+        // Hello claiming a 100-byte address in a 2-byte remainder.
+        let mut body = vec![TAG_HELLO];
+        body.extend_from_slice(&7u32.to_le_bytes());
+        body.extend_from_slice(&100u32.to_le_bytes());
+        body.extend_from_slice(b"ab");
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt() {
+        let err = Frame::decode_body(&[200]).unwrap_err();
+        assert!(matches!(err, FrameError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("unknown frame tag 200"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut body = Frame::Start.encode_body();
+        body.push(0xAB);
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_string_is_corrupt() {
+        let mut body = vec![TAG_CONFIG];
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("not UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut body = Frame::Packet {
+            from: 1,
+            to: 2,
+            packet: 3,
+            slot: 4,
+            sent_ns: 5,
+            retransmit: false,
+        }
+        .encode_body();
+        *body.last_mut().unwrap() = 7;
+        let err = Frame::decode_body(&body).unwrap_err();
+        assert!(err.to_string().contains("retransmit flag"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("oversized frame"), "{err}");
+    }
+
+    #[test]
+    fn eof_mid_length_prefix_is_truncated() {
+        let wire = [3u8, 0]; // half a length prefix, then EOF
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated frame"), "{err}");
+    }
+
+    #[test]
+    fn eof_mid_body_is_truncated() {
+        let mut wire = Vec::new();
+        let body = Frame::Ready { node: 9 }.encode_body();
+        wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&body[..2]); // promise 5 bytes, deliver 2
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated frame"), "{err}");
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let frames = [
+            Frame::Hello {
+                node: 3,
+                listen_addr: "127.0.0.1:4000".into(),
+            },
+            Frame::Start,
+            Frame::Nack {
+                from: 3,
+                packet: 17,
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = wire.as_slice();
+        for f in &frames {
+            let (got, _) = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(got, *f);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,586 @@
+//! The `clustream-node` runtime: one process executing one node's
+//! lowered slot schedule over real sockets.
+//!
+//! Threading model (the container has no async runtime, so this is
+//! plain `std`): one **main loop** owns all protocol state and blocks on
+//! an inbox channel with a deadline at the next slot boundary; one
+//! **acceptor** thread turns incoming connections into **reader**
+//! threads that decode frames into the inbox; one **writer** thread per
+//! outgoing link drains a bounded queue onto the socket. The main loop
+//! never blocks on a socket: enqueues are `try_send` (a full queue to a
+//! dead peer drops the frame rather than stalling the stream), so a
+//! SIGKILLed neighbour costs its subtree packets — which the NACK path
+//! then repairs — but never wedges a survivor.
+//!
+//! Semantics mirror the DES relaxed mode on purpose (the replay oracle
+//! depends on it): a calendar send whose packet has not arrived is
+//! deferred and dispatched the moment the packet lands; missing tracked
+//! packets overdue past `gap_slack` are chased with NACKs to the source;
+//! upstream silence past the suspect timeout raises a `Suspect` frame to
+//! the orchestrator ([`clustream_recovery::WallClockDetector`]).
+
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::schedule::{ArrivalObs, LoweredSend, NodeConfig, NodeReport};
+use crate::transport::{connect_retry, Conn, NetListener, Transport};
+use clustream_recovery::WallClockDetector;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Command-line parameters of one node process.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// This node's id.
+    pub node: u32,
+    /// Socket family for every link.
+    pub transport: Transport,
+    /// The orchestrator's control address.
+    pub control_addr: String,
+    /// Directory for Unix sockets (unused under TCP).
+    pub socket_dir: PathBuf,
+}
+
+/// Wall clock in UNIX nanoseconds — comparable across processes on the
+/// same host, which is all a loopback cluster needs.
+pub fn sys_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// Transport-level counters shared between the main loop and the
+/// reader/writer threads.
+#[derive(Debug, Default)]
+struct Counters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_received: AtomicU64,
+    reconnects: AtomicU64,
+    send_queue_high_water: AtomicU64,
+}
+
+/// What reader threads feed the main loop.
+enum Inbox {
+    /// A decoded frame from any link (control or data).
+    Frame(Frame),
+    /// The control link closed: the orchestrator is gone, exit.
+    ControlClosed,
+}
+
+/// One outgoing data link: a bounded queue drained by a writer thread.
+struct Link {
+    tx: mpsc::SyncSender<Frame>,
+    queued: Arc<AtomicU64>,
+    dead: Arc<AtomicBool>,
+}
+
+const LINK_QUEUE: usize = 4096;
+
+impl Link {
+    /// Open a link: dial with retry, then spawn the writer.
+    fn open(
+        transport: Transport,
+        addr: &str,
+        counters: Arc<Counters>,
+        deadline: Instant,
+    ) -> Result<Link, String> {
+        let (mut conn, failures) =
+            connect_retry(transport, addr, deadline).map_err(|e| e.to_string())?;
+        counters.reconnects.fetch_add(failures, Ordering::Relaxed);
+        let (tx, rx) = mpsc::sync_channel::<Frame>(LINK_QUEUE);
+        let queued = Arc::new(AtomicU64::new(0));
+        let dead = Arc::new(AtomicBool::new(false));
+        let link = Link {
+            tx,
+            queued: Arc::clone(&queued),
+            dead: Arc::clone(&dead),
+        };
+        std::thread::spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                queued.fetch_sub(1, Ordering::Relaxed);
+                if dead.load(Ordering::Relaxed) {
+                    continue; // drain-and-discard after a write error
+                }
+                match write_frame(&mut conn, &frame) {
+                    Ok(n) => {
+                        counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => dead.store(true, Ordering::Relaxed),
+                }
+            }
+        });
+        Ok(link)
+    }
+
+    /// Enqueue without ever blocking the slot loop: a full queue (a peer
+    /// that stopped reading, i.e. a killed process) drops the frame.
+    fn enqueue(&self, counters: &Counters, frame: Frame) {
+        if self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        // Count before sending: the writer decrements as it dequeues, so
+        // incrementing after a send could underflow the counter.
+        let q = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.tx.try_send(frame).is_ok() {
+            counters
+                .send_queue_high_water
+                .fetch_max(q, Ordering::Relaxed);
+        } else {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Spawn a reader thread decoding frames from `conn` into the inbox.
+/// `on_close` is delivered when the stream ends (cleanly or not).
+fn spawn_reader(
+    mut conn: Conn,
+    tx: mpsc::Sender<Inbox>,
+    counters: Arc<Counters>,
+    on_close: Option<Inbox>,
+) {
+    std::thread::spawn(move || {
+        while let Ok(Some((frame, bytes))) = read_frame(&mut conn) {
+            counters.frames_received.fetch_add(1, Ordering::Relaxed);
+            counters
+                .bytes_received
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            if tx.send(Inbox::Frame(frame)).is_err() {
+                return; // main loop exited
+            }
+        }
+        if let Some(msg) = on_close {
+            let _ = tx.send(msg);
+        }
+    });
+}
+
+/// Protocol state of one running node.
+struct Node {
+    cfg: NodeConfig,
+    transport: Transport,
+    counters: Arc<Counters>,
+    /// Open outgoing links by peer id.
+    links: BTreeMap<u32, Link>,
+    /// Dial addresses for lazily opened links (NACK replies).
+    addrs: BTreeMap<u32, String>,
+    /// Calendar sends grouped by slot.
+    by_slot: BTreeMap<u64, Vec<LoweredSend>>,
+    /// Earliest expected (slot, sender) per packet.
+    expected: BTreeMap<u64, (u64, u32)>,
+    /// Packets each upstream sender is scheduled to deliver here.
+    from_peer: BTreeMap<u32, Vec<u64>>,
+    /// Packets this node holds.
+    held: BTreeSet<u64>,
+    /// Tracked packets still missing.
+    missing: BTreeSet<u64>,
+    /// Calendar sends waiting for their packet.
+    pending: BTreeMap<u64, Vec<LoweredSend>>,
+    /// NACK chase state per missing packet: (attempts, next retry slot).
+    nack_state: BTreeMap<u64, (u64, u64)>,
+    detector: WallClockDetector,
+    report: NodeReport,
+    complete: bool,
+    slot: u64,
+}
+
+impl Node {
+    fn new(cfg: NodeConfig, transport: Transport, counters: Arc<Counters>) -> Node {
+        let mut by_slot: BTreeMap<u64, Vec<LoweredSend>> = BTreeMap::new();
+        for s in &cfg.sends {
+            by_slot.entry(s.slot).or_default().push(*s);
+        }
+        let mut expected: BTreeMap<u64, (u64, u32)> = BTreeMap::new();
+        let mut from_peer: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for e in &cfg.expects {
+            let entry = expected.entry(e.packet).or_insert((e.slot, e.from));
+            if e.slot < entry.0 {
+                *entry = (e.slot, e.from);
+            }
+            from_peer.entry(e.from).or_default().push(e.packet);
+        }
+        let missing: BTreeSet<u64> = if cfg.node == 0 {
+            BTreeSet::new() // the source produces; it misses nothing
+        } else {
+            (0..cfg.track).collect()
+        };
+        let timeout_ns = cfg.suspect_timeout_slots * cfg.slot_micros * 1_000;
+        let detector = WallClockDetector::new(cfg.node, timeout_ns.max(1));
+        let report = NodeReport {
+            node: cfg.node,
+            ..NodeReport::default()
+        };
+        let mut addrs: BTreeMap<u32, String> =
+            cfg.peers.iter().map(|p| (p.node, p.addr.clone())).collect();
+        if !cfg.source_addr.is_empty() {
+            addrs.insert(0, cfg.source_addr.clone());
+        }
+        Node {
+            cfg,
+            transport,
+            counters,
+            links: BTreeMap::new(),
+            addrs,
+            by_slot,
+            expected,
+            from_peer,
+            held: BTreeSet::new(),
+            missing,
+            pending: BTreeMap::new(),
+            nack_state: BTreeMap::new(),
+            detector,
+            report,
+            complete: false,
+            slot: 0,
+        }
+    }
+
+    fn holds(&self, packet: u64) -> bool {
+        self.cfg.node == 0 || self.held.contains(&packet)
+    }
+
+    /// The open link to `peer`, dialing lazily from the address book.
+    fn link(&mut self, peer: u32) -> Option<&Link> {
+        if !self.links.contains_key(&peer) {
+            let addr = self.addrs.get(&peer)?.clone();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            match Link::open(self.transport, &addr, Arc::clone(&self.counters), deadline) {
+                Ok(link) => {
+                    self.links.insert(peer, link);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.links.get(&peer)
+    }
+
+    fn send_packet(&mut self, to: u32, packet: u64, retransmit: bool) {
+        let frame = Frame::Packet {
+            from: self.cfg.node,
+            to,
+            packet,
+            slot: self.slot,
+            sent_ns: sys_ns(),
+            retransmit,
+        };
+        let counters = Arc::clone(&self.counters);
+        if let Some(link) = self.link(to) {
+            link.enqueue(&counters, frame);
+        }
+    }
+
+    /// Eagerly open every link the calendar needs (before `Ready`, so
+    /// `Start` never races a connect).
+    fn connect_calendar_links(&mut self) -> Result<(), String> {
+        let targets: BTreeSet<u32> = self.cfg.sends.iter().map(|s| s.to).collect();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        for to in targets {
+            let addr = self
+                .addrs
+                .get(&to)
+                .cloned()
+                .ok_or_else(|| format!("no address for scheduled peer {to}"))?;
+            let link = Link::open(self.transport, &addr, Arc::clone(&self.counters), deadline)?;
+            self.links.insert(to, link);
+        }
+        Ok(())
+    }
+
+    /// Execute the calendar + maintenance work of slot `t`.
+    fn execute_slot(&mut self, t: u64, control: &mut Conn) {
+        self.slot = t;
+        if let Some(sends) = self.by_slot.remove(&t) {
+            for s in sends {
+                if self.holds(s.packet) {
+                    self.send_packet(s.to, s.packet, false);
+                } else {
+                    self.report.deferred_sends += 1;
+                    self.pending.entry(s.packet).or_default().push(s);
+                }
+            }
+        }
+        if self.cfg.node != 0 && !self.complete {
+            self.poll_detector(control);
+            self.chase_gaps(t);
+        }
+    }
+
+    /// Wall-clock silence scan; overdue-and-missing subjects only.
+    fn poll_detector(&mut self, control: &mut Conn) {
+        let now = sys_ns();
+        let slot = self.slot;
+        let gap = self.cfg.gap_slack_slots;
+        let missing = &self.missing;
+        let expected = &self.expected;
+        let from_peer = &self.from_peer;
+        let owes = |subject: u32| {
+            from_peer.get(&subject).is_some_and(|packets| {
+                packets.iter().any(|p| {
+                    missing.contains(p) && expected.get(p).is_some_and(|(s, _)| s + gap < slot)
+                })
+            })
+        };
+        for subject in self.detector.poll(now, owes) {
+            self.report.suspects_reported += 1;
+            let _ = write_frame(
+                control,
+                &Frame::Suspect {
+                    watcher: self.cfg.node,
+                    subject,
+                    at_ns: now,
+                },
+            );
+        }
+    }
+
+    /// NACK every tracked packet overdue past the gap slack, with a
+    /// per-packet retry cadence and attempt cap.
+    fn chase_gaps(&mut self, t: u64) {
+        let overdue: Vec<u64> = self
+            .missing
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.expected
+                    .get(p)
+                    .is_some_and(|(slot, _)| slot + self.cfg.gap_slack_slots < t)
+            })
+            .collect();
+        for packet in overdue {
+            let (attempts, next) = self.nack_state.get(&packet).copied().unwrap_or((0, 0));
+            if attempts >= self.cfg.nack_max_attempts || t < next {
+                continue;
+            }
+            self.nack_state
+                .insert(packet, (attempts + 1, t + self.cfg.nack_retry_slots));
+            self.report.nacks_sent += 1;
+            let frame = Frame::Nack {
+                from: self.cfg.node,
+                packet,
+            };
+            let counters = Arc::clone(&self.counters);
+            // NACKs go to the source: it provably holds everything.
+            if let Some(link) = self.link(0) {
+                link.enqueue(&counters, frame);
+            }
+        }
+    }
+
+    /// A packet landed (first copy or duplicate).
+    fn on_packet(&mut self, frame: &Frame, control: &mut Conn) {
+        let Frame::Packet {
+            from,
+            packet,
+            slot,
+            sent_ns,
+            retransmit,
+            ..
+        } = *frame
+        else {
+            return;
+        };
+        let now = sys_ns();
+        self.detector.heard(from, now);
+        if !self.held.insert(packet) {
+            return; // duplicate
+        }
+        if packet < self.cfg.track {
+            self.report.arrivals.push(ArrivalObs {
+                packet,
+                from,
+                slot,
+                sent_ns,
+                recv_ns: now,
+                retransmit,
+            });
+        }
+        self.missing.remove(&packet);
+        self.nack_state.remove(&packet);
+        // Reactive release: calendar sends waiting on this packet go now.
+        if let Some(sends) = self.pending.remove(&packet) {
+            for s in sends {
+                self.send_packet(s.to, s.packet, false);
+            }
+        }
+        if !self.complete && self.cfg.node != 0 && self.missing.is_empty() {
+            self.complete = true;
+            self.report.complete = true;
+            self.report.complete_ns = sys_ns();
+            let _ = write_frame(
+                control,
+                &Frame::Complete {
+                    node: self.cfg.node,
+                    at_ns: self.report.complete_ns,
+                },
+            );
+        }
+    }
+
+    /// Serve a retransmission request if we hold the packet.
+    fn on_nack(&mut self, from: u32, packet: u64) {
+        if self.holds(packet) {
+            self.report.retransmits_served += 1;
+            self.send_packet(from, packet, true);
+        }
+    }
+
+    /// Fold the shared transport counters into the report.
+    fn finalize_report(&mut self) {
+        self.report.frames_sent = self.counters.frames_sent.load(Ordering::Relaxed);
+        self.report.bytes_sent = self.counters.bytes_sent.load(Ordering::Relaxed);
+        self.report.frames_received = self.counters.frames_received.load(Ordering::Relaxed);
+        self.report.bytes_received = self.counters.bytes_received.load(Ordering::Relaxed);
+        self.report.reconnects = self.counters.reconnects.load(Ordering::Relaxed);
+        self.report.send_queue_high_water =
+            self.counters.send_queue_high_water.load(Ordering::Relaxed);
+        // The source is complete by construction (it produces the stream).
+        if self.cfg.node == 0 {
+            self.report.complete = true;
+        }
+    }
+}
+
+/// Read one frame directly (pre-main-loop handshake), with a timeout.
+fn read_one(conn: &mut Conn, timeout: Duration) -> Result<Frame, String> {
+    conn.set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let got = read_frame(conn).map_err(|e| e.to_string())?;
+    conn.set_read_timeout(None).map_err(|e| e.to_string())?;
+    match got {
+        Some((frame, _)) => Ok(frame),
+        None => Err("control connection closed during handshake".into()),
+    }
+}
+
+/// Run one node process to completion. Returns after `Stop`, the slot
+/// horizon, or loss of the control link.
+pub fn run_node(opts: &NodeOptions) -> Result<(), String> {
+    let counters = Arc::new(Counters::default());
+    let (inbox_tx, inbox_rx) = mpsc::channel::<Inbox>();
+
+    // Bind the data listener first: its ephemeral address rides in Hello.
+    let sock_name = format!("node-{}.sock", opts.node);
+    let (listener, listen_addr) = NetListener::bind(opts.transport, &opts.socket_dir, &sock_name)
+        .map_err(|e| format!("bind data listener: {e}"))?;
+    {
+        let tx = inbox_tx.clone();
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok(conn) => spawn_reader(conn, tx.clone(), Arc::clone(&counters), None),
+                Err(_) => return,
+            }
+        });
+    }
+
+    // Control handshake: Hello → Config → (connect links) → Ready → Start.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (mut control, _) = connect_retry(opts.transport, &opts.control_addr, deadline)
+        .map_err(|e| format!("dial control plane: {e}"))?;
+    write_frame(
+        &mut control,
+        &Frame::Hello {
+            node: opts.node,
+            listen_addr,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let cfg: NodeConfig = match read_one(&mut control, Duration::from_secs(30))? {
+        Frame::Config { payload } => {
+            serde_json::from_str(&payload).map_err(|e| format!("bad NodeConfig: {e}"))?
+        }
+        other => return Err(format!("expected Config, got {other:?}")),
+    };
+    if cfg.node != opts.node {
+        return Err(format!(
+            "config for node {} sent to node {}",
+            cfg.node, opts.node
+        ));
+    }
+    let mut node = Node::new(cfg, opts.transport, Arc::clone(&counters));
+    node.connect_calendar_links()?;
+    write_frame(&mut control, &Frame::Ready { node: opts.node }).map_err(|e| e.to_string())?;
+    match read_one(&mut control, Duration::from_secs(60))? {
+        Frame::Start => {}
+        Frame::Stop => return Ok(()), // orchestrator aborted before start
+        other => return Err(format!("expected Start, got {other:?}")),
+    }
+    // Hand the control read half to a reader thread; keep the write half.
+    let control_reader = control.try_clone().map_err(|e| e.to_string())?;
+    spawn_reader(
+        control_reader,
+        inbox_tx.clone(),
+        Arc::clone(&counters),
+        Some(Inbox::ControlClosed),
+    );
+
+    // Arm the silence windows now — slot 0 of the stream begins here.
+    let start_ns = sys_ns();
+    let watched: Vec<u32> = node.from_peer.keys().copied().collect();
+    for subject in watched {
+        node.detector.watch(subject, start_ns);
+    }
+
+    let t0 = Instant::now();
+    let slot_micros = node.cfg.slot_micros.max(1);
+    let max_slots = node.cfg.max_slots;
+    node.execute_slot(0, &mut control);
+    let mut slot: u64 = 0;
+    let mut stopped = false;
+    'main: loop {
+        // Advance the slot clock from the wall clock, not from inbox
+        // idleness: a steady inbound stream must never stall the
+        // calendar (the boundary check runs before every wait).
+        let boundary = |s: u64| t0 + Duration::from_micros(slot_micros.saturating_mul(s + 1));
+        while Instant::now() >= boundary(slot) {
+            slot += 1;
+            if slot >= max_slots {
+                break 'main;
+            }
+            node.execute_slot(slot, &mut control);
+        }
+        let wait = boundary(slot).saturating_duration_since(Instant::now());
+        match inbox_rx.recv_timeout(wait) {
+            Ok(Inbox::Frame(frame)) => match frame {
+                Frame::Packet { .. } => node.on_packet(&frame, &mut control),
+                Frame::Nack { from, packet } => node.on_nack(from, packet),
+                Frame::Stop => {
+                    stopped = true;
+                    break 'main;
+                }
+                // Start duplicates and control-plane frames addressed to
+                // the orchestrator are ignored on a node.
+                _ => {}
+            },
+            Ok(Inbox::ControlClosed) => break 'main,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break 'main,
+        }
+    }
+
+    node.finalize_report();
+    let payload = serde_json::to_string(&node.report).map_err(|e| e.to_string())?;
+    let _ = write_frame(&mut control, &Frame::Report { payload });
+    let _ = control.flush();
+    if !stopped {
+        // Horizon reached without Stop: linger briefly so the unsolicited
+        // report is read before the socket drops.
+        let linger = Instant::now() + Duration::from_secs(3);
+        while Instant::now() < linger {
+            match inbox_rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Inbox::Frame(Frame::Stop)) | Ok(Inbox::ControlClosed) => break,
+                Ok(_) => {}
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,302 @@
+//! Schedule lowering: from a [`clustream_core::Scheme`]'s implicit
+//! calendar to the explicit per-node send/expect lists a
+//! `clustream-node` process executes.
+//!
+//! The lowering runs the *reference* slot simulator once with tracing on
+//! and harvests the validated transmission trace — so a networked run
+//! executes exactly the transmissions the paper's schedule prescribes,
+//! already validated (capacity, holdings, collisions) by the strictest
+//! engine in the workspace. The same determinism is what makes the DES a
+//! usable replay oracle afterwards: re-running the scheme in-sim
+//! regenerates this identical calendar.
+
+use clustream_baselines::{ChainScheme, SingleTreeScheme};
+use clustream_core::Scheme;
+use clustream_hypercube::HypercubeStream;
+use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
+use clustream_sim::{SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Scheme family + parameters, the shared vocabulary of the orchestrator,
+/// the trace file, and the DES replay — one struct so a recorded run can
+/// be rebuilt in-sim without guessing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemeParams {
+    /// Family label: `multitree`, `hypercube`, `chain` or `singletree`.
+    pub family: String,
+    /// Receiver population.
+    pub n: u64,
+    /// Family degree parameter (forest degree / source splits).
+    pub d: u64,
+}
+
+impl SchemeParams {
+    /// Construct the scheme this parameter set names.
+    pub fn build(&self) -> Result<Box<dyn Scheme>, String> {
+        let n = self.n as usize;
+        let d = self.d as usize;
+        match self.family.as_str() {
+            "multitree" => Ok(Box::new(MultiTreeScheme::new(
+                greedy_forest(n, d).map_err(|e| e.to_string())?,
+                StreamMode::PreRecorded,
+            ))),
+            "hypercube" => Ok(Box::new(
+                HypercubeStream::with_groups(n, d.clamp(1, n.max(1))).map_err(|e| e.to_string())?,
+            )),
+            "chain" => Ok(Box::new(ChainScheme::new(n))),
+            "singletree" => Ok(Box::new(SingleTreeScheme::new(n, d))),
+            other => Err(format!(
+                "unknown scheme family `{other}`; valid families are: multitree, hypercube, \
+                 chain, singletree"
+            )),
+        }
+    }
+}
+
+/// One lowered outgoing transmission: at slot `slot`, send `packet` to
+/// node `to` (provided the packet has arrived; otherwise the node defers
+/// and sends on arrival, mirroring the DES relaxed mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredSend {
+    /// Calendar slot of the send.
+    pub slot: u64,
+    /// Receiving node.
+    pub to: u32,
+    /// Packet sequence number.
+    pub packet: u64,
+}
+
+/// One lowered expected arrival: `packet` should be usable by slot
+/// `slot` (send slot + link latency), coming from node `from`. Drives
+/// the NACK overdue scan and the wall-clock failure detector's watch
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredRecv {
+    /// Slot by which the packet should be usable.
+    pub slot: u64,
+    /// Scheduled sender.
+    pub from: u32,
+    /// Packet sequence number.
+    pub packet: u64,
+}
+
+/// The full lowered schedule of one stream: per-node send and expect
+/// calendars plus the slot horizon of the reference run.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredSchedule {
+    /// Slots the reference run took to deliver the tracked window.
+    pub slots_run: u64,
+    /// Outgoing calendar per sender.
+    pub sends: BTreeMap<u32, Vec<LoweredSend>>,
+    /// Expected arrivals per receiver.
+    pub expects: BTreeMap<u32, Vec<LoweredRecv>>,
+}
+
+/// Lower `params` for a `track`-packet stream by running the reference
+/// simulator with tracing enabled and splitting the trace per node.
+pub fn lower_schedule(params: &SchemeParams, track: u64) -> Result<LoweredSchedule, String> {
+    let mut scheme = params.build()?;
+    let cfg = SimConfig::until_complete(track, 100_000).traced();
+    let run = Simulator::run(scheme.as_mut(), &cfg).map_err(|e| e.to_string())?;
+    let trace = run.trace.expect("tracing was enabled");
+    let mut lowered = LoweredSchedule {
+        slots_run: run.slots_run,
+        ..LoweredSchedule::default()
+    };
+    for ev in &trace.events {
+        lowered.sends.entry(ev.from).or_default().push(LoweredSend {
+            slot: ev.slot,
+            to: ev.to,
+            packet: ev.packet,
+        });
+        lowered.expects.entry(ev.to).or_default().push(LoweredRecv {
+            slot: ev.slot + ev.latency as u64,
+            from: ev.from,
+            packet: ev.packet,
+        });
+    }
+    Ok(lowered)
+}
+
+/// An address book entry: where to dial node `node`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerAddr {
+    /// The peer's node id.
+    pub node: u32,
+    /// The address its data listener bound.
+    pub addr: String,
+}
+
+/// Everything one `clustream-node` process needs, shipped as the JSON
+/// payload of a [`crate::frame::Frame::Config`] frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeConfig {
+    /// This node's id (0 is the source).
+    pub node: u32,
+    /// Receiver population.
+    pub n: u64,
+    /// Tracked window: packets `0..track` must arrive for completion.
+    pub track: u64,
+    /// Slot horizon: the node exits after this many slots even without a
+    /// `Stop` (lowered `slots_run` plus slack for repair traffic).
+    pub max_slots: u64,
+    /// Wall-clock slot length, microseconds.
+    pub slot_micros: u64,
+    /// Silence horizon before a watched upstream sender is suspected,
+    /// in slots.
+    pub suspect_timeout_slots: u64,
+    /// How many slots past its expected arrival a packet may run late
+    /// before the first NACK.
+    pub gap_slack_slots: u64,
+    /// Slots between NACK retries for the same packet.
+    pub nack_retry_slots: u64,
+    /// NACK attempts per packet before giving up.
+    pub nack_max_attempts: u64,
+    /// This node's outgoing calendar.
+    pub sends: Vec<LoweredSend>,
+    /// This node's expected arrivals.
+    pub expects: Vec<LoweredRecv>,
+    /// Dial addresses for every scheduled downstream peer (and, for the
+    /// source, every receiver — NACK replies dial lazily).
+    pub peers: Vec<PeerAddr>,
+    /// The source's dial address (NACK target); empty for the source.
+    pub source_addr: String,
+}
+
+/// One observed arrival at a node, wall-clock timestamped on both ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalObs {
+    /// Packet sequence number.
+    pub packet: u64,
+    /// Sending node.
+    pub from: u32,
+    /// The sender's slot when it sent.
+    pub slot: u64,
+    /// Sender wall clock at send, UNIX nanoseconds.
+    pub sent_ns: u64,
+    /// Receiver wall clock at arrival, UNIX nanoseconds.
+    pub recv_ns: u64,
+    /// Whether this copy was a NACK-triggered retransmission.
+    pub retransmit: bool,
+}
+
+/// Final statistics one node reports back to the orchestrator, as the
+/// JSON payload of a [`crate::frame::Frame::Report`] frame.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeReport {
+    /// The reporting node.
+    pub node: u32,
+    /// Whether every tracked packet arrived.
+    pub complete: bool,
+    /// Wall clock at completion, UNIX nanoseconds (0 if incomplete).
+    pub complete_ns: u64,
+    /// First-copy arrivals in receive order (tracked packets only).
+    pub arrivals: Vec<ArrivalObs>,
+    /// Frames written to data links.
+    pub frames_sent: u64,
+    /// Frames read from data links.
+    pub frames_received: u64,
+    /// Bytes written to data links.
+    pub bytes_sent: u64,
+    /// Bytes read from data links.
+    pub bytes_received: u64,
+    /// Failed dial attempts before each link connected.
+    pub reconnects: u64,
+    /// Highest per-link send-queue occupancy observed.
+    pub send_queue_high_water: u64,
+    /// NACKs this node sent.
+    pub nacks_sent: u64,
+    /// Retransmissions this node served.
+    pub retransmits_served: u64,
+    /// Calendar sends deferred because the packet had not arrived yet.
+    pub deferred_sends: u64,
+    /// Suspect frames this node raised.
+    pub suspects_reported: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowering_covers_every_tracked_packet_for_every_receiver() {
+        let params = SchemeParams {
+            family: "multitree".into(),
+            n: 9,
+            d: 2,
+        };
+        let track = 8u64;
+        let lowered = lower_schedule(&params, track).unwrap();
+        assert!(lowered.slots_run > 0);
+        for node in 1..=params.n as u32 {
+            let expects = lowered.expects.get(&node).unwrap_or_else(|| {
+                panic!("node {node} expects nothing — schedule lowering dropped a receiver")
+            });
+            for p in 0..track {
+                assert!(
+                    expects.iter().any(|e| e.packet == p),
+                    "node {node} never expects packet {p}"
+                );
+            }
+        }
+        // Every expected arrival has a matching send on the other side.
+        for (node, expects) in &lowered.expects {
+            for e in expects {
+                let sends = &lowered.sends[&e.from];
+                assert!(
+                    sends.iter().any(|s| s.to == *node && s.packet == e.packet),
+                    "expect {e:?} at node {node} has no matching send"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_family_lists_valid_families() {
+        let params = SchemeParams {
+            family: "gossip".into(),
+            n: 4,
+            d: 2,
+        };
+        let err = params.build().map(|_| ()).unwrap_err();
+        assert!(err.contains("unknown scheme family `gossip`"), "{err}");
+        assert!(
+            err.contains("multitree, hypercube, chain, singletree"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn node_config_roundtrips_through_json() {
+        let cfg = NodeConfig {
+            node: 3,
+            n: 8,
+            track: 12,
+            max_slots: 40,
+            slot_micros: 2000,
+            suspect_timeout_slots: 8,
+            gap_slack_slots: 2,
+            nack_retry_slots: 4,
+            nack_max_attempts: 10,
+            sends: vec![LoweredSend {
+                slot: 1,
+                to: 4,
+                packet: 0,
+            }],
+            expects: vec![LoweredRecv {
+                slot: 1,
+                from: 0,
+                packet: 0,
+            }],
+            peers: vec![PeerAddr {
+                node: 4,
+                addr: "127.0.0.1:9999".into(),
+            }],
+            source_addr: "127.0.0.1:9998".into(),
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: NodeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -87,6 +87,23 @@ impl FailureDetector {
         }
     }
 
+    /// Record an externally reported suspicion — the networked path,
+    /// where a remote watcher raises the suspicion over a control link
+    /// instead of a local timeout event. Suspicions against an
+    /// already-confirmed subject are dropped, like
+    /// [`FailureDetector::check`] drops their timers.
+    pub fn suspect(&mut self, watcher: u32, subject: u32) {
+        if self.confirmed.contains(&subject) {
+            return;
+        }
+        self.suspicions.entry(subject).or_default().insert(watcher);
+    }
+
+    /// Distinct watchers currently suspecting `subject`.
+    pub fn suspicion_count(&self, subject: u32) -> usize {
+        self.suspicions.get(&subject).map_or(0, |s| s.len())
+    }
+
     /// Whether `subject` has accumulated enough distinct suspecting
     /// watchers to confirm its failure. Idempotent: the first `true`
     /// marks the subject confirmed, later calls keep returning `false`
@@ -154,6 +171,26 @@ mod tests {
         assert!(!d.confirm(9), "confirmation fires exactly once");
         // Timers for a confirmed subject die.
         assert_eq!(d.check(1, 9, 500), TimeoutVerdict::Drop);
+    }
+
+    #[test]
+    fn remote_suspicions_tally_like_local_timeouts() {
+        let mut d = FailureDetector::new(2, 100);
+        d.suspect(1, 9);
+        assert_eq!(d.suspicion_count(9), 1);
+        assert!(!d.confirm(9));
+        d.suspect(1, 9); // same watcher again: still one distinct voice
+        assert_eq!(d.suspicion_count(9), 1);
+        d.suspect(4, 9);
+        assert!(d.confirm(9));
+        // Post-confirmation reports are dropped, not re-tallied.
+        d.suspect(5, 9);
+        assert_eq!(d.suspicion_count(9), 2);
+        // A delivery withdraws a remote suspicion like a local one.
+        let mut d = FailureDetector::new(2, 100);
+        d.suspect(1, 3);
+        d.record(1, 3, 50);
+        assert_eq!(d.suspicion_count(3), 0);
     }
 
     #[test]

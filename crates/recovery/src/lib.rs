@@ -8,6 +8,9 @@
 //! * [`FailureDetector`] — per-link delivery timeouts: a receiver that
 //!   stops hearing from a scheduled sender suspects it, and a
 //!   configurable number of distinct watchers confirms the failure.
+//! * [`WallClockDetector`] — the same detector core keyed by wall-clock
+//!   nanoseconds for the networked runtime (`clustream-net`), where
+//!   silence is physical rather than simulated.
 //! * [`SelfHealingMultiTree`] — a [`clustream_core::Scheme`] whose
 //!   [`clustream_core::Scheme::membership_event`] invokes the appendix
 //!   delete/add dynamics, promoting an all-leaf node into the crashed
@@ -29,9 +32,11 @@ pub mod config;
 pub mod detector;
 pub mod heal;
 pub mod nack;
+pub mod wallclock;
 
 pub use buffer::RepairBuffer;
 pub use config::{RecoveryConfig, RecoveryMode};
 pub use detector::{FailureDetector, TimeoutVerdict};
 pub use heal::SelfHealingMultiTree;
 pub use nack::NackManager;
+pub use wallclock::WallClockDetector;

@@ -89,6 +89,26 @@ pub mod names {
     /// Counter: control messages (heartbeats, suspicions, NACKs, …).
     pub const RECOVERY_CONTROL_MESSAGES: &str = "recovery.control_messages";
 
+    // ------------------------------------------- networked runtime (net)
+    /// Counter: frames written to data links, cluster-wide.
+    pub const NET_FRAMES_SENT: &str = "net.frames_sent";
+    /// Counter: frames read from data links, cluster-wide.
+    pub const NET_FRAMES_RECEIVED: &str = "net.frames_received";
+    /// Counter: bytes written to data links, cluster-wide.
+    pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+    /// Counter: bytes read from data links, cluster-wide.
+    pub const NET_BYTES_RECEIVED: &str = "net.bytes_received";
+    /// Counter: failed dial attempts before links connected.
+    pub const NET_RECONNECTS: &str = "net.reconnects";
+    /// Counter: NACKs sent by nodes chasing overdue packets.
+    pub const NET_NACKS: &str = "net.nacks";
+    /// Counter: retransmissions served in response to NACKs.
+    pub const NET_RETRANSMITS: &str = "net.retransmits";
+    /// Gauge (high-water mark): per-link send-queue occupancy.
+    pub const NET_SEND_QUEUE_HIGH_WATER: &str = "net.send_queue_high_water";
+    /// Histogram: observed per-delivery link latency, microseconds.
+    pub const NET_LINK_LATENCY_US: &str = "net.link_latency_us";
+
     // ---------------------------------------------------- parallel sweep
     /// Span: one full sweep call.
     pub const SWEEP_RUN: &str = "sweep.run";

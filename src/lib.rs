@@ -59,7 +59,10 @@
 //!   histograms and span timers behind every engine;
 //! * [`mc`](mod@mc) — the invariant model-checker: pluggable invariant
 //!   registry, exhaustive small-world lattice driver, coverage-guided
-//!   explorer with shrinking repro corpus.
+//!   explorer with shrinking repro corpus;
+//! * [`net`](mod@net) — real networked deployment: `clustream-node`
+//!   processes executing lowered schedules over TCP/Unix sockets, a
+//!   kill-injecting cluster orchestrator, and the DES replay oracle.
 
 #![warn(missing_docs)]
 
@@ -70,6 +73,7 @@ pub use clustream_des as des;
 pub use clustream_hypercube as hypercube;
 pub use clustream_mc as mc;
 pub use clustream_multitree as multitree;
+pub use clustream_net as net;
 pub use clustream_npc as npc;
 pub use clustream_overlay as overlay;
 pub use clustream_recovery as recovery;
@@ -104,6 +108,10 @@ pub mod prelude {
     pub use clustream_multitree::{
         build_forest, greedy_forest, structured_forest, Construction, DelayProfile, DisjointTrees,
         DynamicForest, MultiTreeScheme, StreamMode,
+    };
+    pub use clustream_net::{
+        compare_delivery_order, replay_in_des, run_cluster, ClusterOptions, ClusterOutcome,
+        RunTrace, SchemeParams, Transport,
     };
     pub use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
     pub use clustream_recovery::{RecoveryConfig, RecoveryMode, SelfHealingMultiTree};

@@ -61,6 +61,13 @@ fn script_parses_and_defines_both_tiers() {
         "check --replay-corpus --corpus tests/corpus",
         "check --exhaustive",
         "check --explore --budget 500 --seed 7",
+        // The networked deployment stages: a loopback cluster smoke in
+        // every tier, and the 32-node kill-injection acceptance run in
+        // the merge gate — both closed by the DES replay oracle.
+        "cluster --nodes 8 --transport uds",
+        "cluster --nodes 32 --transport tcp",
+        "--kill 5@2",
+        "replay --trace \"$trace\" --min-concordance 0.85",
     ] {
         assert!(text.contains(needle), "ci.sh lost `{needle}`");
     }
@@ -81,5 +88,30 @@ fn corpus_replay_runs_in_the_quick_tier() {
     assert!(
         replay < full_gate,
         "repro-corpus replay must run in the quick tier"
+    );
+}
+
+#[test]
+fn cluster_smokes_sit_on_the_right_tiers() {
+    // The cheap 8-node loopback cluster smoke belongs to the edit loop
+    // (before the full-tier gate); the 32-node kill-injection
+    // acceptance run is merge-gate-only (after it).
+    let text = std::fs::read_to_string(ci_script()).unwrap();
+    let quick = text
+        .find("stage \"cluster smoke (8 nodes, uds + replay oracle)\"")
+        .expect("ci.sh lost the quick cluster smoke stage");
+    let kill = text
+        .find("stage \"cluster kill-injection smoke (32 nodes, tcp + replay oracle)\"")
+        .expect("ci.sh lost the kill-injection cluster stage");
+    let full_gate = text
+        .find("[ \"$TIER\" = full ]")
+        .expect("ci.sh lost the full-tier gate");
+    assert!(
+        quick < full_gate,
+        "the loopback cluster smoke must run in the quick tier"
+    );
+    assert!(
+        kill > full_gate,
+        "the kill-injection cluster smoke is merge-gate-only"
     );
 }

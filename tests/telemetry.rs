@@ -80,6 +80,58 @@ proptest! {
     }
 }
 
+/// The recorded-latency replay path (the networked cluster's DES
+/// oracle) is equally inert under instrumentation: a replay under a
+/// recorded table — with and without fail-stop crashes — is
+/// bit-identical with the recorder on and off. This pins the networked
+/// config plumbing (`DesConfig::recorded`) into the zero-cost-off
+/// contract alongside the parametric models.
+#[test]
+fn recorder_never_perturbs_a_recorded_replay() {
+    use clustream::des::RecordedLatencies;
+    use clustream::sim::FaultPlan;
+
+    let mut recorded = RecordedLatencies::new();
+    for p in 0..24u64 {
+        recorded.push(0, 1, 900 + (p % 7) * 40);
+        recorded.push(1, 2, 1_100 + (p % 5) * 30);
+        recorded.push(2, 3, 1_000 + (p % 3) * 55);
+    }
+    let plans = [
+        None,
+        Some(FaultPlan {
+            loss_rate: 0.0,
+            seed: 0,
+            crashes: Vec::new(),
+            stop_crashes: vec![(NodeId(2), 6)],
+        }),
+    ];
+    for plan in plans {
+        let sim = match plan.clone() {
+            None => SimConfig::until_complete(16, 500),
+            Some(p) => SimConfig::with_faults(16, 500, p),
+        };
+        let (recorder, tel) = MemoryRecorder::handle();
+        let run = |cfg: &SimConfig| {
+            DesEngine::new()
+                .run(
+                    scheme_for(2, 4, 1).as_mut(),
+                    &DesConfig::slot_faithful(cfg.clone())
+                        .with_recorded_latencies(recorded.clone()),
+                )
+                .unwrap()
+        };
+        let bare = run(&sim);
+        let instrumented = run(&sim.clone().with_telemetry(tel));
+        let diffs = diff_fields(&bare, &instrumented);
+        assert!(diffs.is_empty(), "replay perturbed: {diffs:?}");
+        assert!(
+            recorder.snapshot().counter(tm::DES_EVENTS) > 0,
+            "recorder attached but observed nothing"
+        );
+    }
+}
+
 /// Pin the non-vacuousness explicitly: the recorder's totals agree with
 /// the [`RunResult`] of the run it must not perturb.
 #[test]
