@@ -7,10 +7,12 @@
 # Tiers:
 #   ci.sh quick   fmt + clippy + build + workspace tests + repro-corpus
 #                 replay + timing-wheel smoke + loopback cluster smoke
-#                 with DES replay oracle (the edit loop)
+#                 + chaos-transport smoke (5% loss + a gray node), both
+#                 closed by the DES replay oracle (the edit loop)
 #   ci.sh full    quick + doc lint + differential oracles + CLI smoke
 #                 matrix + exhaustive invariant lattice + coverage-guided
 #                 explore smoke + 32-node kill-injection cluster smoke +
+#                 32-node partition-and-heal chaos run with live repair +
 #                 bench regression check (the merge gate; default when no
 #                 tier is given)
 #
@@ -148,6 +150,44 @@ cluster_smoke() {
         replay --trace "$trace" --min-concordance 0.85
 }
 
+cluster_chaos_smoke() {
+    # Chaos transport in the edit loop: 8 node processes on Unix sockets
+    # with seeded 5% loss on the source and one slow-but-alive (gray)
+    # interior node. The NACK path must fill every gap — the run only
+    # prints `complete : N/N` on success — and the recorded trace,
+    # dropped copies included, must replay concordantly through the
+    # drop-aware DES oracle.
+    local trace=target/ci-cluster-chaos-trace.json
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        cluster --nodes 8 --transport uds --track 12 --slot-us 3000 \
+        --chaos drop:0@0=0.05,gray:2@0=1 --chaos-seed 7 \
+        --trace-out "$trace"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        replay --trace "$trace" --min-concordance 0.85
+}
+
+cluster_chaos_heal_smoke() {
+    # The chaos acceptance run: 32 node processes over TCP loopback with
+    # two transient source-link partitions plus a SIGKILL with live
+    # in-network repair on. Survivors refill the blackout gaps over the
+    # NACK path, the orchestrator heals the forest around the killed
+    # node by shipping spliced schedules, and the recorded trace must
+    # replay concordantly through the drop-aware DES oracle. Slots are
+    # deliberately long (20 ms) and the silence horizon wide (240 ms):
+    # with live repair on, a false suspect does not just misreport — it
+    # triggers a structural repair of a healthy node, so the horizon
+    # must sit well above shared-container scheduling stalls, while the
+    # 4-slot blackouts stay far inside it.
+    local trace=target/ci-cluster-chaos-heal-trace.json
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        cluster --nodes 32 --transport tcp --track 24 --slot-us 20000 \
+        --chaos partition:0/1@2+4,partition:0/2@4+4 --chaos-seed 11 \
+        --kill 5@2 --suspect-timeout-slots 12 --repair true \
+        --trace-out "$trace"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        replay --trace "$trace" --min-concordance 0.85
+}
+
 cluster_kill_smoke() {
     # The full acceptance run: 32 node processes over TCP loopback with
     # a SIGKILL injected mid-stream. Every survivor must still complete
@@ -169,6 +209,7 @@ stage "test" cargo test --workspace -q --offline
 stage "repro-corpus replay" corpus_replay
 stage "timing-wheel smoke (wheel queue)" wheel_smoke
 stage "cluster smoke (8 nodes, uds + replay oracle)" cluster_smoke
+stage "cluster chaos smoke (8 nodes, uds + loss/gray + replay oracle)" cluster_chaos_smoke
 
 if [ "$TIER" = full ]; then
     stage "doc (-D warnings)" \
@@ -182,6 +223,7 @@ if [ "$TIER" = full ]; then
     stage "model check (exhaustive lattice)" model_check_exhaustive
     stage "model check (explore smoke, seed 7)" model_check_explore
     stage "cluster kill-injection smoke (32 nodes, tcp + replay oracle)" cluster_kill_smoke
+    stage "cluster partition-and-heal smoke (32 nodes, tcp + live repair)" cluster_chaos_heal_smoke
     # Tolerance is wider than the bench_check default: shared-container
     # timing noise of ±30% is routine here, and a real regression past
     # 2x is still caught. Correctness fields are always compared exactly.

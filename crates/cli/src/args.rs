@@ -67,6 +67,19 @@ impl ArgMap {
         self.map.get(key).map(|s| s.as_str())
     }
 
+    /// Optional boolean with default (`--key true|false` — every flag
+    /// takes a value in this grammar, booleans included).
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(other) => Err(CliError::Usage(format!(
+                "--{key} must be `true` or `false`, got `{other}`"
+            ))),
+        }
+    }
+
     /// Required integer.
     pub fn required_usize(&self, key: &str) -> Result<usize, CliError> {
         self.required(key)?

@@ -946,6 +946,55 @@ mod tests {
     }
 
     #[test]
+    fn unknown_chaos_kind_error_lists_valid_kinds() {
+        let err = run(&argv(&[
+            "cluster",
+            "--nodes",
+            "4",
+            "--chaos",
+            "scramble:3@10=0.1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown --chaos fault kind `scramble`"),
+            "{err}"
+        );
+        for kind in ["drop", "dup", "reorder", "delay", "partition", "gray"] {
+            assert!(err.contains(kind), "missing `{kind}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_chaos_spec_names_the_entry_and_format() {
+        let err = run(&argv(&["cluster", "--nodes", "4", "--chaos", "drop-3"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("`drop-3`"), "{err}");
+        assert!(err.contains("KIND:TARGET@START"), "{err}");
+        // Rates outside [0,1] are rejected up front, not at run time.
+        let err = run(&argv(&[
+            "cluster",
+            "--nodes",
+            "4",
+            "--chaos",
+            "drop:3@10=1.5",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("RATE must be a number in [0,1]"), "{err}");
+    }
+
+    #[test]
+    fn repair_flag_must_be_a_boolean() {
+        let err = run(&argv(&["cluster", "--nodes", "4", "--repair", "maybe"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--repair must be `true` or `false`"), "{err}");
+        assert!(err.contains("`maybe`"), "{err}");
+    }
+
+    #[test]
     fn replay_requires_a_readable_trace() {
         let err = run(&argv(&["replay"])).unwrap_err().to_string();
         assert!(err.contains("missing required --trace"), "{err}");

@@ -88,6 +88,9 @@ USAGE:
                      [--d <D>] [--track <P>] [--slot-us <MICROS>]
                      [--kill <NODE@SLOT,…>] [--suspect-timeout-slots <S>]
                      [--suspect-threshold <W>] [--horizon-slack <S>]
+                     [--chaos <KIND:TARGET@START[+DUR][=PARAM],…>]
+                     [--chaos-seed <SEED>] [--repair <true|false>]
+                     [--retransmit-budget <B>] [--splice-margin-slots <S>]
                      [--trace-out <FILE.json>] [--metrics-out <FILE.jsonl>]
                      [--node-bin <PATH>]
   clustream replay   --trace <FILE.json> [--min-concordance <F>]

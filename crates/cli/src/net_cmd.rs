@@ -5,8 +5,8 @@
 
 use crate::args::{ArgMap, CliError};
 use clustream_net::{
-    compare_delivery_order, parse_kill_spec, replay_in_des, run_cluster, ClusterOptions, RunTrace,
-    SchemeParams, Transport,
+    compare_delivery_order, parse_chaos_spec, parse_kill_spec, replay_in_des, run_cluster,
+    ClusterOptions, RunTrace, SchemeParams, Transport,
 };
 use clustream_telemetry::{to_jsonl, MemoryRecorder};
 use std::fmt::Write as _;
@@ -43,6 +43,13 @@ pub fn cluster(args: &ArgMap) -> Result<String, CliError> {
     if let Some(spec) = args.optional("kill") {
         opts.kills = parse_kill_spec(spec).map_err(CliError::Usage)?;
     }
+    if let Some(spec) = args.optional("chaos") {
+        opts.chaos = parse_chaos_spec(spec).map_err(CliError::Usage)?;
+    }
+    opts.chaos_seed = args.u64_or("chaos-seed", 0)?;
+    opts.repair = args.bool_or("repair", false)?;
+    opts.retransmit_budget_per_slot = args.u64_or("retransmit-budget", 64)?;
+    opts.splice_margin_slots = args.u64_or("splice-margin-slots", 8)?;
     let metrics = args
         .optional("metrics-out")
         .map(|p| (p.to_string(), MemoryRecorder::handle()));
@@ -85,6 +92,42 @@ pub fn cluster(args: &ArgMap) -> Result<String, CliError> {
             out,
             "kill        : node {} at slot {} — detected {detect}, repaired {repair}",
             k.node, k.slot
+        );
+    }
+    if !opts.chaos.is_empty() {
+        let mut drops = 0u64;
+        let mut dups = 0u64;
+        let mut reorders = 0u64;
+        let mut delays = 0u64;
+        let mut pdrops = 0u64;
+        for r in &outcome.reports {
+            drops += r.chaos_drops;
+            dups += r.chaos_dups;
+            reorders += r.chaos_reorders;
+            delays += r.chaos_delays;
+            pdrops += r.chaos_partition_drops;
+        }
+        let _ = writeln!(
+            out,
+            "chaos       : seed {} — {drops} drops, {dups} dups, {reorders} reorders, \
+             {delays} delays, {pdrops} partition drops injected",
+            opts.chaos_seed
+        );
+    }
+    for rp in &outcome.repairs {
+        let healed = rp
+            .first_healed_ms()
+            .map(|ms| format!("first healed delivery {ms:.1} ms"))
+            .unwrap_or_else(|| "no gap needed healing".into());
+        let _ = writeln!(
+            out,
+            "repair      : node {} epoch {} — {} survivors spliced at slot {}, \
+             dispatched {:.1} ms, {healed}",
+            rp.subject,
+            rp.epoch,
+            rp.survivors_updated,
+            rp.barrier_slot,
+            rp.dispatch_ms()
         );
     }
     if outcome.completed < outcome.expected_complete {

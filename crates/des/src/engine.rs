@@ -883,7 +883,20 @@ impl DesEngine {
                         continue;
                     }
                     let lat = match replay.as_mut() {
-                        Some(r) => r.sample_ticks(tx.from.0, tx.to.0, tx.latency),
+                        Some(r) => match r.sample_ticks(tx.from.0, tx.to.0, tx.latency) {
+                            Some(l) => l,
+                            None => {
+                                // A recorded chaos drop (injected loss or a
+                                // partition blackout): the networked wire ate
+                                // this copy, so the replay loses it in flight
+                                // at the same position in the link's FIFO.
+                                loss_report.lost_in_flight += 1;
+                                taint
+                                    .entry((tx.to.0, tx.packet.seq()))
+                                    .or_insert(FaultCause::Loss);
+                                continue;
+                            }
+                        },
                         None => cfg.latency.sample_ticks(tx.latency, &mut lat_rng),
                     };
                     q.push(
@@ -949,7 +962,9 @@ impl DesEngine {
             taint.entry((tx.to.0, tx.packet.seq())).or_insert(fallback);
         }
 
-        let lossy = sim.faults.is_some() || cfg.churn.is_some();
+        let lossy = sim.faults.is_some()
+            || cfg.churn.is_some()
+            || cfg.recorded.as_ref().is_some_and(|r| r.drop_count() > 0);
         let mut nodes = Vec::with_capacity(receivers.len());
         for r in &receivers {
             let (delay, buffer) = if lossy {

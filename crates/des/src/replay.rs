@@ -11,6 +11,13 @@
 //! latencies must reproduce the networked run's per-node delivery order
 //! within tolerance.
 //!
+//! Samples come in two kinds: a delivery with its observed wire time, or
+//! a **recorded drop** ([`RecordedLatencies::push_drop`]) — a send the
+//! networked run's chaos layer ate (injected loss, or a partition
+//! blackout over the send's slot window). The engine loses a dropped
+//! send in flight exactly where the wire did, so an injected-fault run
+//! replays against the same delivery set the physical cluster saw.
+//!
 //! A recorded table forces the engine into **relaxed** mode even though
 //! every sample is a concrete number: recorded latencies are not
 //! slot-exact, and the networked nodes are reactive (a calendar send
@@ -20,10 +27,11 @@
 use crate::event::TICKS_PER_SLOT;
 use std::collections::BTreeMap;
 
-/// Observed per-link latency samples, in per-link send order.
+/// Observed per-link samples, in per-link send order. `Some(ticks)` is a
+/// delivery; `None` is a recorded drop.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RecordedLatencies {
-    links: BTreeMap<(u32, u32), Vec<u64>>,
+    links: BTreeMap<(u32, u32), Vec<Option<u64>>>,
 }
 
 impl RecordedLatencies {
@@ -32,13 +40,25 @@ impl RecordedLatencies {
         RecordedLatencies::default()
     }
 
-    /// Append a sample for the link `from → to`, in ticks. Clamped to at
-    /// least one tick: a zero-tick wire would deliver before it sent.
+    /// Append a delivery sample for the link `from → to`, in ticks.
+    /// Clamped to at least one tick: a zero-tick wire would deliver
+    /// before it sent.
     pub fn push(&mut self, from: u32, to: u32, ticks: u64) {
-        self.links.entry((from, to)).or_default().push(ticks.max(1));
+        self.links
+            .entry((from, to))
+            .or_default()
+            .push(Some(ticks.max(1)));
     }
 
-    /// Total samples across all links.
+    /// Append a recorded drop for the link `from → to`: the networked
+    /// run put this send on the wire schedule but the chaos layer (loss
+    /// or a partition blackout) ate it. The replay loses the matching
+    /// send in flight.
+    pub fn push_drop(&mut self, from: u32, to: u32) {
+        self.links.entry((from, to)).or_default().push(None);
+    }
+
+    /// Total samples across all links (deliveries and drops).
     pub fn len(&self) -> usize {
         self.links.values().map(Vec::len).sum()
     }
@@ -51,6 +71,15 @@ impl RecordedLatencies {
     /// Number of distinct links with at least one sample.
     pub fn link_count(&self) -> usize {
         self.links.len()
+    }
+
+    /// Recorded drops across all links.
+    pub fn drop_count(&self) -> usize {
+        self.links
+            .values()
+            .flatten()
+            .filter(|s| s.is_none())
+            .count()
     }
 }
 
@@ -71,22 +100,31 @@ impl<'a> ReplayCursor<'a> {
         }
     }
 
-    /// The latency for the next send on `from → to`, in ticks.
+    /// The next sample for a send on `from → to`: `Some(ticks)` delivers
+    /// after that wire time, `None` is a recorded drop (the send is lost
+    /// in flight).
     ///
-    /// Links with more sends than samples repeat their last sample (the
-    /// networked run ended; its final observation is the best estimate
-    /// for traffic past it), and links never observed — e.g. repair
-    /// paths the networked run did not exercise — fall back to the
-    /// nominal `base_slots` wire time.
-    pub(crate) fn sample_ticks(&mut self, from: u32, to: u32, base_slots: u32) -> u64 {
+    /// Links with more sends than samples repeat their last *delivered*
+    /// sample (the networked run ended; its final observation is the
+    /// best estimate for traffic past it — drops are events, not link
+    /// properties, so they are never repeated), and links never observed
+    /// — e.g. repair paths the networked run did not exercise — fall
+    /// back to the nominal `base_slots` wire time.
+    pub(crate) fn sample_ticks(&mut self, from: u32, to: u32, base_slots: u32) -> Option<u64> {
+        let nominal = base_slots as u64 * TICKS_PER_SLOT;
         match self.table.links.get(&(from, to)) {
             Some(samples) if !samples.is_empty() => {
                 let idx = self.next.entry((from, to)).or_insert(0);
-                let s = samples[(*idx).min(samples.len() - 1)];
-                *idx += 1;
-                s
+                if *idx < samples.len() {
+                    let s = samples[*idx];
+                    *idx += 1;
+                    s
+                } else {
+                    // Exhausted: repeat the last delivery, never a drop.
+                    Some(samples.iter().rev().find_map(|s| *s).unwrap_or(nominal))
+                }
             }
-            _ => base_slots as u64 * TICKS_PER_SLOT,
+            _ => Some(nominal),
         }
     }
 }
@@ -103,9 +141,13 @@ mod tests {
         assert_eq!(rec.len(), 2);
         assert_eq!(rec.link_count(), 1);
         let mut cur = ReplayCursor::new(&rec);
-        assert_eq!(cur.sample_ticks(0, 1, 1), 10);
-        assert_eq!(cur.sample_ticks(0, 1, 1), 20);
-        assert_eq!(cur.sample_ticks(0, 1, 1), 20, "exhausted link repeats");
+        assert_eq!(cur.sample_ticks(0, 1, 1), Some(10));
+        assert_eq!(cur.sample_ticks(0, 1, 1), Some(20));
+        assert_eq!(
+            cur.sample_ticks(0, 1, 1),
+            Some(20),
+            "exhausted link repeats"
+        );
     }
 
     #[test]
@@ -113,7 +155,7 @@ mod tests {
         let rec = RecordedLatencies::new();
         assert!(rec.is_empty());
         let mut cur = ReplayCursor::new(&rec);
-        assert_eq!(cur.sample_ticks(3, 4, 2), 2 * TICKS_PER_SLOT);
+        assert_eq!(cur.sample_ticks(3, 4, 2), Some(2 * TICKS_PER_SLOT));
     }
 
     #[test]
@@ -121,6 +163,44 @@ mod tests {
         let mut rec = RecordedLatencies::new();
         rec.push(1, 2, 0);
         let mut cur = ReplayCursor::new(&rec);
-        assert_eq!(cur.sample_ticks(1, 2, 1), 1);
+        assert_eq!(cur.sample_ticks(1, 2, 1), Some(1));
+    }
+
+    #[test]
+    fn drops_consume_their_slot_in_the_fifo() {
+        let mut rec = RecordedLatencies::new();
+        rec.push(0, 1, 10);
+        rec.push_drop(0, 1);
+        rec.push(0, 1, 30);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.drop_count(), 1);
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(0, 1, 1), Some(10));
+        assert_eq!(cur.sample_ticks(0, 1, 1), None, "the recorded drop");
+        assert_eq!(cur.sample_ticks(0, 1, 1), Some(30));
+    }
+
+    #[test]
+    fn exhaustion_repeats_the_last_delivery_not_a_trailing_drop() {
+        let mut rec = RecordedLatencies::new();
+        rec.push(0, 1, 17);
+        rec.push_drop(0, 1);
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(0, 1, 1), Some(17));
+        assert_eq!(cur.sample_ticks(0, 1, 1), None);
+        assert_eq!(
+            cur.sample_ticks(0, 1, 1),
+            Some(17),
+            "a trailing drop must not black-hole the link forever"
+        );
+    }
+
+    #[test]
+    fn all_drop_links_fall_back_to_nominal_on_exhaustion() {
+        let mut rec = RecordedLatencies::new();
+        rec.push_drop(2, 3);
+        let mut cur = ReplayCursor::new(&rec);
+        assert_eq!(cur.sample_ticks(2, 3, 2), None);
+        assert_eq!(cur.sample_ticks(2, 3, 2), Some(2 * TICKS_PER_SLOT));
     }
 }

@@ -1,0 +1,254 @@
+//! Seeded chaos injection for the networked data path.
+//!
+//! [`ChaosPolicy`] sits on the sender side of every data-plane link and
+//! decides, per outbound frame, what the "wire" does to it: drop it,
+//! duplicate it, hold it behind its successor, or delay it. Decisions
+//! are **deterministic**: a splitmix64-style hash over `(seed, sender,
+//! destination, per-destination frame sequence, fault kind)` maps to a
+//! unit uniform, compared against the spec's rate. Two runs with the
+//! same `--chaos` schedule and `--chaos-seed` therefore make identical
+//! per-frame decisions regardless of transport (tcp/uds), scheduling
+//! noise, or wall-clock — which is what lets the recorded `RunTrace`
+//! replay a chaos run byte-for-byte in the DES oracle.
+//!
+//! A rate-0 policy is a structural no-op: every hash comparison is
+//! `u < 0`, so no frame is ever touched and the run is byte-identical
+//! in per-link delivery order to a chaos-free run (pinned by test).
+
+use crate::faultspec::{ChaosKind, ChaosSpec};
+use std::collections::BTreeMap;
+
+/// What the chaos layer does to one outbound frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendPlan {
+    /// Drop the frame (injected loss).
+    pub drop: bool,
+    /// Drop the frame because a partition blackout covers the link.
+    /// Mutually exclusive with `drop`; counted separately.
+    pub partitioned: bool,
+    /// Enqueue the frame twice.
+    pub duplicate: bool,
+    /// Hold the frame behind the next frame on the same link.
+    pub reorder: bool,
+    /// Extra wire delay before the frame is written, in microseconds.
+    pub delay_us: u64,
+}
+
+impl SendPlan {
+    /// Whether the frame never reaches the wire.
+    pub fn lost(&self) -> bool {
+        self.drop || self.partitioned
+    }
+
+    /// Whether the plan perturbs the frame at all.
+    pub fn is_noop(&self) -> bool {
+        *self == SendPlan::default()
+    }
+}
+
+/// Finalize a splitmix64 round: a well-mixed 64-bit value from a seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-frame decisions for one sender node.
+#[derive(Debug)]
+pub struct ChaosPolicy {
+    specs: Vec<ChaosSpec>,
+    seed: u64,
+    node: u32,
+    slot_micros: u64,
+    /// Frames planned per destination so far: the deterministic
+    /// per-frame sequence number that feeds the hash.
+    seq: BTreeMap<u32, u64>,
+}
+
+impl ChaosPolicy {
+    /// A policy for frames `node` sends, driven by `specs` under `seed`.
+    pub fn new(specs: Vec<ChaosSpec>, seed: u64, node: u32, slot_micros: u64) -> Self {
+        ChaosPolicy {
+            specs,
+            seed,
+            node,
+            slot_micros,
+            seq: BTreeMap::new(),
+        }
+    }
+
+    /// Whether the run has any chaos schedule at all. Senders in a
+    /// chaos run log their calendar sends (even unmatched ones) so the
+    /// replay table keeps FIFO alignment across every link.
+    pub fn is_active(&self) -> bool {
+        !self.specs.is_empty()
+    }
+
+    /// A unit uniform in `[0,1)` for decision `salt` on this frame.
+    fn unit(&self, to: u32, seq: u64, salt: u64) -> f64 {
+        let mut h = self.seed;
+        for word in [self.node as u64, to as u64, seq, salt] {
+            h = splitmix64(h ^ word.wrapping_mul(0xd6e8_feb8_6659_fd93));
+        }
+        // 53 mantissa bits → exact double in [0,1).
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide what happens to the next frame `node → to` sent during
+    /// `slot`. Consumes one sequence number for the destination, so the
+    /// decision stream is a deterministic function of the frame order
+    /// on each link.
+    pub fn plan(&mut self, to: u32, slot: u64) -> SendPlan {
+        let seq = {
+            let c = self.seq.entry(to).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let mut plan = SendPlan::default();
+        for (i, spec) in self.specs.iter().enumerate() {
+            if !spec.applies(self.node, to, slot) {
+                continue;
+            }
+            // Distinct salts per spec index and kind keep overlapping
+            // specs' decisions independent.
+            let salt = |kind: u64| (i as u64) << 8 | kind;
+            match spec.kind {
+                ChaosKind::Drop { rate } => {
+                    if self.unit(to, seq, salt(1)) < rate {
+                        plan.drop = true;
+                    }
+                }
+                ChaosKind::Dup { rate } => {
+                    if self.unit(to, seq, salt(2)) < rate {
+                        plan.duplicate = true;
+                    }
+                }
+                ChaosKind::Reorder { rate } => {
+                    if self.unit(to, seq, salt(3)) < rate {
+                        plan.reorder = true;
+                    }
+                }
+                ChaosKind::Delay {
+                    slots,
+                    jitter_slots,
+                } => {
+                    let mut us = slots * self.slot_micros;
+                    if jitter_slots > 0 {
+                        let jitter_span = jitter_slots * self.slot_micros;
+                        us += (self.unit(to, seq, salt(4)) * jitter_span as f64) as u64;
+                    }
+                    plan.delay_us = plan.delay_us.max(us);
+                }
+                ChaosKind::Partition => {
+                    plan.partitioned = true;
+                }
+                ChaosKind::Gray { slots } => {
+                    plan.delay_us = plan.delay_us.max(slots * self.slot_micros);
+                }
+            }
+        }
+        if plan.partitioned {
+            // A blackout subsumes probabilistic loss: count it once.
+            plan.drop = false;
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultspec::parse_chaos_spec;
+
+    fn policy(spec: &str, seed: u64, node: u32) -> ChaosPolicy {
+        ChaosPolicy::new(parse_chaos_spec(spec).unwrap(), seed, node, 1000)
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = policy("drop:1@0=0.5,dup:1@0=0.5", 42, 1);
+        let mut b = policy("drop:1@0=0.5,dup:1@0=0.5", 42, 1);
+        for slot in 0..200 {
+            assert_eq!(a.plan(2, slot), b.plan(2, slot));
+            assert_eq!(a.plan(3, slot), b.plan(3, slot));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = policy("drop:1@0=0.5", 1, 1);
+        let mut b = policy("drop:1@0=0.5", 2, 1);
+        let same = (0..500).filter(|&s| a.plan(2, s) == b.plan(2, s)).count();
+        assert!(same < 500, "independent seeds must not mirror each other");
+    }
+
+    #[test]
+    fn rate_zero_is_a_perfect_noop() {
+        let mut p = policy("drop:1@0=0,dup:1@0=0,reorder:1@0=0,delay:1@0=0", 7, 1);
+        for slot in 0..500 {
+            assert!(p.plan(2, slot).is_noop());
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut p = policy("dup:1@0=1", 7, 1);
+        for slot in 0..100 {
+            assert!(p.plan(2, slot).duplicate);
+        }
+    }
+
+    #[test]
+    fn drop_rate_lands_near_target() {
+        let mut p = policy("drop:1@0=0.2", 99, 1);
+        let drops = (0..5000).filter(|&s| p.plan(2, s % 50).drop).count();
+        let frac = drops as f64 / 5000.0;
+        assert!((0.15..=0.25).contains(&frac), "observed {frac}");
+    }
+
+    #[test]
+    fn partition_windows_are_bidirectional_and_bounded() {
+        let mut a = policy("partition:1/2@10+5", 3, 1);
+        let mut b = policy("partition:1/2@10+5", 3, 2);
+        assert!(!a.plan(2, 9).partitioned);
+        assert!(a.plan(2, 10).partitioned);
+        assert!(b.plan(1, 14).partitioned, "both directions black out");
+        assert!(!a.plan(2, 15).partitioned);
+        assert!(!a.plan(3, 12).partitioned, "unrelated links unaffected");
+    }
+
+    #[test]
+    fn partition_subsumes_probabilistic_drop() {
+        let mut p = policy("drop:1@0=1,partition:1/2@0", 3, 1);
+        let plan = p.plan(2, 0);
+        assert!(plan.partitioned && !plan.drop);
+        assert!(plan.lost());
+    }
+
+    #[test]
+    fn gray_and_delay_compose_via_max() {
+        let mut p = policy("gray:1@0=3,delay:1@0=5", 3, 1);
+        assert_eq!(p.plan(2, 0).delay_us, 5 * 1000);
+        let mut p = policy("gray:1@0=7,delay:1@0=5", 3, 1);
+        assert_eq!(p.plan(2, 0).delay_us, 7 * 1000);
+    }
+
+    #[test]
+    fn delay_jitter_stays_within_its_bound() {
+        let mut p = policy("delay:1@0=2~3", 11, 1);
+        for slot in 0..500 {
+            let us = p.plan(2, slot).delay_us;
+            assert!((2000..5000).contains(&us), "delay {us} out of [2000,5000)");
+        }
+    }
+
+    #[test]
+    fn specs_only_touch_their_sender() {
+        let mut other = policy("drop:1@0=1", 3, 4);
+        for slot in 0..50 {
+            assert!(other.plan(2, slot).is_noop());
+        }
+    }
+}

@@ -12,12 +12,18 @@
 //! and waited even when the orchestrator panics mid-run — `cargo test`
 //! must never leak a node process.
 
+use crate::faultspec::{format_chaos_spec, ChaosSpec};
 use crate::frame::{read_frame, write_frame, Frame};
 use crate::killspec::KillSpec;
-use crate::schedule::{lower_schedule, NodeConfig, NodeReport, PeerAddr, SchemeParams};
+use crate::schedule::{
+    lower_schedule, lower_scheme_healed, NodeConfig, NodeReport, PeerAddr, ScheduleUpdate,
+    SchemeParams,
+};
 use crate::trace::{KillObs, LinkObs, NodeDeliveries, RunTrace};
-use crate::transport::{NetListener, Transport};
-use clustream_recovery::FailureDetector;
+use crate::transport::{Conn, NetListener, Transport};
+use clustream_core::{MembershipEvent, NodeId, Scheme};
+use clustream_multitree::{Construction, StreamMode};
+use clustream_recovery::{FailureDetector, SelfHealingMultiTree};
 use clustream_telemetry::{names as tm, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
@@ -59,6 +65,20 @@ pub struct ClusterOptions {
     /// Extra slots past the lowered horizon the nodes keep running
     /// (repair headroom).
     pub horizon_slack: u64,
+    /// Chaos schedule injected into every node's outbound data path
+    /// (empty = clean run).
+    pub chaos: Vec<ChaosSpec>,
+    /// Seed the per-node chaos policies draw their decisions from.
+    pub chaos_seed: u64,
+    /// Repair confirmed failures live: remove the subject from a
+    /// [`SelfHealingMultiTree`], re-lower the healed forest and ship
+    /// [`ScheduleUpdate`] frames to every survivor. Multitree only.
+    pub repair: bool,
+    /// Per-slot retransmit budget handed to every node (0 = unlimited).
+    pub retransmit_budget_per_slot: u64,
+    /// Slots of headroom between the estimated current slot and the
+    /// splice barrier of a shipped schedule update.
+    pub splice_margin_slots: u64,
     /// Telemetry sink for aggregated transport counters.
     pub telemetry: Telemetry,
 }
@@ -84,6 +104,11 @@ impl ClusterOptions {
             nack_max_attempts: 12,
             node_bin,
             horizon_slack: 64,
+            chaos: Vec::new(),
+            chaos_seed: 0,
+            repair: false,
+            retransmit_budget_per_slot: 64,
+            splice_margin_slots: 8,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -121,6 +146,43 @@ impl KillOutcome {
     }
 }
 
+/// One live in-network repair: a confirmed failure healed structurally
+/// by re-lowering the forest and shipping spliced calendars to the
+/// survivors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepairEvent {
+    /// The confirmed-failed node the forest healed around.
+    pub subject: u32,
+    /// Repair generation carried by the shipped updates.
+    pub epoch: u64,
+    /// Wall clock when the detector confirmed the subject, UNIX ns.
+    pub confirmed_ns: u64,
+    /// Wall clock when the last survivor's update was on the wire.
+    pub dispatch_ns: u64,
+    /// Barrier slot every survivor splices the healed calendar at.
+    pub barrier_slot: u64,
+    /// Survivors an update was shipped to.
+    pub survivors_updated: u64,
+    /// Wall clock of the earliest post-splice delivery that filled a
+    /// missing packet anywhere in the cluster; `None` if no survivor
+    /// was missing anything (or none reported one).
+    pub first_healed_ns: Option<u64>,
+}
+
+impl RepairEvent {
+    /// Confirm-to-dispatch latency (healing + re-lowering + shipping),
+    /// milliseconds.
+    pub fn dispatch_ms(&self) -> f64 {
+        self.dispatch_ns.saturating_sub(self.confirmed_ns) as f64 / 1e6
+    }
+
+    /// Confirm-to-first-healed-delivery latency, milliseconds.
+    pub fn first_healed_ms(&self) -> Option<f64> {
+        self.first_healed_ns
+            .map(|h| h.saturating_sub(self.confirmed_ns) as f64 / 1e6)
+    }
+}
+
 /// Everything a cluster run produced.
 #[derive(Debug, Clone)]
 pub struct ClusterOutcome {
@@ -128,6 +190,9 @@ pub struct ClusterOutcome {
     pub reports: Vec<NodeReport>,
     /// Per-kill wall-clock accounting.
     pub kills: Vec<KillOutcome>,
+    /// Live repairs dispatched (empty unless `repair` was on and a
+    /// failure was confirmed).
+    pub repairs: Vec<RepairEvent>,
     /// Survivors that reported `Complete`.
     pub completed: u64,
     /// Survivors expected to complete (receivers minus victims).
@@ -266,6 +331,22 @@ pub fn run_cluster(opts: &ClusterOptions) -> Result<ClusterOutcome, String> {
             ));
         }
     }
+    for c in &opts.chaos {
+        for node in c.nodes() {
+            if u64::from(node) > n {
+                return Err(format!(
+                    "chaos target {node} in `{}` is outside the population 0..={n}",
+                    format_chaos_spec(std::slice::from_ref(c))
+                ));
+            }
+        }
+    }
+    if opts.repair && opts.params.family != "multitree" {
+        return Err(format!(
+            "live repair only heals the multitree family, not `{}`",
+            opts.params.family
+        ));
+    }
 
     // Scratch directory for Unix sockets (harmless under TCP).
     let dir = std::env::temp_dir().join(format!(
@@ -382,6 +463,9 @@ fn run_cluster_in(
             } else {
                 source_addr.clone()
             },
+            chaos: opts.chaos.clone(),
+            chaos_seed: opts.chaos_seed,
+            retransmit_budget_per_slot: opts.retransmit_budget_per_slot,
         };
         let payload = serde_json::to_string(&cfg).map_err(|e| e.to_string())?;
         let conn = controls.get_mut(&node).expect("accepted above");
@@ -429,6 +513,23 @@ fn run_cluster_in(
     let mut detector = FailureDetector::new(opts.suspect_threshold.max(1) as usize, 0);
     let mut completions: BTreeMap<u32, u64> = BTreeMap::new();
     let mut reports: BTreeMap<u32, NodeReport> = BTreeMap::new();
+    // Live repair: the healing forest persists across the run so repeated
+    // failures compose; `repaired` guards one repair per subject.
+    let mut healer: Option<SelfHealingMultiTree> = if opts.repair {
+        Some(
+            SelfHealingMultiTree::new(
+                n as usize,
+                opts.params.d as usize,
+                StreamMode::PreRecorded,
+                Construction::Greedy,
+            )
+            .map_err(|e| format!("build healing forest: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let mut repaired: BTreeSet<u32> = BTreeSet::new();
+    let mut repair_events: Vec<RepairEvent> = Vec::new();
     // Generous overall deadline: 4× the nominal stream plus repair slack.
     let overall = Duration::from_secs(10).max(slot_dur * (max_slots as u32) * 4);
     let run_deadline = Instant::now() + overall;
@@ -474,6 +575,38 @@ fn run_cluster_in(
                         for ko in kill_outcomes.iter_mut() {
                             if ko.node == subject && ko.detection_ns.is_none() {
                                 ko.detection_ns = Some(now);
+                            }
+                        }
+                        if subject != 0 && repaired.insert(subject) {
+                            if let Some(h) = healer.as_mut() {
+                                // Dead set: everything confirmed so far plus
+                                // every scheduled victim already killed.
+                                let mut dead = repaired.clone();
+                                for k in kill_queue.iter().take(next_kill) {
+                                    dead.insert(k.node);
+                                }
+                                match dispatch_repair(
+                                    h,
+                                    subject,
+                                    repair_events.len() as u64 + 1,
+                                    opts,
+                                    max_slots,
+                                    t0,
+                                    &data_addrs,
+                                    &mut controls,
+                                    &dead,
+                                ) {
+                                    Ok(mut ev) => {
+                                        ev.confirmed_ns = now;
+                                        repair_events.push(ev);
+                                    }
+                                    Err(e) => {
+                                        // A refused heal (forest would empty)
+                                        // or a dead control conn must not
+                                        // abort the run; record nothing.
+                                        let _ = e;
+                                    }
+                                }
                             }
                         }
                     }
@@ -537,16 +670,102 @@ fn run_cluster_in(
     }
 
     let reports: Vec<NodeReport> = reports.into_values().collect();
+    // The earliest post-splice gap-filling delivery anywhere closes the
+    // detection→repair→first-healed-delivery wall-clock chain.
+    let first_healed = reports
+        .iter()
+        .map(|r| r.first_healed_delivery_ns)
+        .filter(|&x| x > 0)
+        .min();
+    for ev in repair_events.iter_mut() {
+        ev.first_healed_ns = first_healed.filter(|&h| h >= ev.dispatch_ns);
+    }
     record_telemetry(&opts.telemetry, &reports);
     let trace = assemble_trace(opts, max_slots, &kill_outcomes, &reports);
     Ok(ClusterOutcome {
         reports,
         kills: kill_outcomes,
+        repairs: repair_events,
         completed: completions.len() as u64,
         expected_complete,
         wall_ns,
         trace,
         child_pids,
+    })
+}
+
+/// Heal the forest around a confirmed-failed `subject`, re-lower the
+/// healed schedule and ship one [`ScheduleUpdate`] per survivor over its
+/// control connection. Returns the event with `confirmed_ns` left for
+/// the caller to stamp. Errors only when the forest refuses the heal
+/// (it would empty) or the healed schedule cannot be lowered; a single
+/// dead control connection just lowers `survivors_updated`.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_repair(
+    healer: &mut SelfHealingMultiTree,
+    subject: u32,
+    epoch: u64,
+    opts: &ClusterOptions,
+    max_slots: u64,
+    t0: Instant,
+    data_addrs: &BTreeMap<u32, String>,
+    controls: &mut BTreeMap<u32, Conn>,
+    dead: &BTreeSet<u32>,
+) -> Result<RepairEvent, String> {
+    healer
+        .membership_event(NodeId(subject), MembershipEvent::Failed)
+        .ok_or_else(|| format!("forest refused to heal around node {subject}"))?;
+    let dead_list: Vec<u32> = dead.iter().copied().collect();
+    let lowered = lower_scheme_healed(healer, opts.track, &dead_list, max_slots)?;
+    let n = opts.nodes;
+    // Barrier: past every survivor's current slot (estimated from the
+    // shared Start instant) plus margin for control-plane latency, so
+    // all survivors splice at the same calendar position.
+    let elapsed_us = t0.elapsed().as_micros() as u64;
+    let barrier_slot = elapsed_us / opts.slot_micros.max(1) + opts.splice_margin_slots;
+    let mut survivors_updated = 0u64;
+    for node in 0..=n as u32 {
+        if node != 0 && dead.contains(&node) {
+            continue;
+        }
+        let sends = lowered.sends.get(&node).cloned().unwrap_or_default();
+        let expects = lowered.expects.get(&node).cloned().unwrap_or_default();
+        let peer_ids: BTreeSet<u32> = if node == 0 {
+            (1..=n as u32).filter(|id| !dead.contains(id)).collect()
+        } else {
+            sends.iter().map(|s| s.to).collect()
+        };
+        let peers: Vec<PeerAddr> = peer_ids
+            .iter()
+            .filter_map(|id| {
+                data_addrs.get(id).map(|addr| PeerAddr {
+                    node: *id,
+                    addr: addr.clone(),
+                })
+            })
+            .collect();
+        let upd = ScheduleUpdate {
+            epoch,
+            barrier_slot,
+            sends,
+            expects,
+            peers,
+        };
+        let payload = serde_json::to_string(&upd).map_err(|e| e.to_string())?;
+        if let Some(conn) = controls.get_mut(&node) {
+            if write_frame(conn, &Frame::ScheduleUpdate { payload }).is_ok() {
+                survivors_updated += 1;
+            }
+        }
+    }
+    Ok(RepairEvent {
+        subject,
+        epoch,
+        confirmed_ns: 0,
+        dispatch_ns: sys_ns(),
+        barrier_slot,
+        survivors_updated,
+        first_healed_ns: None,
     })
 }
 
@@ -563,6 +782,16 @@ fn record_telemetry(tel: &Telemetry, reports: &[NodeReport]) {
         tel.counter(tm::NET_RECONNECTS, r.reconnects);
         tel.counter(tm::NET_NACKS, r.nacks_sent);
         tel.counter(tm::NET_RETRANSMITS, r.retransmits_served);
+        tel.counter(tm::NET_CHAOS_DROPS, r.chaos_drops);
+        tel.counter(tm::NET_CHAOS_DUPS, r.chaos_dups);
+        tel.counter(tm::NET_CHAOS_REORDERS, r.chaos_reorders);
+        tel.counter(tm::NET_CHAOS_DELAYS, r.chaos_delays);
+        tel.counter(tm::NET_CHAOS_PARTITION_DROPS, r.chaos_partition_drops);
+        tel.counter(tm::NET_NACKS_SUPPRESSED, r.nacks_suppressed);
+        tel.counter(tm::NET_REPAIR_SCHEDULE_UPDATES, r.schedule_updates_applied);
+        if r.schedule_updates_applied > 0 {
+            tel.observe(tm::NET_REPAIR_SPLICE_LAG_US, r.splice_lag_us);
+        }
         tel.gauge_max(tm::NET_SEND_QUEUE_HIGH_WATER, r.send_queue_high_water);
         for a in &r.arrivals {
             let us = a.recv_ns.saturating_sub(a.sent_ns) / 1_000;
@@ -591,37 +820,100 @@ fn assemble_trace(
                 slot: k.slot,
             })
             .collect(),
+        chaos: opts.chaos.clone(),
+        chaos_seed: opts.chaos_seed,
         deliveries: Vec::new(),
     };
-    // Per-link samples in arrival order (= send order per FIFO stream);
-    // retransmissions are repair traffic, not calendar traffic.
-    let mut link_obs: Vec<(u64, LinkObs)> = Vec::new();
+    // Deliveries include every arrival (calendar, retransmit, healed):
+    // they are what the node actually played back.
     for r in reports {
         if r.node == 0 {
             continue;
         }
-        let mut packets: Vec<(u64, u64)> = Vec::new(); // (recv_ns, packet)
-        for a in &r.arrivals {
-            if !a.retransmit {
-                link_obs.push((
-                    a.recv_ns,
-                    LinkObs {
-                        from: a.from,
-                        to: r.node,
-                        ticks: trace.ns_to_ticks(a.recv_ns.saturating_sub(a.sent_ns)),
-                    },
-                ));
-            }
-            packets.push((a.recv_ns, a.packet));
-        }
+        let mut packets: Vec<(u64, u64)> =
+            r.arrivals.iter().map(|a| (a.recv_ns, a.packet)).collect();
         packets.sort_unstable();
         trace.deliveries.push(NodeDeliveries {
             node: r.node,
             packets: packets.into_iter().map(|(_, p)| p).collect(),
         });
     }
-    link_obs.sort_by_key(|(recv_ns, _)| *recv_ns);
-    trace.links = link_obs.into_iter().map(|(_, l)| l).collect();
+    let chaos_run = reports.iter().any(|r| !r.calendar_sends.is_empty());
+    if chaos_run {
+        // Sender-ledger assembly: every sender logged its pre-splice
+        // calendar sends in order, including the copies chaos ate. Pair
+        // each delivered entry with the receiver's first-copy arrival of
+        // that packet — by packet id, not FIFO position: a lowered
+        // calendar may carry redundant copies of one packet on two
+        // links, and the receiver records only whichever landed first
+        // (the redundant copy borrows the first copy's latency).
+        let mut first_copy: BTreeMap<u32, BTreeMap<u64, u64>> = BTreeMap::new();
+        for r in reports {
+            let per_packet = first_copy.entry(r.node).or_default();
+            for a in &r.arrivals {
+                if !a.retransmit && !a.healed {
+                    per_packet
+                        .entry(a.packet)
+                        .or_insert_with(|| trace.ns_to_ticks(a.recv_ns.saturating_sub(a.sent_ns)));
+                }
+            }
+        }
+        for r in reports {
+            for cs in &r.calendar_sends {
+                let ticks = (!cs.dropped)
+                    .then(|| {
+                        first_copy
+                            .get(&cs.to)
+                            .and_then(|m| m.get(&cs.packet))
+                            .copied()
+                    })
+                    .flatten();
+                trace.links.push(match ticks {
+                    Some(ticks) => LinkObs {
+                        from: r.node,
+                        to: cs.to,
+                        ticks,
+                        dropped: false,
+                    },
+                    // Chaos ate it, or it left the sender and the
+                    // receiver never reported it arriving (killed
+                    // mid-flight): either way the wire lost this copy.
+                    None => LinkObs {
+                        from: r.node,
+                        to: cs.to,
+                        ticks: 0,
+                        dropped: true,
+                    },
+                });
+            }
+        }
+    } else {
+        // Clean runs record no sender ledger: receiver-driven assembly,
+        // per-link samples in arrival order (= send order per FIFO
+        // stream). Retransmissions and healed deliveries are repair
+        // traffic, not calendar traffic.
+        let mut link_obs: Vec<(u64, LinkObs)> = Vec::new();
+        for r in reports {
+            if r.node == 0 {
+                continue;
+            }
+            for a in &r.arrivals {
+                if !a.retransmit && !a.healed {
+                    link_obs.push((
+                        a.recv_ns,
+                        LinkObs {
+                            from: a.from,
+                            to: r.node,
+                            ticks: trace.ns_to_ticks(a.recv_ns.saturating_sub(a.sent_ns)),
+                            dropped: false,
+                        },
+                    ));
+                }
+            }
+        }
+        link_obs.sort_by_key(|(recv_ns, _)| *recv_ns);
+        trace.links = link_obs.into_iter().map(|(_, l)| l).collect();
+    }
     trace
 }
 

@@ -138,6 +138,13 @@ pub enum Frame {
         /// JSON payload.
         payload: String,
     },
+    /// Orchestrator → node after a confirmed failure: a healed calendar
+    /// to splice in at a barrier slot, as a JSON-encoded
+    /// [`crate::schedule::ScheduleUpdate`].
+    ScheduleUpdate {
+        /// JSON payload.
+        payload: String,
+    },
 }
 
 const TAG_HELLO: u8 = 1;
@@ -150,6 +157,7 @@ const TAG_NACK: u8 = 7;
 const TAG_SUSPECT: u8 = 8;
 const TAG_COMPLETE: u8 = 9;
 const TAG_REPORT: u8 = 10;
+const TAG_SCHEDULE_UPDATE: u8 = 11;
 
 impl Frame {
     /// Encode the frame body (no length prefix).
@@ -211,6 +219,10 @@ impl Frame {
                 b.push(TAG_REPORT);
                 put_str(&mut b, payload);
             }
+            Frame::ScheduleUpdate { payload } => {
+                b.push(TAG_SCHEDULE_UPDATE);
+                put_str(&mut b, payload);
+            }
         }
         b
     }
@@ -262,6 +274,9 @@ impl Frame {
                 at_ns: cur.u64()?,
             },
             TAG_REPORT => Frame::Report {
+                payload: cur.string()?,
+            },
+            TAG_SCHEDULE_UPDATE => Frame::ScheduleUpdate {
                 payload: cur.string()?,
             },
             other => return Err(FrameError::Corrupt(format!("unknown frame tag {other}"))),
@@ -415,7 +430,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(200))]
 
         fn any_frame_roundtrips(
-            shape in 0usize..10,
+            shape in 0usize..11,
             a in 0u32..u32::MAX,
             b in 0u32..u32::MAX,
             x in 0u64..u64::MAX,
@@ -437,7 +452,8 @@ mod tests {
                 6 => Frame::Nack { from: a, packet: x },
                 7 => Frame::Suspect { watcher: a, subject: b, at_ns: x },
                 8 => Frame::Complete { node: a, at_ns: x },
-                _ => Frame::Report { payload: s(&text) },
+                9 => Frame::Report { payload: s(&text) },
+                _ => Frame::ScheduleUpdate { payload: s(&text) },
             };
             roundtrip(&frame);
         }

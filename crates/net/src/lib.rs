@@ -32,7 +32,9 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
+pub mod faultspec;
 pub mod frame;
 pub mod killspec;
 pub mod node;
@@ -40,10 +42,15 @@ pub mod schedule;
 pub mod trace;
 pub mod transport;
 
-pub use cluster::{run_cluster, ClusterOptions, ClusterOutcome, KillOutcome, Reaper};
+pub use chaos::{ChaosPolicy, SendPlan};
+pub use cluster::{run_cluster, ClusterOptions, ClusterOutcome, KillOutcome, Reaper, RepairEvent};
+pub use faultspec::{format_chaos_spec, parse_chaos_spec, ChaosKind, ChaosSpec, ChaosTarget};
 pub use frame::{read_frame, write_frame, Frame, FrameError, MAX_FRAME};
 pub use killspec::{format_kill_spec, parse_kill_spec, KillSpec};
 pub use node::{run_node, NodeOptions};
-pub use schedule::{lower_schedule, LoweredSchedule, NodeConfig, NodeReport, SchemeParams};
+pub use schedule::{
+    lower_schedule, lower_scheme, lower_scheme_healed, CalendarSendObs, LoweredSchedule,
+    NodeConfig, NodeReport, ScheduleUpdate, SchemeParams,
+};
 pub use trace::{compare_delivery_order, replay_in_des, ReplayComparison, RunTrace};
 pub use transport::{connect_retry, Conn, NetListener, Transport};

@@ -19,8 +19,11 @@
 //! upstream silence past the suspect timeout raises a `Suspect` frame to
 //! the orchestrator ([`clustream_recovery::WallClockDetector`]).
 
+use crate::chaos::{ChaosPolicy, SendPlan};
 use crate::frame::{read_frame, write_frame, Frame};
-use crate::schedule::{ArrivalObs, LoweredSend, NodeConfig, NodeReport};
+use crate::schedule::{
+    ArrivalObs, CalendarSendObs, LoweredSend, NodeConfig, NodeReport, ScheduleUpdate,
+};
 use crate::transport::{connect_retry, Conn, NetListener, Transport};
 use clustream_recovery::WallClockDetector;
 use std::collections::{BTreeMap, BTreeSet};
@@ -74,13 +77,23 @@ enum Inbox {
 }
 
 /// One outgoing data link: a bounded queue drained by a writer thread.
+/// Each queue entry carries the frame plus an injected chaos delay in
+/// microseconds — the writer sleeps before writing, so the delay applies
+/// to the frame *and* everything FIFO-behind it, which is exactly how a
+/// slow wire behaves.
 struct Link {
-    tx: mpsc::SyncSender<Frame>,
+    tx: mpsc::SyncSender<(Frame, u64)>,
     queued: Arc<AtomicU64>,
     dead: Arc<AtomicBool>,
 }
 
 const LINK_QUEUE: usize = 4096;
+/// How long a single frame write may stall on a non-reading peer before
+/// the writer treats the link as broken and tries to reconnect.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+/// How long the writer retries the re-dial after a send error before
+/// declaring the link dead for good.
+const REDIAL_WINDOW: Duration = Duration::from_millis(500);
 
 impl Link {
     /// Open a link: dial with retry, then spawn the writer.
@@ -90,10 +103,11 @@ impl Link {
         counters: Arc<Counters>,
         deadline: Instant,
     ) -> Result<Link, String> {
-        let (mut conn, failures) =
+        let (conn, failures) =
             connect_retry(transport, addr, deadline).map_err(|e| e.to_string())?;
+        let _ = conn.set_write_timeout(Some(WRITE_TIMEOUT));
         counters.reconnects.fetch_add(failures, Ordering::Relaxed);
-        let (tx, rx) = mpsc::sync_channel::<Frame>(LINK_QUEUE);
+        let (tx, rx) = mpsc::sync_channel::<(Frame, u64)>(LINK_QUEUE);
         let queued = Arc::new(AtomicU64::new(0));
         let dead = Arc::new(AtomicBool::new(false));
         let link = Link {
@@ -101,13 +115,36 @@ impl Link {
             queued: Arc::clone(&queued),
             dead: Arc::clone(&dead),
         };
+        let addr = addr.to_string();
         std::thread::spawn(move || {
-            while let Ok(frame) = rx.recv() {
+            let mut conn = conn;
+            while let Ok((frame, delay_us)) = rx.recv() {
                 queued.fetch_sub(1, Ordering::Relaxed);
                 if dead.load(Ordering::Relaxed) {
                     continue; // drain-and-discard after a write error
                 }
-                match write_frame(&mut conn, &frame) {
+                if delay_us > 0 {
+                    std::thread::sleep(Duration::from_micros(delay_us));
+                }
+                let wrote = write_frame(&mut conn, &frame);
+                let wrote = match wrote {
+                    Ok(n) => Ok(n),
+                    Err(_) => {
+                        // One bounded reconnect attempt: a transient peer
+                        // stall (gray node, TCP reset under load) should
+                        // cost one frame window, not the whole link.
+                        match connect_retry(transport, &addr, Instant::now() + REDIAL_WINDOW) {
+                            Ok((c, f)) => {
+                                let _ = c.set_write_timeout(Some(WRITE_TIMEOUT));
+                                counters.reconnects.fetch_add(f + 1, Ordering::Relaxed);
+                                conn = c;
+                                write_frame(&mut conn, &frame)
+                            }
+                            Err(e) => Err(e),
+                        }
+                    }
+                };
+                match wrote {
                     Ok(n) => {
                         counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                         counters.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
@@ -121,14 +158,14 @@ impl Link {
 
     /// Enqueue without ever blocking the slot loop: a full queue (a peer
     /// that stopped reading, i.e. a killed process) drops the frame.
-    fn enqueue(&self, counters: &Counters, frame: Frame) {
+    fn enqueue(&self, counters: &Counters, frame: Frame, delay_us: u64) {
         if self.dead.load(Ordering::Relaxed) {
             return;
         }
         // Count before sending: the writer decrements as it dequeues, so
         // incrementing after a send could underflow the counter.
         let q = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.tx.try_send(frame).is_ok() {
+        if self.tx.try_send((frame, delay_us)).is_ok() {
             counters
                 .send_queue_high_water
                 .fetch_max(q, Ordering::Relaxed);
@@ -186,6 +223,25 @@ struct Node {
     /// NACK chase state per missing packet: (attempts, next retry slot).
     nack_state: BTreeMap<u64, (u64, u64)>,
     detector: WallClockDetector,
+    /// Per-frame chaos decisions for this node's outbound traffic.
+    chaos: ChaosPolicy,
+    /// Reorder buffer: one held (frame, delay) per link, released behind
+    /// the next frame to that link or at the next slot boundary.
+    reorder_hold: BTreeMap<u32, (Frame, u64)>,
+    /// Retransmissions served in the current slot (budget accounting).
+    retransmits_this_slot: u64,
+    /// Last slot each (requester, packet) NACK was served — the dedup
+    /// window that keeps duplicated/reordered NACKs from amplifying.
+    served_nacks: BTreeMap<(u32, u64), u64>,
+    /// A schedule update waiting for its barrier slot, with its receive
+    /// timestamp (splice-lag accounting).
+    pending_update: Option<(ScheduleUpdate, u64)>,
+    /// Highest repair epoch applied (stale updates are ignored).
+    applied_epoch: u64,
+    /// Whether a healed calendar has been spliced in: subsequent
+    /// first-copy arrivals fill structural gaps and are excluded from
+    /// replay latency samples.
+    healed_mode: bool,
     report: NodeReport,
     complete: bool,
     slot: u64,
@@ -222,6 +278,7 @@ impl Node {
         if !cfg.source_addr.is_empty() {
             addrs.insert(0, cfg.source_addr.clone());
         }
+        let chaos = ChaosPolicy::new(cfg.chaos.clone(), cfg.chaos_seed, cfg.node, cfg.slot_micros);
         Node {
             cfg,
             transport,
@@ -236,6 +293,13 @@ impl Node {
             pending: BTreeMap::new(),
             nack_state: BTreeMap::new(),
             detector,
+            chaos,
+            reorder_hold: BTreeMap::new(),
+            retransmits_this_slot: 0,
+            served_nacks: BTreeMap::new(),
+            pending_update: None,
+            applied_epoch: 0,
+            healed_mode: false,
             report,
             complete: false,
             slot: 0,
@@ -262,6 +326,31 @@ impl Node {
     }
 
     fn send_packet(&mut self, to: u32, packet: u64, retransmit: bool) {
+        let plan = if self.chaos.is_active() {
+            self.chaos.plan(to, self.slot)
+        } else {
+            SendPlan::default()
+        };
+        // The replay ledger mirrors exactly the sends the DES will
+        // regenerate: pre-splice, non-retransmit calendar traffic.
+        if self.chaos.is_active() && !retransmit && !self.healed_mode {
+            self.report.calendar_sends.push(CalendarSendObs {
+                to,
+                packet,
+                dropped: plan.lost(),
+            });
+        }
+        if plan.lost() {
+            if plan.partitioned {
+                self.report.chaos_partition_drops += 1;
+            } else {
+                self.report.chaos_drops += 1;
+            }
+            return;
+        }
+        if plan.delay_us > 0 {
+            self.report.chaos_delays += 1;
+        }
         let frame = Frame::Packet {
             from: self.cfg.node,
             to,
@@ -270,9 +359,43 @@ impl Node {
             sent_ns: sys_ns(),
             retransmit,
         };
+        if plan.duplicate {
+            self.report.chaos_dups += 1;
+            self.dispatch(to, frame.clone(), plan.delay_us, false);
+        }
+        self.dispatch(to, frame, plan.delay_us, plan.reorder);
+    }
+
+    /// Put one frame on the link, honoring the reorder buffer: a frame
+    /// marked for reordering is held back and released behind the *next*
+    /// frame to the same link (or at the next slot boundary, whichever
+    /// comes first) — a one-deep swap, the way a multi-path wire
+    /// reorders adjacent packets.
+    fn dispatch(&mut self, to: u32, frame: Frame, delay_us: u64, reorder: bool) {
+        if reorder && !self.reorder_hold.contains_key(&to) {
+            self.report.chaos_reorders += 1;
+            self.reorder_hold.insert(to, (frame, delay_us));
+            return;
+        }
+        let held = self.reorder_hold.remove(&to);
         let counters = Arc::clone(&self.counters);
         if let Some(link) = self.link(to) {
-            link.enqueue(&counters, frame);
+            link.enqueue(&counters, frame, delay_us);
+            if let Some((hf, hd)) = held {
+                link.enqueue(&counters, hf, hd);
+            }
+        }
+    }
+
+    /// Release every held reorder frame (slot boundary flush).
+    fn flush_reorder_holds(&mut self) {
+        let held: Vec<(u32, (Frame, u64))> =
+            std::mem::take(&mut self.reorder_hold).into_iter().collect();
+        for (to, (frame, delay_us)) in held {
+            let counters = Arc::clone(&self.counters);
+            if let Some(link) = self.link(to) {
+                link.enqueue(&counters, frame, delay_us);
+            }
         }
     }
 
@@ -293,9 +416,23 @@ impl Node {
         Ok(())
     }
 
-    /// Execute the calendar + maintenance work of slot `t`.
-    fn execute_slot(&mut self, t: u64, control: &mut Conn) {
+    /// Execute the calendar + maintenance work of slot `t`. `lagging` is
+    /// true while the main loop is burning through a multi-slot catch-up
+    /// burst: inbound frames are then sitting unprocessed in the inbox,
+    /// so the detector's `last_heard` view is stale — polling it would
+    /// suspect healthy senders whenever *this* node falls behind its own
+    /// calendar (the false-positive the suspect gate exists to stop).
+    fn execute_slot(&mut self, t: u64, control: &mut Conn, lagging: bool) {
         self.slot = t;
+        self.retransmits_this_slot = 0;
+        self.flush_reorder_holds();
+        if let Some((upd, recv_ns)) = self.pending_update.take() {
+            if t >= upd.barrier_slot {
+                self.apply_update(upd, recv_ns, t);
+            } else {
+                self.pending_update = Some((upd, recv_ns));
+            }
+        }
         if let Some(sends) = self.by_slot.remove(&t) {
             for s in sends {
                 if self.holds(s.packet) {
@@ -307,9 +444,80 @@ impl Node {
             }
         }
         if self.cfg.node != 0 && !self.complete {
-            self.poll_detector(control);
+            if !lagging {
+                self.poll_detector(control);
+            }
             self.chase_gaps(t);
         }
+    }
+
+    /// A [`Frame::ScheduleUpdate`] arrived from the control plane: stash
+    /// it until its barrier slot. Epochs at or below the last applied
+    /// (or an already-pending newer one) are stale and dropped.
+    fn on_schedule_update(&mut self, payload: &str) {
+        let Ok(upd) = serde_json::from_str::<ScheduleUpdate>(payload) else {
+            return;
+        };
+        if upd.epoch <= self.applied_epoch {
+            return;
+        }
+        if let Some((p, _)) = &self.pending_update {
+            if upd.epoch <= p.epoch {
+                return;
+            }
+        }
+        self.pending_update = Some((upd, sys_ns()));
+    }
+
+    /// Splice a healed calendar in at slot `t` (≥ the barrier). The old
+    /// calendar keeps every slot before the splice base — those packets
+    /// are in flight or delivered — and the healed calendar, lowered
+    /// relative to slot 0, replays from the base. Re-sent duplicates are
+    /// ignored by receivers, so correctness only needs the healed
+    /// calendar to be complete, which the reference lowering guarantees.
+    fn apply_update(&mut self, upd: ScheduleUpdate, recv_ns: u64, t: u64) {
+        let base = upd.barrier_slot.max(t);
+        self.by_slot.split_off(&base);
+        for sends in self.pending.values_mut() {
+            sends.retain(|s| s.slot < base);
+        }
+        self.pending.retain(|_, v| !v.is_empty());
+        for p in &upd.peers {
+            self.addrs.entry(p.node).or_insert_with(|| p.addr.clone());
+        }
+        for s in &upd.sends {
+            let slot = base + s.slot;
+            self.by_slot.entry(slot).or_default().push(LoweredSend {
+                slot,
+                to: s.to,
+                packet: s.packet,
+            });
+        }
+        // Expectations rebuild wholesale: the healed forest re-derives
+        // who owes what, and stale pre-repair entries must not keep NACK
+        // or suspect pressure on routes that no longer exist.
+        self.expected.clear();
+        self.from_peer.clear();
+        for e in &upd.expects {
+            let slot = base + e.slot;
+            let entry = self.expected.entry(e.packet).or_insert((slot, e.from));
+            if slot < entry.0 {
+                *entry = (slot, e.from);
+            }
+            self.from_peer.entry(e.from).or_default().push(e.packet);
+        }
+        // Fresh silence windows for the (possibly new) upstream set; old
+        // upstreams owing nothing are filtered out by the poll closure.
+        let now = sys_ns();
+        let watched: Vec<u32> = self.from_peer.keys().copied().collect();
+        for subject in watched {
+            self.detector.watch(subject, now);
+        }
+        self.nack_state.clear();
+        self.applied_epoch = upd.epoch;
+        self.healed_mode = true;
+        self.report.schedule_updates_applied += 1;
+        self.report.splice_lag_us = sys_ns().saturating_sub(recv_ns) / 1_000;
     }
 
     /// Wall-clock silence scan; overdue-and-missing subjects only.
@@ -368,7 +576,7 @@ impl Node {
             let counters = Arc::clone(&self.counters);
             // NACKs go to the source: it provably holds everything.
             if let Some(link) = self.link(0) {
-                link.enqueue(&counters, frame);
+                link.enqueue(&counters, frame, 0);
             }
         }
     }
@@ -392,6 +600,13 @@ impl Node {
             return; // duplicate
         }
         if packet < self.cfg.track {
+            // After a splice, every first copy fills a structural gap
+            // the healed calendar repaired; the first one is the
+            // detection→repair→delivery wall-clock endpoint.
+            let healed = self.healed_mode && !retransmit;
+            if healed && self.report.first_healed_delivery_ns == 0 {
+                self.report.first_healed_delivery_ns = now;
+            }
             self.report.arrivals.push(ArrivalObs {
                 packet,
                 from,
@@ -399,6 +614,7 @@ impl Node {
                 sent_ns,
                 recv_ns: now,
                 retransmit,
+                healed,
             });
         }
         self.missing.remove(&packet);
@@ -423,12 +639,31 @@ impl Node {
         }
     }
 
-    /// Serve a retransmission request if we hold the packet.
+    /// Serve a retransmission request if we hold the packet — after the
+    /// storm filters: a (requester, packet) pair served within the last
+    /// `nack_retry_slots` is a duplicate (chaos dup/reorder of the NACK
+    /// stream, or an impatient retry), and a slot that has already spent
+    /// its retransmit budget defers the rest to the requester's next
+    /// retry. Both keep a noisy wire from amplifying into a storm.
     fn on_nack(&mut self, from: u32, packet: u64) {
-        if self.holds(packet) {
-            self.report.retransmits_served += 1;
-            self.send_packet(from, packet, true);
+        if !self.holds(packet) {
+            return;
         }
+        if let Some(&last) = self.served_nacks.get(&(from, packet)) {
+            if self.slot < last.saturating_add(self.cfg.nack_retry_slots) {
+                self.report.nacks_suppressed += 1;
+                return;
+            }
+        }
+        let budget = self.cfg.retransmit_budget_per_slot;
+        if budget > 0 && self.retransmits_this_slot >= budget {
+            self.report.nacks_suppressed += 1;
+            return;
+        }
+        self.retransmits_this_slot += 1;
+        self.served_nacks.insert((from, packet), self.slot);
+        self.report.retransmits_served += 1;
+        self.send_packet(from, packet, true);
     }
 
     /// Fold the shared transport counters into the report.
@@ -531,7 +766,7 @@ pub fn run_node(opts: &NodeOptions) -> Result<(), String> {
     let t0 = Instant::now();
     let slot_micros = node.cfg.slot_micros.max(1);
     let max_slots = node.cfg.max_slots;
-    node.execute_slot(0, &mut control);
+    node.execute_slot(0, &mut control, false);
     let mut slot: u64 = 0;
     let mut stopped = false;
     'main: loop {
@@ -544,13 +779,18 @@ pub fn run_node(opts: &NodeOptions) -> Result<(), String> {
             if slot >= max_slots {
                 break 'main;
             }
-            node.execute_slot(slot, &mut control);
+            // Still behind after advancing? Then this is a catch-up
+            // burst with unprocessed arrivals queued — suspend suspect
+            // polling so our own lag never reads as upstream silence.
+            let lagging = Instant::now() >= boundary(slot);
+            node.execute_slot(slot, &mut control, lagging);
         }
         let wait = boundary(slot).saturating_duration_since(Instant::now());
         match inbox_rx.recv_timeout(wait) {
             Ok(Inbox::Frame(frame)) => match frame {
                 Frame::Packet { .. } => node.on_packet(&frame, &mut control),
                 Frame::Nack { from, packet } => node.on_nack(from, packet),
+                Frame::ScheduleUpdate { payload } => node.on_schedule_update(&payload),
                 Frame::Stop => {
                     stopped = true;
                     break 'main;
@@ -583,4 +823,143 @@ pub fn run_node(opts: &NodeOptions) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LoweredRecv;
+
+    fn test_cfg(node: u32) -> NodeConfig {
+        NodeConfig {
+            node,
+            n: 4,
+            track: 4,
+            max_slots: 100,
+            slot_micros: 10,
+            suspect_timeout_slots: 1,
+            gap_slack_slots: 0,
+            nack_retry_slots: 4,
+            nack_max_attempts: 10,
+            sends: vec![],
+            expects: vec![
+                LoweredRecv {
+                    slot: 0,
+                    from: 2,
+                    packet: 0,
+                },
+                LoweredRecv {
+                    slot: 0,
+                    from: 2,
+                    packet: 1,
+                },
+            ],
+            peers: vec![],
+            source_addr: String::new(),
+            chaos: vec![],
+            chaos_seed: 0,
+            retransmit_budget_per_slot: 64,
+        }
+    }
+
+    fn test_node(cfg: NodeConfig) -> (Node, Conn) {
+        let counters = Arc::new(Counters::default());
+        let node = Node::new(cfg, Transport::Uds, counters);
+        let (a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        // Leak the far end so suspect writes don't fail with EPIPE.
+        std::mem::forget(b);
+        (node, Conn::Uds(a))
+    }
+
+    /// The satellite-fix regression: a node burning through a catch-up
+    /// burst (its own calendar lag) must not read queued-but-unprocessed
+    /// arrivals as upstream silence and raise false suspects. Suspect
+    /// polling is gated on `lagging`; the same overdue state fires the
+    /// moment the node catches up.
+    #[test]
+    fn lagging_nodes_do_not_raise_false_suspects() {
+        let (mut node, mut control) = test_node(test_cfg(1));
+        // Upstream 2 armed at wall-clock 0: silent for far longer than
+        // the 10µs timeout, and it owes overdue packets.
+        node.detector.watch(2, 0);
+        node.execute_slot(5, &mut control, true);
+        assert_eq!(
+            node.report.suspects_reported, 0,
+            "a lagging node must not suspect its senders"
+        );
+        node.execute_slot(6, &mut control, false);
+        assert_eq!(
+            node.report.suspects_reported, 1,
+            "the same silence fires once the node has caught up"
+        );
+    }
+
+    /// Duplicate NACKs inside the retry window are deduplicated; the
+    /// per-slot retransmit budget defers the overflow. Both count into
+    /// `nacks_suppressed` instead of amplifying.
+    #[test]
+    fn nack_dedup_and_budget_suppress_storms() {
+        let mut cfg = test_cfg(0); // the source holds everything
+        cfg.retransmit_budget_per_slot = 2;
+        let (mut node, mut control) = test_node(cfg);
+        node.execute_slot(1, &mut control, false);
+        // Same (requester, packet) three times in one slot: served once.
+        node.on_nack(3, 0);
+        node.on_nack(3, 0);
+        node.on_nack(3, 0);
+        assert_eq!(node.report.retransmits_served, 1);
+        assert_eq!(node.report.nacks_suppressed, 2);
+        // Distinct requests past the budget of 2 are deferred.
+        node.on_nack(3, 1);
+        node.on_nack(3, 2);
+        assert_eq!(node.report.retransmits_served, 2);
+        assert_eq!(node.report.nacks_suppressed, 3);
+        // The dedup window releases after nack_retry_slots.
+        node.execute_slot(5, &mut control, false);
+        node.on_nack(3, 0);
+        assert_eq!(node.report.retransmits_served, 3);
+    }
+
+    /// A spliced calendar replaces everything at or past the barrier and
+    /// rebuilds the expectation maps from the healed forest.
+    #[test]
+    fn schedule_update_splices_at_the_barrier() {
+        let (mut node, mut control) = test_node(test_cfg(1));
+        let upd = ScheduleUpdate {
+            epoch: 1,
+            barrier_slot: 10,
+            sends: vec![crate::schedule::LoweredSend {
+                slot: 0,
+                to: 3,
+                packet: 2,
+            }],
+            expects: vec![LoweredRecv {
+                slot: 1,
+                from: 4,
+                packet: 0,
+            }],
+            peers: vec![],
+        };
+        node.on_schedule_update(&serde_json::to_string(&upd).unwrap());
+        node.execute_slot(5, &mut control, false);
+        assert_eq!(
+            node.report.schedule_updates_applied, 0,
+            "the barrier is still ahead"
+        );
+        node.execute_slot(10, &mut control, false);
+        assert_eq!(node.report.schedule_updates_applied, 1);
+        assert!(node.healed_mode);
+        assert_eq!(node.expected.get(&0), Some(&(11, 4)), "rebased expects");
+        assert!(node.from_peer.contains_key(&4));
+        assert!(!node.from_peer.contains_key(&2), "old upstream dropped");
+        // The rebased send at the barrier slot ran immediately; the
+        // packet is not held, so it sits deferred awaiting arrival.
+        assert!(
+            node.pending.contains_key(&2),
+            "healed send rebased and deferred"
+        );
+        // A stale epoch is ignored outright.
+        node.on_schedule_update(&serde_json::to_string(&upd).unwrap());
+        assert!(node.pending_update.is_none());
+    }
 }

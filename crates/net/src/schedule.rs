@@ -11,10 +11,10 @@
 //! regenerates this identical calendar.
 
 use clustream_baselines::{ChainScheme, SingleTreeScheme};
-use clustream_core::Scheme;
+use clustream_core::{NodeId, Scheme};
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{greedy_forest, MultiTreeScheme, StreamMode};
-use clustream_sim::{SimConfig, Simulator};
+use clustream_sim::{FaultPlan, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -97,14 +97,54 @@ pub struct LoweredSchedule {
 /// simulator with tracing enabled and splitting the trace per node.
 pub fn lower_schedule(params: &SchemeParams, track: u64) -> Result<LoweredSchedule, String> {
     let mut scheme = params.build()?;
+    lower_scheme(scheme.as_mut(), track)
+}
+
+/// Lower an already-built scheme — the live-repair path re-lowers the
+/// *healed* forest (a [`clustream_recovery::SelfHealingMultiTree`] after
+/// a membership event), which no [`SchemeParams`] names.
+pub fn lower_scheme(scheme: &mut dyn Scheme, track: u64) -> Result<LoweredSchedule, String> {
     let cfg = SimConfig::until_complete(track, 100_000).traced();
-    let run = Simulator::run(scheme.as_mut(), &cfg).map_err(|e| e.to_string())?;
-    let trace = run.trace.expect("tracing was enabled");
+    let run = Simulator::run(scheme, &cfg).map_err(|e| e.to_string())?;
+    Ok(split_trace(&run, track))
+}
+
+/// Lower an already-built scheme around a set of `dead` nodes. The
+/// healed forest no longer contains them, so the reference simulator
+/// must treat them as crashed from slot 0 (lossy playback analysis)
+/// instead of failing hard on their missing deliveries. Faulty runs
+/// never "complete", so the caller bounds the horizon with `max_slots`
+/// (the cluster's own horizon is a natural choice).
+pub fn lower_scheme_healed(
+    scheme: &mut dyn Scheme,
+    track: u64,
+    dead: &[u32],
+    max_slots: u64,
+) -> Result<LoweredSchedule, String> {
+    let plan = FaultPlan {
+        loss_rate: 0.0,
+        seed: 0,
+        crashes: Vec::new(),
+        stop_crashes: dead.iter().map(|&d| (NodeId(d), 0)).collect(),
+    };
+    let cfg = SimConfig::with_faults(track, max_slots, plan).traced();
+    let run = Simulator::run(scheme, &cfg).map_err(|e| e.to_string())?;
+    Ok(split_trace(&run, track))
+}
+
+/// Split a traced reference run into per-node calendars. Untracked
+/// packets are skipped: a fixed-horizon (faulty) run may stream past
+/// the tracked window, and nodes only account for packets `0..track`.
+fn split_trace(run: &clustream_sim::RunResult, track: u64) -> LoweredSchedule {
+    let trace = run.trace.as_ref().expect("tracing was enabled");
     let mut lowered = LoweredSchedule {
         slots_run: run.slots_run,
         ..LoweredSchedule::default()
     };
     for ev in &trace.events {
+        if ev.packet >= track {
+            continue;
+        }
         lowered.sends.entry(ev.from).or_default().push(LoweredSend {
             slot: ev.slot,
             to: ev.to,
@@ -116,7 +156,7 @@ pub fn lower_schedule(params: &SchemeParams, track: u64) -> Result<LoweredSchedu
             packet: ev.packet,
         });
     }
-    Ok(lowered)
+    lowered
 }
 
 /// An address book entry: where to dial node `node`.
@@ -162,6 +202,40 @@ pub struct NodeConfig {
     pub peers: Vec<PeerAddr>,
     /// The source's dial address (NACK target); empty for the source.
     pub source_addr: String,
+    /// The run's chaos schedule (every node gets the full list; each
+    /// node's [`crate::chaos::ChaosPolicy`] applies only the entries
+    /// matching its own outbound frames).
+    pub chaos: Vec<crate::faultspec::ChaosSpec>,
+    /// Seed for the deterministic per-frame chaos decisions.
+    pub chaos_seed: u64,
+    /// Retransmissions the source serves per slot before deferring the
+    /// rest (NACK-storm rate limit). Zero means unlimited.
+    pub retransmit_budget_per_slot: u64,
+}
+
+/// A healed calendar for one node, shipped as the JSON payload of a
+/// [`crate::frame::Frame::ScheduleUpdate`] frame after the orchestrator
+/// confirms a failure and re-lowers the repaired forest. The node
+/// splices it in at `barrier_slot`: calendar entries at or after the
+/// barrier come from this update; entries before it stay from the old
+/// calendar (their packets are already in flight or delivered).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleUpdate {
+    /// Repair generation, monotonically increasing; a node ignores
+    /// updates at or below the last epoch it applied.
+    pub epoch: u64,
+    /// First slot the new calendar governs. Chosen past every node's
+    /// current slot (estimated + margin) so all survivors splice at the
+    /// same calendar position.
+    pub barrier_slot: u64,
+    /// The node's full healed outgoing calendar, slots relative to the
+    /// barrier.
+    pub sends: Vec<LoweredSend>,
+    /// The node's full healed expected arrivals, slots relative to the
+    /// barrier.
+    pub expects: Vec<LoweredRecv>,
+    /// Dial addresses for peers the healed calendar introduces.
+    pub peers: Vec<PeerAddr>,
 }
 
 /// One observed arrival at a node, wall-clock timestamped on both ends.
@@ -179,6 +253,28 @@ pub struct ArrivalObs {
     pub recv_ns: u64,
     /// Whether this copy was a NACK-triggered retransmission.
     pub retransmit: bool,
+    /// Whether this copy arrived via a spliced (healed) calendar — a
+    /// first-copy delivery of a packet that was missing when the node
+    /// applied a [`ScheduleUpdate`]. Healed arrivals are structural
+    /// repair traffic, excluded from replay link-latency samples the
+    /// same way retransmissions are.
+    pub healed: bool,
+}
+
+/// One calendar send a chaos-run sender logged: what the chaos layer
+/// did to it. Only pre-splice, non-retransmit calendar sends are logged
+/// — exactly the sends the DES replay will regenerate — so the replay
+/// table keeps per-link FIFO alignment between recorded drops and
+/// observed deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CalendarSendObs {
+    /// Receiving node.
+    pub to: u32,
+    /// Packet sequence number.
+    pub packet: u64,
+    /// Whether the chaos layer ate this copy (injected loss or a
+    /// partition blackout).
+    pub dropped: bool,
 }
 
 /// Final statistics one node reports back to the orchestrator, as the
@@ -213,6 +309,30 @@ pub struct NodeReport {
     pub deferred_sends: u64,
     /// Suspect frames this node raised.
     pub suspects_reported: u64,
+    /// Pre-splice calendar sends in send order (chaos runs only; empty
+    /// otherwise), the sender-side half of the replay drop ledger.
+    pub calendar_sends: Vec<CalendarSendObs>,
+    /// Frames the chaos layer dropped (injected loss).
+    pub chaos_drops: u64,
+    /// Frames the chaos layer duplicated.
+    pub chaos_dups: u64,
+    /// Frames the chaos layer held behind their successor.
+    pub chaos_reorders: u64,
+    /// Frames the chaos layer delayed (fixed/jittered delay or gray
+    /// slowdown).
+    pub chaos_delays: u64,
+    /// Frames dropped by a partition blackout.
+    pub chaos_partition_drops: u64,
+    /// NACKs suppressed by dedup or the per-slot retransmit budget.
+    pub nacks_suppressed: u64,
+    /// Schedule updates this node spliced in.
+    pub schedule_updates_applied: u64,
+    /// Wall-clock from receiving the last update to splicing it at the
+    /// barrier, microseconds.
+    pub splice_lag_us: u64,
+    /// Wall clock of the first post-splice arrival that filled a missing
+    /// packet, UNIX nanoseconds (0 if none).
+    pub first_healed_delivery_ns: u64,
 }
 
 #[cfg(test)]
@@ -294,9 +414,38 @@ mod tests {
                 addr: "127.0.0.1:9999".into(),
             }],
             source_addr: "127.0.0.1:9998".into(),
+            chaos: crate::faultspec::parse_chaos_spec("drop:3@10+40=0.05,partition:2/5@20+30")
+                .unwrap(),
+            chaos_seed: 0xC0FFEE,
+            retransmit_budget_per_slot: 32,
         };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: NodeConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn schedule_update_roundtrips_through_json() {
+        let upd = ScheduleUpdate {
+            epoch: 2,
+            barrier_slot: 40,
+            sends: vec![LoweredSend {
+                slot: 0,
+                to: 5,
+                packet: 7,
+            }],
+            expects: vec![LoweredRecv {
+                slot: 1,
+                from: 2,
+                packet: 7,
+            }],
+            peers: vec![PeerAddr {
+                node: 5,
+                addr: "127.0.0.1:9997".into(),
+            }],
+        };
+        let json = serde_json::to_string(&upd).unwrap();
+        let back: ScheduleUpdate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, upd);
     }
 }

@@ -15,6 +15,7 @@
 //! same usable slot — count as concordant, since the networked run's
 //! sub-slot ordering of a same-slot batch is arbitrary).
 
+use crate::faultspec::ChaosSpec;
 use crate::schedule::SchemeParams;
 use clustream_core::{NodeId, PacketId};
 use clustream_des::{DesConfig, DesEngine, RecordedLatencies, TICKS_PER_SLOT};
@@ -29,7 +30,12 @@ pub struct LinkObs {
     /// Receiving node.
     pub to: u32,
     /// Observed wire+queue time, in ticks ([`TICKS_PER_SLOT`] per slot).
+    /// Meaningless (zero) when `dropped`.
     pub ticks: u64,
+    /// The sender put this copy on the calendar but chaos ate it (an
+    /// injected drop or a partition blackout): the replay must lose the
+    /// copy at the same position in the link's FIFO, not deliver it.
+    pub dropped: bool,
 }
 
 /// One kill as the orchestrator executed it.
@@ -66,6 +72,10 @@ pub struct RunTrace {
     pub links: Vec<LinkObs>,
     /// Kills as executed.
     pub kills: Vec<KillObs>,
+    /// The chaos schedule the run was injected with (empty = clean run).
+    pub chaos: Vec<ChaosSpec>,
+    /// Seed the [`crate::ChaosPolicy`] drew its decisions from.
+    pub chaos_seed: u64,
     /// Per-survivor delivery orders.
     pub deliveries: Vec<NodeDeliveries>,
 }
@@ -85,7 +95,11 @@ impl RunTrace {
     pub fn recorded_latencies(&self) -> RecordedLatencies {
         let mut rec = RecordedLatencies::new();
         for l in &self.links {
-            rec.push(l.from, l.to, l.ticks);
+            if l.dropped {
+                rec.push_drop(l.from, l.to);
+            } else {
+                rec.push(l.from, l.to, l.ticks);
+            }
         }
         rec
     }
@@ -226,14 +240,18 @@ mod tests {
                     from: 0,
                     to: 1,
                     ticks: 900,
+                    dropped: false,
                 },
                 LinkObs {
                     from: 0,
                     to: 1,
                     ticks: 1_100,
+                    dropped: false,
                 },
             ],
             kills: Vec::new(),
+            chaos: Vec::new(),
+            chaos_seed: 0,
             deliveries: vec![NodeDeliveries {
                 node: 1,
                 packets: vec![0, 1, 2, 3],
@@ -243,9 +261,29 @@ mod tests {
 
     #[test]
     fn trace_json_roundtrips() {
-        let t = small_trace();
+        let mut t = small_trace();
+        t.chaos = crate::faultspec::parse_chaos_spec("drop:1@0+32=0.1").unwrap();
+        t.chaos_seed = 7;
+        t.links[0].dropped = true;
         let back = RunTrace::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn dropped_links_replay_as_in_flight_losses() {
+        let mut t = small_trace();
+        // First copy on 0→1 is eaten by chaos; the replay must count an
+        // in-flight loss rather than delivering it.
+        t.links[0].dropped = true;
+        t.links[0].ticks = 0;
+        t.chaos = crate::faultspec::parse_chaos_spec("drop:1@0=0.5").unwrap();
+        let rec = t.recorded_latencies();
+        assert_eq!(rec.drop_count(), 1);
+        let result = replay_in_des(&t).unwrap();
+        let loss = result
+            .loss
+            .expect("recorded drops must enable loss accounting");
+        assert!(loss.lost_in_flight >= 1, "{loss:?}");
     }
 
     #[test]

@@ -73,6 +73,16 @@ impl Conn {
         }
     }
 
+    /// Set (or clear) the write timeout — a gray peer that stops reading
+    /// must surface as a send error the writer can react to, not a
+    /// permanently parked writer thread.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(t),
+            Conn::Uds(s) => s.set_write_timeout(t),
+        }
+    }
+
     /// Disable Nagle batching on TCP (slot deadlines are milliseconds;
     /// 40ms delayed-ACK stalls would swamp them). No-op on UDS.
     pub fn tune(&self) {
@@ -158,16 +168,29 @@ impl NetListener {
     }
 }
 
+/// Backoff floor for [`connect_retry`], microseconds.
+const BACKOFF_START_US: u64 = 2_000;
+/// Backoff ceiling for [`connect_retry`], microseconds.
+const BACKOFF_CAP_US: u64 = 50_000;
+
 /// Dial `addr`, retrying until `deadline` — peers start concurrently, so
-/// a listener may not exist yet when its first client dials. Returns the
-/// connection and the number of failed attempts (the reconnect counter
-/// feeding `net.reconnects`).
+/// a listener may not exist yet when its first client dials. Retries
+/// back off exponentially (2ms doubling to a 50ms cap) with seeded
+/// jitter derived from the address, so a whole cluster restarting does
+/// not dial in lockstep yet any single node's retry schedule is
+/// deterministic. Returns the connection and the number of failed
+/// attempts (the reconnect counter feeding `net.reconnects`).
 pub fn connect_retry(
     transport: Transport,
     addr: &str,
     deadline: Instant,
 ) -> io::Result<(Conn, u64)> {
     let mut failures = 0u64;
+    // FNV-1a over the address: a stable per-destination jitter seed.
+    let mut jitter_state = addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut backoff_us = BACKOFF_START_US;
     loop {
         let attempt = match transport {
             Transport::Tcp => TcpStream::connect(addr).map(Conn::Tcp),
@@ -186,7 +209,13 @@ pub fn connect_retry(
                         format!("connect to {addr} failed after {failures} attempts: {e}"),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(3));
+                // xorshift64 step; jitter in [0, backoff/2).
+                jitter_state ^= jitter_state << 13;
+                jitter_state ^= jitter_state >> 7;
+                jitter_state ^= jitter_state << 17;
+                let jitter_us = jitter_state % (backoff_us / 2).max(1);
+                std::thread::sleep(Duration::from_micros(backoff_us + jitter_us));
+                backoff_us = (backoff_us * 2).min(BACKOFF_CAP_US);
             }
         }
     }

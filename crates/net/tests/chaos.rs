@@ -1,0 +1,260 @@
+//! Chaos-transport and live-repair end-to-end tests: real
+//! `clustream-node` processes with injected loss, duplication,
+//! reordering, delay and partitions, plus orchestrator-driven
+//! structural repair.
+//!
+//! Like `tests/cluster.rs`, these assert *protocol* properties —
+//! complete delivery under chaos, replay concordance, repair lifecycle
+//! — never latency numbers: CI containers are shared and slow.
+
+use clustream_net::{
+    compare_delivery_order, parse_chaos_spec, parse_kill_spec, replay_in_des, run_cluster,
+    ClusterOptions, NodeReport, Transport,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn node_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_clustream-node"))
+}
+
+fn base_options(nodes: u64, track: u64) -> ClusterOptions {
+    let mut opts = ClusterOptions::new(nodes, node_bin());
+    opts.track = track;
+    opts.slot_micros = 3_000;
+    opts
+}
+
+fn total<F: Fn(&NodeReport) -> u64>(reports: &[NodeReport], f: F) -> u64 {
+    reports.iter().map(f).sum()
+}
+
+/// Per-link first-copy calendar arrival sequences, the deterministic
+/// part of a run (FIFO streams + a fixed calendar): `(from, to)` →
+/// packets in receive order, repair traffic excluded.
+fn link_sequences(reports: &[NodeReport]) -> BTreeMap<(u32, u32), Vec<u64>> {
+    let mut seqs: BTreeMap<(u32, u32), Vec<u64>> = BTreeMap::new();
+    for r in reports {
+        let mut arr: Vec<_> = r
+            .arrivals
+            .iter()
+            .filter(|a| !a.retransmit && !a.healed)
+            .collect();
+        arr.sort_by_key(|a| a.recv_ns);
+        for a in arr {
+            seqs.entry((a.from, r.node)).or_default().push(a.packet);
+        }
+    }
+    seqs
+}
+
+#[test]
+fn chaos_loss_heals_to_complete_delivery_and_concordant_replay() {
+    let mut opts = base_options(8, 16);
+    opts.transport = Transport::Uds;
+    // ~10% loss on the source and two interior senders; the NACK path
+    // must fill every gap, and the replay oracle must still close.
+    opts.chaos = parse_chaos_spec("drop:0@0=0.1,drop:1@0=0.1,drop:2@0=0.1").expect("chaos spec");
+    opts.chaos_seed = 0xC1A05;
+    opts.repair = true;
+    let outcome = run_cluster(&opts).expect("cluster run");
+
+    assert_eq!(
+        outcome.completed, outcome.expected_complete,
+        "chaos loss left gaps: {outcome:?}"
+    );
+    // Every survivor's missing set is empty: the full tracked window
+    // arrived everywhere.
+    for d in &outcome.trace.deliveries {
+        let mut got: Vec<u64> = d.packets.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(
+            got,
+            (0..opts.track).collect::<Vec<_>>(),
+            "node {} is missing tracked packets",
+            d.node
+        );
+    }
+    let drops = total(&outcome.reports, |r| r.chaos_drops);
+    assert!(drops > 0, "the seeded 10% loss never fired");
+    // The sender ledgers recorded the drops, and they surface in the
+    // trace as dropped link observations for the replay to lose.
+    assert!(
+        outcome.trace.links.iter().any(|l| l.dropped),
+        "no dropped link obs despite {drops} injected drops"
+    );
+    assert_eq!(outcome.trace.chaos, opts.chaos);
+    assert_eq!(outcome.trace.chaos_seed, opts.chaos_seed);
+
+    // Replay concordance holds under recorded loss.
+    let replay = replay_in_des(&outcome.trace).expect("DES replay");
+    let cmp = compare_delivery_order(&outcome.trace, &replay);
+    assert!(
+        cmp.min >= 0.85,
+        "concordance under chaos loss too low: {cmp:?}"
+    );
+}
+
+#[test]
+fn dup_and_reorder_storms_do_not_freeze_the_calendar() {
+    let mut opts = base_options(8, 16);
+    opts.transport = Transport::Uds;
+    // Half of all frames from the source and an interior node are
+    // duplicated, and half are held behind their successor. The slot
+    // calendar must keep advancing and every receiver must still end
+    // with exactly one usable copy of each tracked packet.
+    opts.chaos = parse_chaos_spec("dup:0@0=0.5,reorder:0@0=0.5,dup:2@0=0.5,reorder:2@0=0.5")
+        .expect("chaos spec");
+    opts.chaos_seed = 7;
+    let outcome = run_cluster(&opts).expect("cluster run");
+
+    assert_eq!(
+        outcome.completed, outcome.expected_complete,
+        "the storm froze the calendar: {outcome:?}"
+    );
+    assert!(
+        total(&outcome.reports, |r| r.chaos_dups) > 0,
+        "duplication never fired"
+    );
+    assert!(
+        total(&outcome.reports, |r| r.chaos_reorders) > 0,
+        "reordering never fired"
+    );
+    // Duplicates are absorbed on receive: deliveries stay exact.
+    for d in &outcome.trace.deliveries {
+        assert_eq!(
+            d.packets.len() as u64,
+            opts.track,
+            "node {} delivered {} copies of {} tracked packets",
+            d.node,
+            d.packets.len(),
+            opts.track
+        );
+    }
+}
+
+#[test]
+fn transient_partition_heals_and_every_survivor_completes() {
+    let mut opts = base_options(8, 16);
+    opts.transport = Transport::Uds;
+    // Two bidirectional blackouts opening a few slots in, closing well
+    // before the horizon: the NACK path must refill whatever the
+    // blackout ate once the links come back.
+    opts.chaos = parse_chaos_spec("partition:0/3@2+8,partition:1/5@2+8").expect("chaos spec");
+    opts.chaos_seed = 11;
+    let outcome = run_cluster(&opts).expect("cluster run");
+
+    assert_eq!(
+        outcome.completed, outcome.expected_complete,
+        "survivors did not all complete after the partition healed: {outcome:?}"
+    );
+    for d in &outcome.trace.deliveries {
+        let mut got: Vec<u64> = d.packets.clone();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len() as u64, opts.track, "node {} has gaps", d.node);
+    }
+}
+
+#[test]
+fn killed_node_is_healed_structurally_by_schedule_updates() {
+    let mut opts = base_options(8, 16);
+    opts.transport = Transport::Tcp;
+    opts.kills = parse_kill_spec("3@2").expect("kill spec");
+    opts.suspect_timeout_slots = 4;
+    opts.repair = true;
+    let outcome = run_cluster(&opts).expect("cluster run");
+
+    assert_eq!(
+        outcome.completed, outcome.expected_complete,
+        "survivors did not all complete: {outcome:?}"
+    );
+    assert_eq!(outcome.repairs.len(), 1, "one confirmed kill, one repair");
+    let rp = &outcome.repairs[0];
+    assert_eq!(rp.subject, 3);
+    assert!(rp.survivors_updated > 0, "no survivor got an update");
+    assert!(rp.dispatch_ms() >= 0.0);
+    assert!(
+        total(&outcome.reports, |r| r.schedule_updates_applied) > 0,
+        "no node spliced the healed calendar: {outcome:?}"
+    );
+    // The kill is still detected and wall-clocked the classic way too.
+    assert!(outcome.kills[0].detection_ns.is_some());
+}
+
+#[test]
+fn zero_rate_chaos_is_indistinguishable_from_a_clean_run() {
+    // A chaos policy with every rate at zero must be a structural no-op:
+    // same per-link calendar arrival sequences, same (complete) delivery
+    // sets, zero injected-fault counters.
+    let mut clean = base_options(6, 12);
+    clean.transport = Transport::Uds;
+    // Loose NACK trigger so slow-CI lateness never reroutes a packet
+    // through the repair path in one run but not the other.
+    clean.gap_slack_slots = 8;
+    let clean_out = run_cluster(&clean).expect("clean run");
+
+    let mut zero = base_options(6, 12);
+    zero.transport = Transport::Uds;
+    zero.gap_slack_slots = 8;
+    zero.chaos = parse_chaos_spec("drop:1@0=0.0,dup:2@0=0.0,reorder:3@0=0.0").expect("chaos spec");
+    zero.chaos_seed = 99;
+    let zero_out = run_cluster(&zero).expect("zero-rate run");
+
+    for out in [&clean_out, &zero_out] {
+        assert_eq!(out.completed, out.expected_complete, "{out:?}");
+    }
+    for counter in [
+        total(&zero_out.reports, |r| r.chaos_drops),
+        total(&zero_out.reports, |r| r.chaos_dups),
+        total(&zero_out.reports, |r| r.chaos_reorders),
+        total(&zero_out.reports, |r| r.chaos_delays),
+        total(&zero_out.reports, |r| r.chaos_partition_drops),
+    ] {
+        assert_eq!(counter, 0, "a zero-rate spec injected a fault");
+    }
+    assert!(
+        zero_out.trace.links.iter().all(|l| !l.dropped),
+        "zero-rate chaos recorded a drop: {:?}",
+        zero_out
+            .trace
+            .links
+            .iter()
+            .filter(|l| l.dropped)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        link_sequences(&clean_out.reports),
+        link_sequences(&zero_out.reports),
+        "zero-rate chaos changed a per-link delivery sequence"
+    );
+}
+
+#[test]
+fn delay_below_the_suspect_timeout_never_triggers_repair() {
+    let mut opts = base_options(8, 16);
+    opts.transport = Transport::Uds;
+    // Every source frame is late by 2 slots — well inside the 8-slot
+    // silence horizon. The debounced detector must stay quiet and the
+    // repair path must never fire.
+    opts.chaos = parse_chaos_spec("delay:0@0=2").expect("chaos spec");
+    opts.chaos_seed = 3;
+    opts.suspect_timeout_slots = 8;
+    opts.repair = true;
+    let outcome = run_cluster(&opts).expect("cluster run");
+
+    assert_eq!(
+        outcome.completed, outcome.expected_complete,
+        "delayed frames broke delivery: {outcome:?}"
+    );
+    assert!(
+        total(&outcome.reports, |r| r.chaos_delays) > 0,
+        "the injected delay never fired"
+    );
+    assert!(
+        outcome.repairs.is_empty(),
+        "delay below the timeout caused a false-positive repair: {:?}",
+        outcome.repairs
+    );
+}

@@ -108,6 +108,22 @@ pub mod names {
     pub const NET_SEND_QUEUE_HIGH_WATER: &str = "net.send_queue_high_water";
     /// Histogram: observed per-delivery link latency, microseconds.
     pub const NET_LINK_LATENCY_US: &str = "net.link_latency_us";
+    /// Counter: frames eaten by injected chaos loss.
+    pub const NET_CHAOS_DROPS: &str = "net.chaos.drops";
+    /// Counter: frames duplicated by injected chaos.
+    pub const NET_CHAOS_DUPS: &str = "net.chaos.dups";
+    /// Counter: frames held behind their successor by injected chaos.
+    pub const NET_CHAOS_REORDERS: &str = "net.chaos.reorders";
+    /// Counter: frames delayed by injected chaos (fixed/jitter/gray).
+    pub const NET_CHAOS_DELAYS: &str = "net.chaos.delays";
+    /// Counter: frames eaten by an injected partition blackout.
+    pub const NET_CHAOS_PARTITION_DROPS: &str = "net.chaos.partition_drops";
+    /// Counter: NACKs suppressed by dedup or the retransmit budget.
+    pub const NET_NACKS_SUPPRESSED: &str = "net.nacks_suppressed";
+    /// Counter: healed schedule updates spliced in by nodes.
+    pub const NET_REPAIR_SCHEDULE_UPDATES: &str = "net.repair.schedule_updates";
+    /// Histogram: update-receipt to barrier-splice lag, microseconds.
+    pub const NET_REPAIR_SPLICE_LAG_US: &str = "net.repair.splice_lag_us";
 
     // ---------------------------------------------------- parallel sweep
     /// Span: one full sweep call.

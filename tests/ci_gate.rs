@@ -68,6 +68,12 @@ fn script_parses_and_defines_both_tiers() {
         "cluster --nodes 32 --transport tcp",
         "--kill 5@2",
         "replay --trace \"$trace\" --min-concordance 0.85",
+        // The chaos-transport stages: seeded loss plus a gray node in
+        // every tier, and the partition-and-heal run with live
+        // in-network repair in the merge gate.
+        "--chaos drop:0@0=0.05,gray:2@0=1",
+        "--chaos partition:0/1@2+4,partition:0/2@4+4",
+        "--repair true",
     ] {
         assert!(text.contains(needle), "ci.sh lost `{needle}`");
     }
@@ -93,25 +99,32 @@ fn corpus_replay_runs_in_the_quick_tier() {
 
 #[test]
 fn cluster_smokes_sit_on_the_right_tiers() {
-    // The cheap 8-node loopback cluster smoke belongs to the edit loop
-    // (before the full-tier gate); the 32-node kill-injection
-    // acceptance run is merge-gate-only (after it).
+    // The cheap 8-node loopback cluster smokes — clean and chaos —
+    // belong to the edit loop (before the full-tier gate); the 32-node
+    // kill-injection and partition-and-heal acceptance runs are
+    // merge-gate-only (after it).
     let text = std::fs::read_to_string(ci_script()).unwrap();
     let quick = text
         .find("stage \"cluster smoke (8 nodes, uds + replay oracle)\"")
         .expect("ci.sh lost the quick cluster smoke stage");
+    let chaos = text
+        .find("stage \"cluster chaos smoke (8 nodes, uds + loss/gray + replay oracle)\"")
+        .expect("ci.sh lost the quick chaos smoke stage");
     let kill = text
         .find("stage \"cluster kill-injection smoke (32 nodes, tcp + replay oracle)\"")
         .expect("ci.sh lost the kill-injection cluster stage");
+    let heal = text
+        .find("stage \"cluster partition-and-heal smoke (32 nodes, tcp + live repair)\"")
+        .expect("ci.sh lost the partition-and-heal cluster stage");
     let full_gate = text
         .find("[ \"$TIER\" = full ]")
         .expect("ci.sh lost the full-tier gate");
     assert!(
-        quick < full_gate,
-        "the loopback cluster smoke must run in the quick tier"
+        quick < full_gate && chaos < full_gate,
+        "the loopback cluster smokes must run in the quick tier"
     );
     assert!(
-        kill > full_gate,
-        "the kill-injection cluster smoke is merge-gate-only"
+        kill > full_gate && heal > full_gate,
+        "the 32-node cluster smokes are merge-gate-only"
     );
 }

@@ -82,10 +82,12 @@ proptest! {
 
 /// The recorded-latency replay path (the networked cluster's DES
 /// oracle) is equally inert under instrumentation: a replay under a
-/// recorded table — with and without fail-stop crashes — is
-/// bit-identical with the recorder on and off. This pins the networked
-/// config plumbing (`DesConfig::recorded`) into the zero-cost-off
-/// contract alongside the parametric models.
+/// recorded table — with recorded in-flight drops (chaos transport),
+/// and with and without fail-stop crashes — is bit-identical with the
+/// recorder on and off. This pins the networked config plumbing
+/// (`DesConfig::recorded`, including the lossy drop entries a chaos
+/// run records) into the zero-cost-off contract alongside the
+/// parametric models.
 #[test]
 fn recorder_never_perturbs_a_recorded_replay() {
     use clustream::des::RecordedLatencies;
@@ -94,9 +96,16 @@ fn recorder_never_perturbs_a_recorded_replay() {
     let mut recorded = RecordedLatencies::new();
     for p in 0..24u64 {
         recorded.push(0, 1, 900 + (p % 7) * 40);
-        recorded.push(1, 2, 1_100 + (p % 5) * 30);
+        // Every fifth copy on the interior link was eaten by chaos: the
+        // replay loses it in flight at the same FIFO position.
+        if p % 5 == 4 {
+            recorded.push_drop(1, 2);
+        } else {
+            recorded.push(1, 2, 1_100 + (p % 5) * 30);
+        }
         recorded.push(2, 3, 1_000 + (p % 3) * 55);
     }
+    assert!(recorded.drop_count() > 0);
     let plans = [
         None,
         Some(FaultPlan {
@@ -125,6 +134,13 @@ fn recorder_never_perturbs_a_recorded_replay() {
         let instrumented = run(&sim.clone().with_telemetry(tel));
         let diffs = diff_fields(&bare, &instrumented);
         assert!(diffs.is_empty(), "replay perturbed: {diffs:?}");
+        // The recorded drops actually fired — the equivalence covers the
+        // lossy replay path, not just the clean one.
+        assert!(
+            bare.loss.as_ref().is_some_and(|l| l.lost_in_flight > 0),
+            "no recorded drop was replayed: {:?}",
+            bare.loss
+        );
         assert!(
             recorder.snapshot().counter(tm::DES_EVENTS) > 0,
             "recorder attached but observed nothing"
