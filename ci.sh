@@ -9,22 +9,32 @@
 #                 replay + timing-wheel smoke + loopback cluster smoke
 #                 + chaos-transport smoke (5% loss + a gray node), both
 #                 closed by the DES replay oracle (the edit loop)
+#   ci.sh scale   quick + the N=10^5 mega-engine smoke (fast ≡ mega ≡
+#                 sharded through the real CLI) + the scaling bench gate
+#                 (bench_check --suite scale: exact fields on every
+#                 committed scaling row, mega ≥ 2x fast at N=10^5)
 #   ci.sh full    quick + doc lint + differential oracles + CLI smoke
 #                 matrix + exhaustive invariant lattice + coverage-guided
 #                 explore smoke + 32-node kill-injection cluster smoke +
 #                 32-node partition-and-heal chaos run with live repair +
-#                 bench regression check (the merge gate; default when no
-#                 tier is given)
+#                 mega scale smoke + bench regression check (the merge
+#                 gate; default when no tier is given)
 #
-# Per-stage wall-clock timings are printed at the end of the run.
+# Per-stage wall-clock timings are printed at the end of the run and
+# written to target/ci-timings.json. Every stage must finish inside
+# STAGE_BUDGET_SECS; override with CI_STAGE_BUDGET_SECS (0 disables).
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Per-stage wall-clock budget, seconds. Generous on purpose: it exists
+# to catch hangs and pathological slowdowns, not routine jitter.
+STAGE_BUDGET_SECS="${CI_STAGE_BUDGET_SECS:-900}"
+
 TIER="${1:-full}"
 case "$TIER" in
-quick | full) ;;
+quick | full | scale) ;;
 *)
-    echo "ci.sh: unknown tier \`$TIER\` (valid tiers: quick, full)" >&2
+    echo "ci.sh: unknown tier \`$TIER\` (valid tiers: quick, full, scale)" >&2
     exit 2
     ;;
 esac
@@ -34,15 +44,21 @@ export CARGO_NET_OFFLINE=true
 STAGE_NAMES=()
 STAGE_SECS=()
 
-# stage <name> <command...>: run one gate stage and record its wall time.
+# stage <name> <command...>: run one gate stage, record its wall time,
+# and fail the run when it blows the per-stage budget.
 stage() {
     local name="$1"
     shift
     echo "== $name =="
     local t0=$SECONDS
     "$@"
+    local secs=$((SECONDS - t0))
     STAGE_NAMES+=("$name")
-    STAGE_SECS+=($((SECONDS - t0)))
+    STAGE_SECS+=("$secs")
+    if [ "$STAGE_BUDGET_SECS" -gt 0 ] && [ "$secs" -gt "$STAGE_BUDGET_SECS" ]; then
+        echo "ci.sh: stage \`$name\` exceeded its ${STAGE_BUDGET_SECS}s budget (took ${secs}s)" >&2
+        exit 1
+    fi
 }
 
 des_smoke() {
@@ -188,6 +204,24 @@ cluster_chaos_heal_smoke() {
         replay --trace "$trace" --min-concordance 0.85
 }
 
+mega_scale_smoke() {
+    # The scale-oriented mega engine at N=10^5 through the real CLI:
+    # the sequential and 4-shard mega runs must reproduce the fast
+    # engine's report line for line (engine label aside).
+    local base=target/ci-scale
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 100000 --d 3 --track 64 \
+        --engine fast >"$base-fast.txt"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 100000 --d 3 --track 64 \
+        --engine mega >"$base-mega.txt"
+    cargo run -q --release --offline -p clustream-cli --bin clustream -- \
+        simulate --scheme multitree --n 100000 --d 3 --track 64 \
+        --engine mega --shards 4 >"$base-mega-sharded.txt"
+    diff <(grep -v engine "$base-fast.txt") <(grep -v engine "$base-mega.txt")
+    diff <(grep -v engine "$base-mega.txt") <(grep -v engine "$base-mega-sharded.txt")
+}
+
 cluster_kill_smoke() {
     # The full acceptance run: 32 node processes over TCP loopback with
     # a SIGKILL injected mid-stream. Every survivor must still complete
@@ -211,6 +245,18 @@ stage "timing-wheel smoke (wheel queue)" wheel_smoke
 stage "cluster smoke (8 nodes, uds + replay oracle)" cluster_smoke
 stage "cluster chaos smoke (8 nodes, uds + loss/gray + replay oracle)" cluster_chaos_smoke
 
+if [ "$TIER" = scale ] || [ "$TIER" = full ]; then
+    stage "mega scale smoke (N=1e5, fast = mega = sharded)" mega_scale_smoke
+fi
+
+if [ "$TIER" = scale ]; then
+    # Same widened tolerance as the full-tier bench gate; the 2x
+    # mega-over-fast floor inside the suite is hard (not scaled).
+    stage "bench scale gate (bench_check --suite scale)" \
+        cargo run -q --release --offline -p clustream-bench --bin bench_check -- \
+        --tolerance 0.5 --suite scale
+fi
+
 if [ "$TIER" = full ]; then
     stage "doc (-D warnings)" \
         env RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
@@ -231,9 +277,31 @@ if [ "$TIER" = full ]; then
         cargo run -q --release --offline -p clustream-bench --bin bench_check -- --tolerance 0.5
 fi
 
+# Machine-readable stage timings for trend tracking across runs.
+mkdir -p target
+{
+    printf '{\n  "tier": "%s",\n  "stage_budget_secs": %s,\n  "stages": [\n' \
+        "$TIER" "$STAGE_BUDGET_SECS"
+    for i in "${!STAGE_NAMES[@]}"; do
+        sep=","
+        [ "$i" -eq $((${#STAGE_NAMES[@]} - 1)) ] && sep=""
+        printf '    {"name": "%s", "secs": %s}%s\n' \
+            "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}" "$sep"
+    done
+    printf '  ]\n}\n'
+} >target/ci-timings.json
+
 echo
-echo "stage timings ($TIER tier):"
+echo "stage timings ($TIER tier, budget ${STAGE_BUDGET_SECS}s/stage):"
 for i in "${!STAGE_NAMES[@]}"; do
     printf '  %-48s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+done
+echo "artifacts:"
+for f in target/ci-timings.json target/ci-metrics.jsonl \
+    target/ci-cluster-trace.json target/ci-cluster-chaos-trace.json \
+    target/ci-cluster-kill-trace.json target/ci-cluster-chaos-heal-trace.json \
+    target/ci-scale-fast.txt target/ci-scale-mega.txt target/ci-scale-mega-sharded.txt; do
+    [ -f "$f" ] || continue
+    printf '  %-48s %8d bytes\n' "$f" "$(wc -c <"$f")"
 done
 echo "CI gate passed ($TIER tier)."

@@ -1,6 +1,8 @@
 //! The chain baseline: `S → 1 → 2 → … → N`.
 
-use clustream_core::{NodeId, PacketId, Scheme, Slot, StateView, Transmission, SOURCE};
+use clustream_core::{
+    NodeId, PacketId, SchedulePeriod, Scheme, Slot, StateView, Transmission, SOURCE,
+};
 
 /// Receivers chained in a list; each node forwards the packet it received
 /// in the previous slot. Buffer stays `O(1)`, every node talks to ≤ 2
@@ -34,6 +36,15 @@ impl Scheme for ChainScheme {
 
     fn availability(&self) -> clustream_core::Availability {
         clustream_core::Availability::Live
+    }
+
+    fn schedule_period(&self) -> Option<SchedulePeriod> {
+        // From slot `n − 1` on, every link `i → i + 1` fires each slot and
+        // packet ids advance by one per slot.
+        Some(SchedulePeriod {
+            warmup: self.n as u64,
+            period: 1,
+        })
     }
 
     fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {

@@ -17,14 +17,21 @@
 //! jitter sweep is validated from the baseline alone (its zero-jitter row
 //! must be slot-faithful) rather than re-run. In debug builds the
 //! throughput floors are skipped — the baselines are release numbers.
+//!
+//! `--suite engine|des|recovery|scale|all` selects which suites run;
+//! the default is the engine+des+recovery trio. The `scale` suite
+//! re-runs the scaling rows of `BENCH_engine.json`: exact fields on
+//! every row, plus — on the gated rows — a hard `MIN_MEGA_SPEEDUP`
+//! floor on the mega engine's measured speedup over the fast engine.
 
 use clustream_bench::suites::{
     des_queues, des_workloads, engine_workloads, recovery_tiers, recovery_trace_for,
-    run_recovery_tier, DesReport, EngineReport, RecoveryReport, RECOVERY_RATES,
+    run_recovery_tier, scale_workloads, DesReport, EngineReport, RecoveryReport, MIN_MEGA_SPEEDUP,
+    RECOVERY_RATES,
 };
-use clustream_bench::timing::bench;
+use clustream_bench::timing::{bench, bench_prepared};
 use clustream_des::{DesConfig, DesEngine};
-use clustream_sim::{diff_fields, FastEngine, SimConfig, Simulator};
+use clustream_sim::{diff_fields, FastEngine, MegaEngine, SimConfig, Simulator};
 use std::process::ExitCode;
 
 /// Timing samples per workload for the reduced re-run tier.
@@ -193,6 +200,66 @@ fn check_des(c: &mut Checker, baseline: &DesReport) {
     }
 }
 
+fn check_scale(c: &mut Checker, baseline: &EngineReport) {
+    for w in scale_workloads() {
+        let ctx = format!("scale/{}", w.name);
+        let Some(base) = baseline.scaling.iter().find(|r| r.workload == w.name) else {
+            c.fail(format!(
+                "{ctx}: no baseline scaling row in BENCH_engine.json"
+            ));
+            continue;
+        };
+        let cfg = SimConfig::until_complete(w.track, 1_000_000);
+        let mega = MegaEngine::new().run((w.make)().as_mut(), &cfg).unwrap();
+        c.exact(&ctx, "slots_run", base.slots_run, mega.slots_run);
+        c.exact(
+            &ctx,
+            "transmissions",
+            base.transmissions,
+            mega.total_transmissions,
+        );
+        if !w.gate {
+            continue;
+        }
+        // Gated rows additionally cross-check against the fast engine
+        // and — in timing builds — hold the mega engine to its speedup
+        // floor, engine-only (scheme construction untimed).
+        let fast = FastEngine::new().run((w.make)().as_mut(), &cfg).unwrap();
+        let diffs = diff_fields(&fast, &mega);
+        if !diffs.is_empty() {
+            c.fail(format!("{ctx}: fast and mega diverge on {diffs:?}"));
+        }
+        if c.timing {
+            let m_fast = bench_prepared(
+                &format!("{}_fast", w.name),
+                REDUCED_SAMPLES,
+                || (w.make)(),
+                |mut s| FastEngine::new().run(s.as_mut(), &cfg).unwrap().slots_run,
+            );
+            let m_mega = bench_prepared(
+                &format!("{}_mega", w.name),
+                REDUCED_SAMPLES,
+                || (w.make)(),
+                |mut s| MegaEngine::new().run(s.as_mut(), &cfg).unwrap().slots_run,
+            );
+            let speedup = m_fast.min().as_secs_f64() / m_mega.min().as_secs_f64();
+            c.checks += 1;
+            if speedup < MIN_MEGA_SPEEDUP {
+                c.failures.push(format!(
+                    "{ctx}: mega_speedup floor missed: required {MIN_MEGA_SPEEDUP:.2}x, \
+                     measured {speedup:.2}x"
+                ));
+            }
+            c.floor(
+                &ctx,
+                "mega_slots_per_sec",
+                base.mega_slots_per_sec,
+                mega.slots_run as f64 / m_mega.min().as_secs_f64(),
+            );
+        }
+    }
+}
+
 fn check_recovery(c: &mut Checker, baseline: &RecoveryReport) {
     for &rate in &RECOVERY_RATES {
         let trace = recovery_trace_for(rate);
@@ -287,6 +354,7 @@ fn check_recovery(c: &mut Checker, baseline: &RecoveryReport) {
 
 fn main() -> ExitCode {
     let mut tolerance = 0.25_f64;
+    let mut suite = "default".to_string();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -297,12 +365,32 @@ fn main() -> ExitCode {
                 };
                 tolerance = v;
             }
+            "--suite" => {
+                let Some(v) = argv.next() else {
+                    eprintln!("--suite needs a value: engine, des, recovery, scale or all");
+                    return ExitCode::from(2);
+                };
+                if !["engine", "des", "recovery", "scale", "all"].contains(&v.as_str()) {
+                    eprintln!(
+                        "unknown suite `{v}`; valid suites: engine, des, recovery, scale, all"
+                    );
+                    return ExitCode::from(2);
+                }
+                suite = v;
+            }
             other => {
-                eprintln!("unknown argument `{other}`; usage: bench_check [--tolerance FRAC]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: bench_check [--tolerance FRAC] \
+                     [--suite engine|des|recovery|scale|all]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
+    // The default set is the pre-scaling trio, so the full CI tier's
+    // bench stage cost is unchanged; `scale` runs only when asked for.
+    let on =
+        |name: &str| suite == name || suite == "all" || (suite == "default" && name != "scale");
 
     let timing = !cfg!(debug_assertions);
     if !timing {
@@ -316,17 +404,30 @@ fn main() -> ExitCode {
         failures: Vec::new(),
     };
 
-    match load::<EngineReport>("BENCH_engine.json") {
-        Ok(baseline) => check_engine(&mut c, &baseline),
-        Err(e) => c.fail(e),
+    if on("engine") || on("scale") {
+        match load::<EngineReport>("BENCH_engine.json") {
+            Ok(baseline) => {
+                if on("engine") {
+                    check_engine(&mut c, &baseline);
+                }
+                if on("scale") {
+                    check_scale(&mut c, &baseline);
+                }
+            }
+            Err(e) => c.fail(e),
+        }
     }
-    match load::<DesReport>("BENCH_des.json") {
-        Ok(baseline) => check_des(&mut c, &baseline),
-        Err(e) => c.fail(e),
+    if on("des") {
+        match load::<DesReport>("BENCH_des.json") {
+            Ok(baseline) => check_des(&mut c, &baseline),
+            Err(e) => c.fail(e),
+        }
     }
-    match load::<RecoveryReport>("BENCH_recovery.json") {
-        Ok(baseline) => check_recovery(&mut c, &baseline),
-        Err(e) => c.fail(e),
+    if on("recovery") {
+        match load::<RecoveryReport>("BENCH_recovery.json") {
+            Ok(baseline) => check_recovery(&mut c, &baseline),
+            Err(e) => c.fail(e),
+        }
     }
 
     if c.failures.is_empty() {

@@ -7,9 +7,11 @@
 //! `BENCH_engine.json` in the current directory.
 
 use clustream_bench::render_table;
-use clustream_bench::suites::{engine_workloads, EngineReport, EngineRow};
-use clustream_bench::timing::bench;
-use clustream_sim::{diff_fields, FastEngine, SimConfig, Simulator};
+use clustream_bench::suites::{
+    engine_workloads, scale_workloads, EngineReport, EngineRow, ScaleRow,
+};
+use clustream_bench::timing::{bench, bench_prepared, peak_rss_bytes};
+use clustream_sim::{diff_fields, FastEngine, MegaEngine, SimConfig, Simulator};
 
 fn main() {
     let build = if cfg!(debug_assertions) {
@@ -81,11 +83,93 @@ fn main() {
     );
     println!("minimum speedup across workloads: {min_speedup:.2}x");
 
+    // Scaling section: fast vs mega at growing populations. Scheme
+    // construction dominates wall time at these sizes, so each sample
+    // builds its scheme untimed and only the engine run is measured.
+    let mut scaling = Vec::new();
+    for w in scale_workloads() {
+        let cfg = SimConfig::until_complete(w.track, 1_000_000);
+
+        // Correctness first — every row, including the generate-only
+        // ones: fast and mega must agree bit for bit.
+        let fast = FastEngine::new().run((w.make)().as_mut(), &cfg).unwrap();
+        let mega = MegaEngine::new().run((w.make)().as_mut(), &cfg).unwrap();
+        let diffs = diff_fields(&fast, &mega);
+        assert!(diffs.is_empty(), "{}: engines diverge on {diffs:?}", w.name);
+
+        let m_fast = bench_prepared(
+            &format!("{}_fast", w.name),
+            w.samples,
+            || (w.make)(),
+            |mut s| FastEngine::new().run(s.as_mut(), &cfg).unwrap().slots_run,
+        );
+        let m_mega = bench_prepared(
+            &format!("{}_mega", w.name),
+            w.samples,
+            || (w.make)(),
+            |mut s| MegaEngine::new().run(s.as_mut(), &cfg).unwrap().slots_run,
+        );
+
+        let fast_s = m_fast.min().as_secs_f64();
+        let mega_s = m_mega.min().as_secs_f64();
+        scaling.push(ScaleRow {
+            workload: w.name.to_string(),
+            n: w.n,
+            slots_run: fast.slots_run,
+            transmissions: fast.total_transmissions,
+            samples: w.samples,
+            fast_min_ns: m_fast.min().as_nanos() as u64,
+            mega_min_ns: m_mega.min().as_nanos() as u64,
+            fast_slots_per_sec: fast.slots_run as f64 / fast_s,
+            mega_slots_per_sec: fast.slots_run as f64 / mega_s,
+            mega_speedup: fast_s / mega_s,
+            peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+            gate: w.gate,
+        });
+    }
+
+    let min_mega_speedup = scaling
+        .iter()
+        .filter(|r| r.gate)
+        .map(|r| r.mega_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "scale workload",
+                "n",
+                "slots",
+                "fast slots/s",
+                "mega slots/s",
+                "speedup",
+                "peak RSS"
+            ],
+            &scaling
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.workload.clone(),
+                        r.n.to_string(),
+                        r.slots_run.to_string(),
+                        format!("{:.0}", r.fast_slots_per_sec),
+                        format!("{:.0}", r.mega_slots_per_sec),
+                        format!("{:.2}x", r.mega_speedup),
+                        format!("{:.0} MiB", r.peak_rss_bytes as f64 / (1 << 20) as f64),
+                    ]
+                })
+                .collect::<Vec<_>>()
+        )
+    );
+    println!("minimum gated mega speedup: {min_mega_speedup:.2}x");
+
     let report = EngineReport {
         build: build.to_string(),
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows,
         min_speedup,
+        scaling,
+        min_mega_speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write("BENCH_engine.json", json + "\n").expect("write BENCH_engine.json");

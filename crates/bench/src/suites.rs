@@ -91,6 +91,76 @@ pub fn engine_workloads() -> Vec<Workload> {
     ]
 }
 
+/// One workload of the scaling suite: the fast and mega engines on
+/// large multi-tree populations.
+pub struct ScaleWorkload {
+    /// Stable identifier, the join key against committed baseline rows.
+    pub name: &'static str,
+    /// Population size (receivers).
+    pub n: usize,
+    /// Tracked-packet window.
+    pub track: u64,
+    /// Timing samples for the full bench run.
+    pub samples: usize,
+    /// Whether `bench_check --suite scale` re-times this row and holds
+    /// it to [`MIN_MEGA_SPEEDUP`]. The largest rows are generate-time
+    /// only — their exact fields are still checked, mega-only.
+    pub gate: bool,
+    /// Fresh-scheme factory.
+    pub make: Box<dyn Fn() -> Box<dyn Scheme>>,
+}
+
+/// Floor on the mega engine's speedup over the fast engine across the
+/// gated scaling rows. Enforced by `bench_check --suite scale` exactly
+/// like the wheel-vs-heap floor, timing-tier only.
+pub const MIN_MEGA_SPEEDUP: f64 = 2.0;
+
+/// The scaling suite (the `scaling` section of `BENCH_engine.json`).
+/// Ordered by increasing `n` so the peak-RSS high-water readings stay
+/// per-row meaningful.
+pub fn scale_workloads() -> Vec<ScaleWorkload> {
+    fn multitree(n: usize) -> Box<dyn Scheme> {
+        Box::new(MultiTreeScheme::new(
+            greedy_forest(n, 3).unwrap(),
+            StreamMode::PreRecorded,
+        ))
+    }
+    vec![
+        ScaleWorkload {
+            name: "scale_multitree_n1000_d3_track256",
+            n: 1_000,
+            track: 256,
+            samples: 5,
+            gate: false,
+            make: Box::new(|| multitree(1_000)),
+        },
+        ScaleWorkload {
+            name: "scale_multitree_n10000_d3_track256",
+            n: 10_000,
+            track: 256,
+            samples: 4,
+            gate: false,
+            make: Box::new(|| multitree(10_000)),
+        },
+        ScaleWorkload {
+            name: "scale_multitree_n100000_d3_track256",
+            n: 100_000,
+            track: 256,
+            samples: 3,
+            gate: true,
+            make: Box::new(|| multitree(100_000)),
+        },
+        ScaleWorkload {
+            name: "scale_multitree_n1000000_d3_track256",
+            n: 1_000_000,
+            track: 256,
+            samples: 2,
+            gate: false,
+            make: Box::new(|| multitree(1_000_000)),
+        },
+    ]
+}
+
 /// The DES-throughput suite (`BENCH_des.json`).
 pub fn des_workloads() -> Vec<Workload> {
     vec![
@@ -136,6 +206,28 @@ pub struct EngineRow {
     pub speedup: f64,
 }
 
+/// One scaling-suite workload: the fast and mega engines timed
+/// engine-only (scheme construction excluded from the timed region).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleRow {
+    pub workload: String,
+    pub n: usize,
+    pub slots_run: u64,
+    pub transmissions: u64,
+    pub samples: usize,
+    pub fast_min_ns: u64,
+    pub mega_min_ns: u64,
+    pub fast_slots_per_sec: f64,
+    pub mega_slots_per_sec: f64,
+    pub mega_speedup: f64,
+    /// Process peak RSS after this row, bytes (a high-water mark — rows
+    /// run in increasing `n` order). 0 when unavailable.
+    pub peak_rss_bytes: u64,
+    /// Whether `bench_check` re-times this row against
+    /// [`MIN_MEGA_SPEEDUP`].
+    pub gate: bool,
+}
+
 /// `BENCH_engine.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineReport {
@@ -143,6 +235,10 @@ pub struct EngineReport {
     pub threads: usize,
     pub rows: Vec<EngineRow>,
     pub min_speedup: f64,
+    /// The scaling suite (fast vs mega at growing `n`).
+    pub scaling: Vec<ScaleRow>,
+    /// Smallest `mega_speedup` across the gated scaling rows.
+    pub min_mega_speedup: f64,
 }
 
 /// The event queues the DES suite times on every workload. `bench_check`
@@ -321,6 +417,19 @@ mod tests {
             names.dedup();
             assert_eq!(names.len(), suite.len(), "duplicate workload name");
         }
+        let scale = scale_workloads();
+        let mut names: Vec<&str> = scale.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scale.len(), "duplicate scale workload name");
+    }
+
+    #[test]
+    fn scale_suite_runs_in_increasing_n_order_and_gates_n100k() {
+        let scale = scale_workloads();
+        assert!(scale.windows(2).all(|w| w[0].n < w[1].n));
+        assert!(scale.iter().any(|w| w.n == 100_000 && w.gate));
+        assert!(scale.iter().any(|w| w.n == 1_000_000 && !w.gate));
     }
 
     #[test]
@@ -340,12 +449,30 @@ mod tests {
                 speedup: 4.0,
             }],
             min_speedup: 4.0,
+            scaling: vec![ScaleRow {
+                workload: "s".into(),
+                n: 1000,
+                slots_run: 300,
+                transmissions: 3000,
+                samples: 2,
+                fast_min_ns: 50,
+                mega_min_ns: 20,
+                fast_slots_per_sec: 6e6,
+                mega_slots_per_sec: 15e6,
+                mega_speedup: 2.5,
+                peak_rss_bytes: 1 << 20,
+                gate: true,
+            }],
+            min_mega_speedup: 2.5,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: EngineReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rows[0].slots_run, 10);
         assert_eq!(back.rows[0].workload, "w");
         assert!((back.min_speedup - 4.0).abs() < 1e-12);
+        assert_eq!(back.scaling[0].n, 1000);
+        assert!(back.scaling[0].gate);
+        assert!((back.min_mega_speedup - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -56,6 +56,49 @@ pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Measure
     m
 }
 
+/// Like [`bench()`], but each iteration first runs `setup` *untimed* and
+/// only `run` is measured. Used when per-iteration state construction
+/// (e.g. building a fresh scheme) would otherwise dominate the timed
+/// region.
+pub fn bench_prepared<S, R>(
+    name: &str,
+    samples: usize,
+    mut setup: impl FnMut() -> S,
+    mut run: impl FnMut(S) -> R,
+) -> Measurement {
+    std::hint::black_box(run(setup()));
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let state = setup();
+        let start = Instant::now();
+        std::hint::black_box(run(state));
+        times.push(start.elapsed());
+    }
+    let m = Measurement {
+        name: name.to_string(),
+        times,
+    };
+    println!(
+        "{:<44} min {:>12?}   mean {:>12?}   ({} samples)",
+        m.name,
+        m.min(),
+        m.mean(),
+        m.times.len()
+    );
+    m
+}
+
+/// Process-wide peak resident set size (`VmHWM` from
+/// `/proc/self/status`), in bytes. `None` off Linux or when the file is
+/// unreadable. A high-water mark: run workloads in increasing size
+/// order for per-workload readings to be meaningful.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +108,21 @@ mod tests {
         let m = bench("noop", 3, || 1 + 1);
         assert_eq!(m.times.len(), 3);
         assert!(m.min() <= m.mean() || m.times.len() == 1);
+    }
+
+    #[test]
+    fn bench_prepared_times_only_the_run_closure() {
+        let mut setups = 0u32;
+        let m = bench_prepared("prepared", 2, || setups += 1, |_| 7u32);
+        assert_eq!(m.times.len(), 2);
+        // Warmup + two samples each call setup once.
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap_or(0) > 0);
+        }
     }
 }

@@ -86,7 +86,7 @@ pub fn check(argv: &[String]) -> Result<String, CliError> {
         let report = exhaustive(&opts);
         let _ = writeln!(
             out,
-            "exhaustive  : {} genomes × 4 engines = {} runs ({} out-of-domain points skipped)",
+            "exhaustive  : {} genomes × 5 engines = {} runs ({} out-of-domain points skipped)",
             report.genomes, report.runs, report.skipped
         );
         let recovery = exhaustive_recovery(&opts);

@@ -12,7 +12,7 @@ use clustream_multitree::{
 };
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
 use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
-use clustream_sim::{DiffHarness, FastSimulator, RunResult, SimConfig, Simulator};
+use clustream_sim::{DiffHarness, FastSimulator, MegaSimulator, RunResult, SimConfig, Simulator};
 use clustream_telemetry::{from_jsonl, names as tm, to_jsonl, Histogram, MemoryRecorder};
 use clustream_workloads::{ChurnTrace, ChurnTraceConfig};
 use std::fmt::Write as _;
@@ -35,7 +35,11 @@ enum EngineChoice {
     Reference,
     /// The allocation-light fast engine (bit-identical results).
     Fast,
-    /// Both engines, with a field-by-field equality check.
+    /// The scale-oriented mega engine: columnar state, steady-state
+    /// schedule lowering and optional in-run sharding (`--shards`).
+    Mega,
+    /// Reference, fast and mega together, with a field-by-field
+    /// equality check.
     Checked,
 }
 
@@ -43,9 +47,10 @@ fn parse_engine(args: &ArgMap) -> Result<EngineChoice, CliError> {
     match args.optional("engine").unwrap_or("fast") {
         "reference" => Ok(EngineChoice::Reference),
         "fast" => Ok(EngineChoice::Fast),
+        "mega" => Ok(EngineChoice::Mega),
         "checked" => Ok(EngineChoice::Checked),
         other => Err(CliError::Usage(format!(
-            "unknown --engine `{other}`; valid options are: reference, fast, checked"
+            "unknown --engine `{other}`; valid options are: reference, fast, mega, checked"
         ))),
     }
 }
@@ -228,6 +233,15 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     let track = args.usize_or("track", 48)? as u64;
     let runtime = parse_runtime(args)?;
     let engine = parse_engine(args)?;
+    let shards = args.usize_or("shards", 1)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".into()));
+    }
+    if args.optional("shards").is_some() && engine != EngineChoice::Mega {
+        return Err(CliError::Usage(
+            "--shards partitions the mega engine's node range; it needs --engine mega".into(),
+        ));
+    }
     let latency = parse_latency(args)?;
     let uplink = parse_uplink(args)?;
     let queue = parse_queue(args)?;
@@ -284,6 +298,14 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                     "fast".to_string(),
                     FastSimulator::run(build_scheme(args)?.as_mut(), &cfg)?,
                 ),
+                EngineChoice::Mega => (
+                    if shards > 1 {
+                        format!("mega ({shards} shards)")
+                    } else {
+                        "mega".to_string()
+                    },
+                    MegaSimulator::run_sharded(build_scheme(args)?.as_mut(), &cfg, shards)?,
+                ),
                 EngineChoice::Checked => {
                     let r = match DiffHarness::check(
                         || build_scheme(args).expect("validated above"),
@@ -295,15 +317,15 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
                                 "differential check failed: {divergence}"
                             )))
                         }
-                        // Both engines rejected the run identically: surface the
+                        // All engines rejected the run identically: surface the
                         // actual model error.
                         Err(None) => {
                             let err = Simulator::run(build_scheme(args)?.as_mut(), &cfg)
-                                .expect_err("both engines failed");
+                                .expect_err("all engines failed");
                             return Err(err.into());
                         }
                     };
-                    ("checked (reference ≡ fast)".to_string(), r)
+                    ("checked (reference ≡ fast ≡ mega)".to_string(), r)
                 }
             }
         }
@@ -777,7 +799,8 @@ mod tests {
         for (flag, label) in [
             ("fast", "engine      : fast"),
             ("reference", "engine      : reference"),
-            ("checked", "engine      : checked (reference ≡ fast)"),
+            ("mega", "engine      : mega"),
+            ("checked", "engine      : checked (reference ≡ fast ≡ mega)"),
         ] {
             let out = run(&argv(&[
                 "simulate",
@@ -791,8 +814,8 @@ mod tests {
             .unwrap();
             assert!(out.contains(label), "{flag}: {out}");
         }
-        // All three engines agree on the QoS numbers.
-        let runs: Vec<String> = ["fast", "reference", "checked"]
+        // All four engine flags agree on the QoS numbers.
+        let runs: Vec<String> = ["fast", "reference", "mega", "checked"]
             .iter()
             .map(|f| {
                 let out = run(&argv(&[
@@ -813,6 +836,7 @@ mod tests {
             .collect();
         assert_eq!(runs[0], runs[1]);
         assert_eq!(runs[0], runs[2]);
+        assert_eq!(runs[0], runs[3]);
         // Unknown engine is a usage error.
         assert!(run(&argv(&[
             "simulate", "--scheme", "chain", "--n", "5", "--engine", "warp"
@@ -828,9 +852,71 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("unknown --engine `warp`"), "{err}");
-        for opt in ["reference", "fast", "checked"] {
+        for opt in ["reference", "fast", "mega", "checked"] {
             assert!(err.contains(opt), "missing `{opt}` in: {err}");
         }
+    }
+
+    #[test]
+    fn shards_flag_needs_mega_and_keeps_results_identical() {
+        // --shards without --engine mega is a usage error.
+        let err = run(&argv(&[
+            "simulate", "--scheme", "chain", "--n", "5", "--shards", "2",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--engine mega"), "{err}");
+        // --shards 0 is rejected.
+        assert!(run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "10",
+            "--engine",
+            "mega",
+            "--shards",
+            "0",
+        ]))
+        .is_err());
+        // Sharded and unsharded mega runs print identical reports
+        // (modulo the engine label naming the shard count).
+        let strip = |out: String| {
+            out.lines()
+                .filter(|l| !l.starts_with("engine"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = strip(
+            run(&argv(&[
+                "simulate",
+                "--scheme",
+                "multitree",
+                "--n",
+                "40",
+                "--d",
+                "3",
+                "--engine",
+                "mega",
+            ]))
+            .unwrap(),
+        );
+        let sharded = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "40",
+            "--d",
+            "3",
+            "--engine",
+            "mega",
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        assert!(sharded.contains("mega (3 shards)"), "{sharded}");
+        assert_eq!(one, strip(sharded));
     }
 
     #[test]

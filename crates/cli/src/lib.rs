@@ -70,7 +70,8 @@ USAGE:
   clustream simulate --scheme <multitree|hypercube|chain|singletree> --n <N>
                      [--d <D>] [--mode <pre|buffered|pipelined>] [--track <P>]
                      [--runtime <slot|des|des-checked>]
-                     [--engine <fast|reference|checked>]       (slot runtime)
+                     [--engine <fast|reference|mega|checked>]  (slot runtime)
+                     [--shards <K>]                            (mega engine)
                      [--queue <heap|wheel|checked>]            (des runtimes)
                      [--latency <fixed|jitter|heavytail>]      (des runtime)
                      [--jitter <SLOTS>] [--scale <S>] [--alpha <A>] [--cap <C>]

@@ -29,4 +29,6 @@ pub mod scheme;
 pub use error::CoreError;
 pub use ids::{NodeId, PacketId, Slot, SOURCE};
 pub use qos::{NodeQos, QosReport};
-pub use scheme::{Availability, MembershipEvent, RepairOutcome, Scheme, StateView, Transmission};
+pub use scheme::{
+    Availability, MembershipEvent, RepairOutcome, SchedulePeriod, Scheme, StateView, Transmission,
+};

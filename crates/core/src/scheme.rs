@@ -115,6 +115,29 @@ pub struct RepairOutcome {
     pub displaced: Vec<NodeId>,
 }
 
+/// A scheme's declared steady-state periodicity.
+///
+/// A scheme returning `Some(SchedulePeriod { warmup, period })` from
+/// [`Scheme::schedule_period`] promises that for every slot
+/// `t ≥ warmup`, the transmission list of slot `t + period` equals the
+/// list of slot `t` with every packet id advanced by exactly `period`
+/// (same senders, receivers, latencies and emission order), that it
+/// never consults the [`StateView`] from `warmup` onward, and that
+/// send capacities and availability are time-invariant. Engines may
+/// exploit the declaration by lowering one period of the schedule into
+/// a flat table and replaying it without per-slot scheme dispatch; the
+/// mega engine additionally *verifies* one full repeated period against
+/// generated output before trusting it, so a wrong declaration degrades
+/// performance but never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePeriod {
+    /// First slot from which the pattern repeats.
+    pub warmup: u64,
+    /// Repetition period in slots (≥ 1); packet ids advance by `period`
+    /// per period.
+    pub period: u64,
+}
+
 /// A streaming overlay: topology plus per-slot transmission schedule.
 pub trait Scheme {
     /// Human-readable identifier used in reports (e.g. `"multi-tree(d=3)"`).
@@ -157,6 +180,23 @@ pub trait Scheme {
     /// returned) so the simulator can reuse one allocation across the whole
     /// run.
     fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>);
+
+    /// The scheme's steady-state periodicity, if it has one (see
+    /// [`SchedulePeriod`] for the exact contract). Defaults to `None`:
+    /// view-dependent, self-mutating or aperiodic schemes simply keep
+    /// the default and engines generate every slot live.
+    fn schedule_period(&self) -> Option<SchedulePeriod> {
+        None
+    }
+
+    /// Natural contiguous partition boundaries of the id space, for
+    /// engines that shard a run across workers: each entry is the first
+    /// id of a natural group (e.g. a cluster), ascending, excluding 0.
+    /// `None` (the default) means there is no natural structure and an
+    /// engine may cut the id space anywhere.
+    fn shard_boundaries(&self) -> Option<Vec<u32>> {
+        None
+    }
 
     /// Notify the scheme of a confirmed membership change at runtime.
     ///

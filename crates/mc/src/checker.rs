@@ -4,7 +4,7 @@ use crate::genome::Genome;
 use crate::invariant::{bounds_for, check_result, violation_from_error, Bounds, Violation};
 use clustream_core::CoreError;
 use clustream_des::{DesConfig, DesEngine, QueueKind};
-use clustream_sim::{diff_fields, FastSimulator, RunResult, Simulator};
+use clustream_sim::{diff_fields, FastSimulator, MegaSimulator, RunResult, Simulator};
 use clustream_telemetry::Telemetry;
 
 /// Which engines a check runs.
@@ -12,8 +12,8 @@ use clustream_telemetry::Telemetry;
 pub enum Engines {
     /// Fast engine only (the explorer's and shrinker's inner loop).
     FastOnly,
-    /// Reference, fast and slot-faithful DES — the latter twice, on the
-    /// heap and timing-wheel event queues — plus cross-engine
+    /// Reference, fast, mega, and slot-faithful DES — the latter twice,
+    /// on the heap and timing-wheel event queues — plus cross-engine
     /// field-equality (the exhaustive driver and corpus replay).
     All,
 }
@@ -59,6 +59,7 @@ fn run_one(
     Ok(match engine {
         "reference" => Simulator::run(&mut *scheme, &cfg),
         "fast" => FastSimulator::run(&mut *scheme, &cfg),
+        "mega" => MegaSimulator::run(&mut *scheme, &cfg),
         "des" => DesEngine::new().run(&mut *scheme, &DesConfig::slot_faithful(cfg)),
         "des-wheel" => DesEngine::new().run(
             &mut *scheme,
@@ -87,7 +88,7 @@ pub fn check_genome_with(
     };
     let labels: &[&str] = match engines {
         Engines::FastOnly => &["fast"],
-        Engines::All => &["reference", "fast", "des", "des-wheel"],
+        Engines::All => &["reference", "fast", "mega", "des", "des-wheel"],
     };
     let mut violations = Vec::new();
     let mut outcomes: Vec<(&str, Result<RunResult, CoreError>)> = Vec::new();
@@ -146,8 +147,8 @@ pub fn check_genome_with(
     }
 }
 
-/// Check `g` on all four engine columns (reference, fast, heap-DES,
-/// wheel-DES) with cross-engine agreement.
+/// Check `g` on all five engine columns (reference, fast, mega,
+/// heap-DES, wheel-DES) with cross-engine agreement.
 pub fn check_genome(g: &Genome) -> CheckReport {
     check_genome_with(g, Engines::All, None)
 }
@@ -169,7 +170,7 @@ mod tests {
             let g = Genome::clean(family, 13, 2, ConstructionChoice::Greedy);
             let rep = check_genome(&g);
             assert!(!rep.skipped, "{family:?} skipped");
-            assert_eq!(rep.runs, 4, "reference, fast, des, des-wheel");
+            assert_eq!(rep.runs, 5, "reference, fast, mega, des, des-wheel");
             assert!(
                 rep.violations.is_empty(),
                 "{family:?}: {:?}",

@@ -3,8 +3,8 @@
 //! Enumerates *every* genome in a bounded lattice — all `d ∈ {2,3,4}`,
 //! `N ≤ 64`, both constructions, all four scheme families, and a small
 //! canonical set of crash/loss plans — and checks the full invariant
-//! registry on the reference, fast, heap-DES and wheel-DES engines,
-//! including cross-engine field equality. Degree is skipped for the chain (which ignores it) and
+//! registry on the reference, fast, mega, heap-DES and wheel-DES
+//! engines, including cross-engine field equality. Degree is skipped for the chain (which ignores it) and
 //! construction for everything but the multi-tree, so no configuration is
 //! checked twice.
 //!
@@ -47,7 +47,7 @@ impl Default for LatticeOptions {
 pub struct LatticeReport {
     /// Genomes enumerated (excluding skipped out-of-domain points).
     pub genomes: usize,
-    /// Engine runs executed (4 per genome).
+    /// Engine runs executed (5 per genome).
     pub runs: usize,
     /// Out-of-domain lattice points (scheme not buildable there).
     pub skipped: usize,
@@ -312,7 +312,7 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.genomes > 0);
-        assert_eq!(report.runs, 4 * report.genomes);
+        assert_eq!(report.runs, 5 * report.genomes);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::tree::DisjointTrees;
 use clustream_core::{
-    Availability, NodeId, PacketId, Scheme, Slot, StateView, Transmission, SOURCE,
+    Availability, NodeId, PacketId, SchedulePeriod, Scheme, Slot, StateView, Transmission, SOURCE,
 };
 
 /// When packets become available and how the source paces injection.
@@ -159,6 +159,24 @@ impl Scheme for MultiTreeScheme {
 
     fn availability(&self) -> Availability {
         self.mode.availability()
+    }
+
+    fn schedule_period(&self) -> Option<SchedulePeriod> {
+        // Position `pos` of tree `k` becomes active at slot `recv0[k][pos−1]`
+        // and then re-fires every `d` slots with the packet id advanced by
+        // `d`; once every position is active (`t ≥ max recv0`) the whole
+        // emission list repeats with period `d` and uniform packet delta `d`.
+        let warmup = self
+            .recv0
+            .iter()
+            .flat_map(|table| table.iter().copied())
+            .max()
+            .unwrap_or(0)
+            + 1;
+        Some(SchedulePeriod {
+            warmup,
+            period: self.forest.d() as u64,
+        })
     }
 
     fn transmissions(&mut self, slot: Slot, _view: &dyn StateView, out: &mut Vec<Transmission>) {

@@ -17,7 +17,8 @@
 
 use crate::supertree::Backbone;
 use clustream_core::{
-    Availability, CoreError, NodeId, PacketId, Scheme, Slot, StateView, Transmission, SOURCE,
+    Availability, CoreError, NodeId, PacketId, SchedulePeriod, Scheme, Slot, StateView,
+    Transmission, SOURCE,
 };
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{build_forest, Construction, MultiTreeScheme, StreamMode};
@@ -312,6 +313,34 @@ impl Scheme for ClusterSession {
 
     fn availability(&self) -> Availability {
         Availability::Live
+    }
+
+    fn schedule_period(&self) -> Option<SchedulePeriod> {
+        // The backbone relays one packet per slot per super node (period 1,
+        // delta 1); each intra scheme runs shifted by σ_i, so the session
+        // is periodic iff every inner scheme is, with period lcm(inner
+        // periods) and warmup max(σ_i + inner warmup_i).
+        fn gcd(a: u64, b: u64) -> u64 {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut period = 1u64;
+        let mut warmup = 0u64;
+        for c in &self.clusters {
+            let inner = c.inner.schedule_period()?;
+            period = period / gcd(period, inner.period) * inner.period;
+            warmup = warmup.max(c.sigma + inner.warmup);
+        }
+        Some(SchedulePeriod { warmup, period })
+    }
+
+    fn shard_boundaries(&self) -> Option<Vec<u32>> {
+        // The natural sharding of the paper's decomposition: one group per
+        // cluster `[S_i, S'_i, members…]`; the source rides with the first.
+        Some(self.clusters.iter().map(|c| c.s_i).collect())
     }
 
     fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>) {

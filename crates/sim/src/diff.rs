@@ -1,11 +1,13 @@
-//! Differential-testing oracle: reference engine vs fast engine.
+//! Differential-testing oracle: reference engine vs fast and mega
+//! engines.
 //!
-//! [`crate::FastEngine`] promises *bit-identical* results to
-//! [`crate::Simulator`]. This module holds the two engines to that
-//! contract: run the same scheme under the same configuration through
-//! both, then compare the outcomes **field by field** — arrivals, QoS,
-//! traffic statistics, loss reports, traces, everything on
-//! [`RunResult`] — or, for failing runs, compare the rendered errors.
+//! [`crate::FastEngine`] and [`crate::MegaEngine`] promise
+//! *bit-identical* results to [`crate::Simulator`]. This module holds
+//! all three engines to that contract: run the same scheme under the
+//! same configuration through each, then compare the outcomes **field
+//! by field** — arrivals, QoS, traffic statistics, loss reports,
+//! traces, everything on [`RunResult`] — or, for failing runs, compare
+//! the rendered errors.
 //!
 //! Schemes are stateful (they mutate as slots advance), so the harness
 //! takes a *factory* and builds one fresh scheme instance per engine.
@@ -20,6 +22,7 @@
 
 use crate::engine::{RunResult, SimConfig, Simulator};
 use crate::fast::FastEngine;
+use crate::mega::MegaEngine;
 use clustream_core::Scheme;
 
 /// Names of [`RunResult`] fields that differ between two results.
@@ -63,11 +66,12 @@ pub fn diff_fields(reference: &RunResult, fast: &RunResult) -> Vec<&'static str>
 pub struct DiffHarness;
 
 impl DiffHarness {
-    /// Run one fresh scheme from `factory` through each engine and
-    /// demand identical outcomes.
+    /// Run one fresh scheme from `factory` through each engine
+    /// (reference, fast, and single-shard mega) and demand identical
+    /// outcomes.
     ///
-    /// * Both succeed with equal results → `Ok(result)`.
-    /// * Both fail with identically-rendered errors → `Ok` is not
+    /// * All succeed with equal results → `Ok(result)`.
+    /// * All fail with identically-rendered errors → `Ok` is not
     ///   possible, so the divergence-free failure is reported as
     ///   `Err(None)`.
     /// * Any divergence → `Err(Some(description))`.
@@ -76,49 +80,56 @@ impl DiffHarness {
     where
         F: FnMut() -> Box<dyn Scheme>,
     {
-        // Strip telemetry from the oracle-side run: a checked run should
-        // record its metrics once, not once per engine.
+        // Strip telemetry from the oracle-side runs: a checked run
+        // should record its metrics once, not once per engine.
         let reference = Simulator::run(factory().as_mut(), &cfg.without_telemetry());
         let fast = FastEngine::new().run(factory().as_mut(), cfg);
-        match (reference, fast) {
-            (Ok(r), Ok(f)) => {
-                let diffs = diff_fields(&r, &f);
-                if diffs.is_empty() {
-                    Ok(f)
-                } else {
-                    Err(Some(format!(
-                        "engines diverge on {} fields {:?} for scheme {} \
-                         (slots {} vs {}, delay {} vs {}, buffer {} vs {})",
-                        diffs.len(),
-                        diffs,
-                        r.scheme,
-                        r.slots_run,
-                        f.slots_run,
-                        r.qos.max_delay(),
-                        f.qos.max_delay(),
-                        r.qos.max_buffer(),
-                        f.qos.max_buffer(),
+        let mega = MegaEngine::new().run(factory().as_mut(), &cfg.without_telemetry());
+        for (label, candidate) in [("fast", &fast), ("mega", &mega)] {
+            match (&reference, candidate) {
+                (Ok(r), Ok(c)) => {
+                    let diffs = diff_fields(r, c);
+                    if !diffs.is_empty() {
+                        return Err(Some(format!(
+                            "reference and {label} diverge on {} fields {:?} for scheme {} \
+                             (slots {} vs {}, delay {} vs {}, buffer {} vs {})",
+                            diffs.len(),
+                            diffs,
+                            r.scheme,
+                            r.slots_run,
+                            c.slots_run,
+                            r.qos.max_delay(),
+                            c.qos.max_delay(),
+                            r.qos.max_buffer(),
+                            c.qos.max_buffer(),
+                        )));
+                    }
+                }
+                (Err(re), Err(ce)) => {
+                    let (rs, cs) = (re.to_string(), ce.to_string());
+                    if rs != cs {
+                        return Err(Some(format!(
+                            "engines fail differently: reference `{rs}` vs {label} `{cs}`"
+                        )));
+                    }
+                }
+                (Ok(r), Err(ce)) => {
+                    return Err(Some(format!(
+                        "reference succeeds ({}) but {label} errors: {ce}",
+                        r.scheme
+                    )))
+                }
+                (Err(re), Ok(c)) => {
+                    return Err(Some(format!(
+                        "{label} succeeds ({}) but reference errors: {re}",
+                        c.scheme
                     )))
                 }
             }
-            (Err(re), Err(fe)) => {
-                let (rs, fs) = (re.to_string(), fe.to_string());
-                if rs == fs {
-                    Err(None)
-                } else {
-                    Err(Some(format!(
-                        "engines fail differently: reference `{rs}` vs fast `{fs}`"
-                    )))
-                }
-            }
-            (Ok(r), Err(fe)) => Err(Some(format!(
-                "reference succeeds ({}) but fast errors: {fe}",
-                r.scheme
-            ))),
-            (Err(re), Ok(f)) => Err(Some(format!(
-                "fast succeeds ({}) but reference errors: {re}",
-                f.scheme
-            ))),
+        }
+        match fast {
+            Ok(f) => Ok(f),
+            Err(_) => Err(None),
         }
     }
 
@@ -131,7 +142,7 @@ impl DiffHarness {
     {
         match Self::check(factory, cfg) {
             Ok(r) => Ok(r),
-            Err(None) => Err("both engines failed identically".into()),
+            Err(None) => Err("all engines failed identically".into()),
             Err(Some(divergence)) => panic!("differential oracle: {divergence}"),
         }
     }

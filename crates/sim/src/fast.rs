@@ -30,16 +30,18 @@ use clustream_core::{
 /// Sentinel for "no packet yet" in the dense newest-packet array.
 const NO_PACKET: u64 = u64::MAX;
 
-/// A growable bitset over packet sequence numbers.
+/// A growable bitset over packet sequence numbers. Shared with the
+/// mega engine (module [`crate::mega`]), which uses it as the per-node
+/// spill structure behind its columnar word arrays.
 #[derive(Debug, Default, Clone)]
-struct PacketSet {
-    words: Vec<u64>,
+pub(crate) struct PacketSet {
+    pub(crate) words: Vec<u64>,
 }
 
 impl PacketSet {
     /// Insert `seq`; returns `false` if it was already present.
     #[inline]
-    fn insert(&mut self, seq: u64) -> bool {
+    pub(crate) fn insert(&mut self, seq: u64) -> bool {
         let (w, b) = ((seq / 64) as usize, seq % 64);
         if w >= self.words.len() {
             self.words.resize(w + 1, 0);
@@ -51,12 +53,12 @@ impl PacketSet {
     }
 
     #[inline]
-    fn contains(&self, seq: u64) -> bool {
+    pub(crate) fn contains(&self, seq: u64) -> bool {
         let (w, b) = ((seq / 64) as usize, seq % 64);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
     }
 
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.words.clear();
     }
 }
@@ -96,16 +98,16 @@ impl StateView for FastState {
 /// at any moment all queued arrival slots map to distinct cells and a
 /// cell's contents all share one arrival slot. Each cell carries a node
 /// bitmask enforcing the one-arrival-per-node-per-slot constraint.
-struct ArrivalRing {
-    cells: Vec<Vec<(NodeId, PacketId)>>,
+pub(crate) struct ArrivalRing {
+    pub(crate) cells: Vec<Vec<(NodeId, PacketId)>>,
     /// Per-cell receiver bitmask (`n_words` words per cell).
     guards: Vec<u64>,
-    window: u64,
+    pub(crate) window: u64,
     n_words: usize,
 }
 
 impl ArrivalRing {
-    fn new() -> ArrivalRing {
+    pub(crate) fn new() -> ArrivalRing {
         ArrivalRing {
             cells: Vec::new(),
             guards: Vec::new(),
@@ -115,7 +117,7 @@ impl ArrivalRing {
     }
 
     /// Reset for a run over `n_ids` nodes with an initial window.
-    fn reset(&mut self, n_ids: usize) {
+    pub(crate) fn reset(&mut self, n_ids: usize) {
         self.n_words = n_ids.div_ceil(64);
         self.window = 64;
         for c in &mut self.cells {
@@ -132,7 +134,7 @@ impl ArrivalRing {
     /// which makes each old cell's true arrival slot recoverable from its
     /// index.
     #[cold]
-    fn grow(&mut self, latency: u64, cur_slot: u64) {
+    pub(crate) fn grow(&mut self, latency: u64, cur_slot: u64) {
         let new_window = (latency + 1).next_power_of_two().max(self.window * 2);
         let mut cells = vec![Vec::new(); new_window as usize];
         let mut guards = vec![0u64; new_window as usize * self.n_words];
@@ -155,13 +157,13 @@ impl ArrivalRing {
     }
 
     #[inline]
-    fn cell_index(&self, arrival_slot: u64) -> usize {
+    pub(crate) fn cell_index(&self, arrival_slot: u64) -> usize {
         (arrival_slot % self.window) as usize
     }
 
     /// Reserve `(arrival_slot, to)`; `false` on a receive collision.
     #[inline]
-    fn try_reserve(&mut self, arrival_slot: u64, to: NodeId) -> bool {
+    pub(crate) fn try_reserve(&mut self, arrival_slot: u64, to: NodeId) -> bool {
         let idx = self.cell_index(arrival_slot);
         let w = idx * self.n_words + to.0 as usize / 64;
         let mask = 1u64 << (to.0 % 64);
@@ -172,9 +174,19 @@ impl ArrivalRing {
         true
     }
 
+    /// Whether `(arrival_slot, to)` is currently reserved — a read-only
+    /// probe used by the mega engine to detect collisions between
+    /// precompiled steady-state sends and ramp-phase in-flight arrivals.
+    #[inline]
+    pub(crate) fn reserved(&self, arrival_slot: u64, to: NodeId) -> bool {
+        let idx = self.cell_index(arrival_slot);
+        let w = idx * self.n_words + to.0 as usize / 64;
+        self.guards[w] & (1u64 << (to.0 % 64)) != 0
+    }
+
     /// Release the guard bit for one delivered entry.
     #[inline]
-    fn release(&mut self, cell_idx: usize, to: NodeId) {
+    pub(crate) fn release(&mut self, cell_idx: usize, to: NodeId) {
         let w = cell_idx * self.n_words + to.0 as usize / 64;
         self.guards[w] &= !(1u64 << (to.0 % 64));
     }
@@ -183,16 +195,16 @@ impl ArrivalRing {
 /// Neighbor/traffic accounting over sorted adjacency vectors, producing
 /// exactly the same degree and upload numbers as
 /// [`crate::metrics::TrafficStats`].
-struct DenseTraffic {
-    out_nb: Vec<Vec<u32>>,
-    in_nb: Vec<Vec<u32>>,
-    uploads: Vec<u64>,
-    total_transmissions: u64,
-    duplicate_deliveries: u64,
+pub(crate) struct DenseTraffic {
+    pub(crate) out_nb: Vec<Vec<u32>>,
+    pub(crate) in_nb: Vec<Vec<u32>>,
+    pub(crate) uploads: Vec<u64>,
+    pub(crate) total_transmissions: u64,
+    pub(crate) duplicate_deliveries: u64,
 }
 
 impl DenseTraffic {
-    fn new() -> DenseTraffic {
+    pub(crate) fn new() -> DenseTraffic {
         DenseTraffic {
             out_nb: Vec::new(),
             in_nb: Vec::new(),
@@ -202,7 +214,7 @@ impl DenseTraffic {
         }
     }
 
-    fn reset(&mut self, n_ids: usize) {
+    pub(crate) fn reset(&mut self, n_ids: usize) {
         for v in &mut self.out_nb {
             v.clear();
         }
@@ -227,7 +239,7 @@ impl DenseTraffic {
     }
 
     #[inline]
-    fn record(&mut self, tx: &Transmission) {
+    pub(crate) fn record(&mut self, tx: &Transmission) {
         Self::insert_sorted(&mut self.out_nb[tx.from.index()], tx.to.0);
         Self::insert_sorted(&mut self.in_nb[tx.to.index()], tx.from.0);
         self.uploads[tx.from.index()] += 1;
@@ -236,7 +248,7 @@ impl DenseTraffic {
 
     /// Distinct neighbors in either direction: two-pointer merge count
     /// over the sorted adjacency vectors.
-    fn degree(&self, node: NodeId) -> usize {
+    pub(crate) fn degree(&self, node: NodeId) -> usize {
         let (a, b) = (&self.out_nb[node.index()], &self.in_nb[node.index()]);
         let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
         while i < a.len() && j < b.len() {

@@ -16,10 +16,13 @@
 //! The simulator is fully deterministic: same scheme, same config, same
 //! result, bit for bit.
 //!
-//! Two engines implement these semantics: the readable reference
-//! ([`Simulator`]) and an allocation-light fast path ([`FastEngine`],
+//! Three engines implement these semantics: the readable reference
+//! ([`Simulator`]), an allocation-light fast path ([`FastEngine`],
 //! module [`fast`]) built on dense bitsets, a ring-buffer arrival queue
-//! and reusable arenas. Their results are bit-identical; the
+//! and reusable arenas, and a scale-oriented mega engine
+//! ([`MegaEngine`], module [`mega`]) that adds columnar node state,
+//! precompiled steady-state transmission tables and in-run sharding for
+//! runs with 10^5–10^6 nodes. All results are bit-identical; the
 //! differential harness in [`diff`] enforces that, and [`parallel`]
 //! farms experiment grids across worker threads with deterministic
 //! input-order results.
@@ -30,6 +33,7 @@ pub mod diff;
 pub mod engine;
 pub mod fast;
 pub mod faults;
+pub mod mega;
 pub mod metrics;
 pub mod parallel;
 pub mod playback;
@@ -40,7 +44,8 @@ pub use diff::{diff_fields, DiffHarness};
 pub use engine::{RunResult, SimConfig, Simulator};
 pub use fast::{FastEngine, FastSimulator};
 pub use faults::{FaultCause, FaultPlan, LossReport, LossyPlayback};
-pub use parallel::{sweep, sweep_instrumented, sweep_threads, sweep_with_threads};
+pub use mega::{MegaEngine, MegaSimulator};
+pub use parallel::{sweep, sweep_instrumented, sweep_threads, sweep_with_threads, ClaimCounter};
 pub use playback::{ArrivalTable, PlaybackAnalysis};
 pub use resilience::ResilienceMetrics;
 pub use trace::{EventTrace, TraceEvent};

@@ -1,0 +1,2049 @@
+//! Scale-oriented execution mode: columnar state, precompiled
+//! transmission tables, in-run sharding.
+//!
+//! [`MegaEngine`] targets runs with 10^5–10^6 nodes. It produces
+//! **bit-identical** [`RunResult`]s (and identical errors) to
+//! [`crate::FastEngine`] — the differential harness in [`crate::diff`]
+//! holds all three engines to one contract — while restructuring the
+//! hot loop around three ideas:
+//!
+//! 1. **Columnar node state.** Holdings live in one flat
+//!    struct-of-arrays `Vec<u64>` with a fixed number of words per node
+//!    (`ColumnarHeld`) instead of per-node containers: inserts and
+//!    membership tests are single word operations, growth is one bulk
+//!    re-layout, and range-sharded workers can borrow disjoint row
+//!    windows with `split_at_mut`. Adversarial out-of-range sequence
+//!    numbers overflow into per-node `PacketSet` spill sets, keeping
+//!    memory behavior aligned with the fast engine.
+//! 2. **Precompiled flat transmission tables.** A scheme declaring
+//!    [`SchedulePeriod`] has its steady-state schedule lowered once
+//!    into dense per-residue `(sender, receiver, packet, latency)`
+//!    arrays. The engine runs the first `warmup + 2·period` slots in
+//!    full (fast-engine-equivalent) mode, records one period of
+//!    generated output and **verifies** that the next period repeats it
+//!    with the declared packet delta; only then does it replay the
+//!    table with no per-slot scheme dispatch, no per-transmission
+//!    validation and no arrival-ring traffic. Two residual word-level
+//!    checks remain per replayed send (the sender still holds the
+//!    packet; no collision with a ramp-phase in-flight arrival); any
+//!    violation aborts the replay and re-runs the whole simulation in
+//!    full mode, so a wrong declaration that slips past verification
+//!    but trips a check degrades performance, never correctness.
+//! 3. **In-run sharding.** With `shards = k`, steady-state slots are
+//!    partitioned into `k` contiguous id ranges following
+//!    [`Scheme::shard_boundaries`] — for cluster sessions, exactly the
+//!    paper's clusters. Workers claim shards through the same
+//!    [`ClaimCounter`] work-claiming idiom as [`crate::parallel::sweep`];
+//!    traffic whose sender and receiver fall in one shard is applied by
+//!    that shard's worker, and the remainder — the backbone super-node
+//!    traffic — is applied by the coordinator in a sequential exchange
+//!    phase between barrier waits. Every write is either shard-local or
+//!    coordinator-sequential and every shared counter is additive, so
+//!    `shards = k` is bit-identical to `shards = 1` at any `k`.
+//!
+//! Ramp slots (before the verified steady state), fault-injection runs,
+//! and schemes without a declared period always run in full mode, which
+//! mirrors [`crate::FastEngine`] operation for operation.
+
+use crate::engine::{RunResult, SimConfig};
+use crate::fast::{ArrivalRing, DenseTraffic, PacketSet};
+use crate::parallel::ClaimCounter;
+use crate::playback::{ArrivalTable, NEVER};
+use clustream_core::{
+    CoreError, NodeId, NodeQos, PacketId, QosReport, SchedulePeriod, Scheme, Slot, StateView,
+    Transmission,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Sentinel for "no packet yet" in the dense newest-packet array.
+const NO_PACKET: u64 = u64::MAX;
+
+/// Columnar holdings budget: grow the per-node stride only while the
+/// whole array stays under this many words (256 MiB). Beyond it,
+/// out-of-range seqs go to the per-node spill sets.
+const COLUMNAR_WORDS_LIMIT: usize = 1 << 25;
+
+/// Minimum number of steady slots a sharded chunk should cover before
+/// the coordinator pauses the workers to re-layout the columnar state.
+const CHUNK_MIN_SLOTS: u64 = 4096;
+
+/// Struct-of-arrays packet holdings: `stride` words per node in one
+/// flat `Vec<u64>`, plus per-node spill sets for sequence numbers past
+/// the columnar budget.
+struct ColumnarHeld {
+    n_ids: usize,
+    stride: usize,
+    words: Vec<u64>,
+    spill: Vec<PacketSet>,
+}
+
+impl ColumnarHeld {
+    fn new() -> ColumnarHeld {
+        ColumnarHeld {
+            n_ids: 0,
+            stride: 0,
+            words: Vec::new(),
+            spill: Vec::new(),
+        }
+    }
+
+    /// Largest power-of-two stride the memory budget allows for `n_ids`.
+    fn max_stride(n_ids: usize) -> usize {
+        let cap = COLUMNAR_WORDS_LIMIT / n_ids.max(1);
+        if cap == 0 {
+            1
+        } else {
+            1usize << (usize::BITS - 1 - cap.leading_zeros())
+        }
+    }
+
+    /// Reset for a run over `n_ids` nodes expecting seqs up to about
+    /// `hint_seq`.
+    fn reset(&mut self, n_ids: usize, hint_seq: u64) {
+        self.n_ids = n_ids;
+        let want = ((hint_seq / 64) as usize + 1).next_power_of_two();
+        self.stride = want.min(Self::max_stride(n_ids)).max(1);
+        self.words.clear();
+        self.words.resize(n_ids * self.stride, 0);
+        for s in &mut self.spill {
+            s.clear();
+        }
+        self.spill.resize(n_ids, PacketSet::default());
+        self.spill.truncate(n_ids);
+    }
+
+    /// Grow the stride so `seq` stays columnar if the budget allows.
+    /// Returns whether `seq` is now covered by the columnar rows.
+    fn ensure_covers(&mut self, seq: u64) -> bool {
+        let w = seq / 64;
+        if w < self.stride as u64 {
+            return true;
+        }
+        let cap = Self::max_stride(self.n_ids) as u64;
+        let new = (w + 1).next_power_of_two().min(cap);
+        if new > self.stride as u64 {
+            self.grow(new as usize);
+        }
+        w < self.stride as u64
+    }
+
+    /// Bulk re-layout to a larger stride; spilled seqs that now fit
+    /// move back into the columnar rows (word-level ORs).
+    #[cold]
+    fn grow(&mut self, new_stride: usize) {
+        let mut words = vec![0u64; self.n_ids * new_stride];
+        for n in 0..self.n_ids {
+            words[n * new_stride..n * new_stride + self.stride]
+                .copy_from_slice(&self.words[n * self.stride..(n + 1) * self.stride]);
+        }
+        self.words = words;
+        let (words, spill) = (&mut self.words, &mut self.spill);
+        for (n, sp) in spill.iter_mut().enumerate() {
+            for (w, word) in sp.words.iter_mut().enumerate().take(new_stride) {
+                words[n * new_stride + w] |= *word;
+                *word = 0;
+            }
+        }
+        self.stride = new_stride;
+    }
+
+    /// Insert `seq` for `node`; `false` if already present.
+    #[inline]
+    fn insert(&mut self, node: usize, seq: u64) -> bool {
+        let w = seq / 64;
+        if w < self.stride as u64 {
+            let idx = node * self.stride + w as usize;
+            let mask = 1u64 << (seq % 64);
+            let fresh = self.words[idx] & mask == 0;
+            self.words[idx] |= mask;
+            fresh
+        } else {
+            self.insert_outlier(node, seq)
+        }
+    }
+
+    #[cold]
+    fn insert_outlier(&mut self, node: usize, seq: u64) -> bool {
+        if self.ensure_covers(seq) {
+            let idx = node * self.stride + (seq / 64) as usize;
+            let mask = 1u64 << (seq % 64);
+            let fresh = self.words[idx] & mask == 0;
+            self.words[idx] |= mask;
+            fresh
+        } else {
+            self.spill[node].insert(seq)
+        }
+    }
+
+    #[inline]
+    fn contains(&self, node: usize, seq: u64) -> bool {
+        let w = seq / 64;
+        if w < self.stride as u64 {
+            self.words[node * self.stride + w as usize] & (1u64 << (seq % 64)) != 0
+        } else {
+            self.spill[node].contains(seq)
+        }
+    }
+}
+
+/// Columnar run state exposed to schemes through [`StateView`] during
+/// full-mode slots.
+struct MegaState {
+    held: ColumnarHeld,
+    /// Highest packet seq held per node; [`NO_PACKET`] = none.
+    newest: Vec<u64>,
+    slot: Slot,
+    availability: clustream_core::Availability,
+}
+
+impl StateView for MegaState {
+    fn holds(&self, node: NodeId, packet: PacketId) -> bool {
+        if node.is_source() {
+            self.availability.produced(packet, self.slot)
+        } else {
+            self.held.contains(node.index(), packet.seq())
+        }
+    }
+
+    fn newest(&self, node: NodeId) -> Option<PacketId> {
+        let v = self.newest[node.index()];
+        (v != NO_PACKET).then_some(PacketId(v))
+    }
+
+    fn slot(&self) -> Slot {
+        self.slot
+    }
+}
+
+/// One send in the lowered table. The packet replayed at slot `s`
+/// (where `s ≡ base + j (mod period)`) is `packet0 + (s − (base + j))`.
+#[derive(Clone, Copy)]
+struct SendEntry {
+    from: u32,
+    to: u32,
+    packet0: u64,
+    latency: u32,
+}
+
+/// One delivery in the lowered table, keyed by arrival residue
+/// `(j + latency − 1) mod period`; `j` is the send residue.
+#[derive(Clone, Copy)]
+struct ArrEntry {
+    from: u32,
+    to: u32,
+    packet0: u64,
+    latency: u32,
+    j: u64,
+}
+
+/// The precompiled flat transmission table for one verified period.
+struct SteadyTables {
+    /// Slot of send residue 0 (the scheme's declared warmup).
+    base: u64,
+    period: u64,
+    /// First slot replayed from the table (`warmup + 2·period`).
+    steady_from: u64,
+    /// Per send residue: this slot's transmissions, in emission order.
+    sends: Vec<Vec<SendEntry>>,
+    /// Per arrival residue: deliveries landing at that residue.
+    arrs: Vec<Vec<ArrEntry>>,
+    max_latency: u64,
+    /// `max(packet0 − (base + j))` over all sends: the largest seq
+    /// replayed at slot `s` is bounded by `s + off`. `None` when the
+    /// table is empty.
+    off: Option<i128>,
+    /// Static feed closure: when `Some(g)`, every non-source send at
+    /// slot `s ≥ steady_from + g` is fed by an in-pattern arrival that
+    /// the replay itself applies no later than `s` — so the per-send
+    /// holding check provably never fires from that slot on and the
+    /// send loop can be replaced by closed-form accounting. `None` when
+    /// some send is not covered by any pattern arrival (its holdings
+    /// come from the ramp phase and run out eventually unless the
+    /// dynamic check keeps watching).
+    feed_slack: Option<u64>,
+    /// `true` when no two arrival entries can ever deliver the same
+    /// `(receiver, seq)` pair — i.e. no two entries share a receiver
+    /// and a packet residue mod `period`. Pattern deliveries then
+    /// commute across slots (first-delivery cells are single-writer),
+    /// so the blazing phase may replay them entry-outer in streaming
+    /// order instead of slot by slot.
+    collision_free: bool,
+}
+
+/// Recording/verification state while ramping toward steady mode.
+struct Lowering {
+    warmup: u64,
+    period: u64,
+    steady_from: u64,
+    /// Generated output of slots `[warmup, warmup + period)`.
+    recorded: Vec<Vec<Transmission>>,
+    ok: bool,
+}
+
+impl Lowering {
+    fn new(decl: SchedulePeriod) -> Lowering {
+        Lowering {
+            warmup: decl.warmup,
+            period: decl.period,
+            steady_from: decl.warmup.saturating_add(decl.period.saturating_mul(2)),
+            recorded: Vec::new(),
+            ok: true,
+        }
+    }
+
+    /// Record slots `[warmup, warmup + p)`; verify slots
+    /// `[warmup + p, warmup + 2p)` repeat them with packet delta `p`.
+    fn observe(&mut self, t: u64, out: &[Transmission]) {
+        if !self.ok || t < self.warmup || t >= self.steady_from {
+            return;
+        }
+        if t < self.warmup + self.period {
+            self.recorded.push(out.to_vec());
+            return;
+        }
+        let idx = ((t - self.warmup) % self.period) as usize;
+        let verified = self.recorded.get(idx).is_some_and(|want| {
+            want.len() == out.len()
+                && want.iter().zip(out).all(|(a, b)| {
+                    a.from == b.from
+                        && a.to == b.to
+                        && a.latency == b.latency
+                        && b.packet.seq() == a.packet.seq().wrapping_add(self.period)
+                })
+        });
+        if !verified {
+            self.ok = false;
+        }
+    }
+
+    /// Whether slot `t` is the verified steady entry point.
+    fn ready(&self, t: u64) -> bool {
+        self.ok && t == self.steady_from && self.recorded.len() as u64 == self.period
+    }
+
+    fn compile(&self) -> SteadyTables {
+        let p = self.period as usize;
+        let mut sends = vec![Vec::new(); p];
+        let mut arrs = vec![Vec::new(); p];
+        let mut max_latency = 1u64;
+        let mut off: Option<i128> = None;
+        for (j, slot) in self.recorded.iter().enumerate() {
+            for tx in slot {
+                sends[j].push(SendEntry {
+                    from: tx.from.0,
+                    to: tx.to.0,
+                    packet0: tx.packet.seq(),
+                    latency: tx.latency,
+                });
+                let l = tx.latency as u64;
+                max_latency = max_latency.max(l);
+                let ra = ((j as u64 + l - 1) % self.period) as usize;
+                arrs[ra].push(ArrEntry {
+                    from: tx.from.0,
+                    to: tx.to.0,
+                    packet0: tx.packet.seq(),
+                    latency: tx.latency,
+                    j: j as u64,
+                });
+                let o = tx.packet.seq() as i128 - (self.warmup + j as u64) as i128;
+                off = Some(off.map_or(o, |c| c.max(o)));
+            }
+        }
+        let feed_slack = Self::feed_slack(&sends, &arrs, self.period);
+        let mut residues: Vec<(u32, u64)> = arrs
+            .iter()
+            .flatten()
+            .map(|a| (a.to, a.packet0 % self.period))
+            .collect();
+        residues.sort_unstable();
+        let collision_free = residues.windows(2).all(|w| w[0] != w[1]);
+        SteadyTables {
+            base: self.warmup,
+            period: self.period,
+            steady_from: self.steady_from,
+            sends,
+            arrs,
+            max_latency,
+            off,
+            feed_slack,
+            collision_free,
+        }
+    }
+
+    /// Compute the static feed closure (see [`SteadyTables::feed_slack`]).
+    ///
+    /// A send entry at residue `js` replays `seq(s) = packet0 + (s −
+    /// base − js)` at slots `s ≡ base + js (mod period)`. An arrival
+    /// entry `(to, packet0_a, j_a, L_a)` delivers `packet0_a + (s_a −
+    /// base − j_a)` usable from slot `s_a + L_a`, for pattern send slots
+    /// `s_a ≥ steady_from`. Matching the two: the feeding send slot is
+    /// `s_a = s − g` with constant `g = (js − j_a) + (packet0_a −
+    /// packet0)`, valid iff the packet offsets agree mod `period` and
+    /// `g ≥ L_a` (the copy arrives no later than it is needed). Every
+    /// quantity is slot-independent, so "is this send fed forever?"
+    /// reduces to per-entry arithmetic: the send is self-feeding from
+    /// `steady_from + g` on (its feeder is then itself a pattern send),
+    /// and the table-wide slack is the max over entries of the best
+    /// (smallest) `g`.
+    fn feed_slack(sends: &[Vec<SendEntry>], arrs: &[Vec<ArrEntry>], period: u64) -> Option<u64> {
+        let p = period as i128;
+        // (to, packet0, send residue, latency), sorted by receiver so
+        // each send entry scans only its own feeder candidates.
+        let mut feeds: Vec<(u32, u64, u64, u64)> = arrs
+            .iter()
+            .flatten()
+            .map(|a| (a.to, a.packet0, a.j, a.latency as u64))
+            .collect();
+        feeds.sort_unstable_by_key(|f| (f.0, f.1));
+        let mut slack: u64 = 0;
+        for (js, lst) in sends.iter().enumerate() {
+            for e in lst {
+                if e.from == 0 {
+                    // Source sends were validated against availability
+                    // during the verified window; the produced check is
+                    // slot-invariant (`seq − slot` is constant per
+                    // entry), so they stay valid forever.
+                    continue;
+                }
+                let lo = feeds.partition_point(|f| f.0 < e.from);
+                let hi = feeds.partition_point(|f| f.0 <= e.from);
+                let mut best: Option<i128> = None;
+                for f in &feeds[lo..hi] {
+                    let dp = e.packet0 as i128 - f.1 as i128;
+                    if dp.rem_euclid(p) != 0 {
+                        continue;
+                    }
+                    let g = js as i128 - f.2 as i128 - dp;
+                    if g >= f.3 as i128 {
+                        best = Some(best.map_or(g, |b| b.min(g)));
+                    }
+                }
+                slack = slack.max(u64::try_from(best?).ok()?);
+            }
+        }
+        Some(slack)
+    }
+}
+
+/// Number of slots `s` in `[a, b)` with `s ≡ base + js (mod p)`.
+fn phase_count(a: u64, b: u64, base: u64, js: u64, p: u64) -> u64 {
+    if b <= a {
+        return 0;
+    }
+    let rem = (base + js) % p;
+    let first = a + (rem + p - a % p) % p;
+    if first >= b {
+        0
+    } else {
+        (b - 1 - first) / p + 1
+    }
+}
+
+/// Contiguous id ranges for `shards` workers over `n_ids` ids,
+/// following the scheme's natural group boundaries when declared.
+fn shard_ranges(n_ids: usize, shards: usize, boundaries: Option<Vec<u32>>) -> Vec<(usize, usize)> {
+    if shards <= 1 || n_ids == 0 {
+        return vec![(0, n_ids)];
+    }
+    match boundaries {
+        None => {
+            let k = shards.min(n_ids);
+            (0..k)
+                .map(|s| (n_ids * s / k, n_ids * (s + 1) / k))
+                .filter(|(a, b)| a < b)
+                .collect()
+        }
+        Some(b) => {
+            // Group ends: each natural group is [cut_{i-1}, cut_i); the
+            // source id 0 rides with the first group. Pack consecutive
+            // groups into at most `shards` unions balanced by size.
+            let mut cuts: Vec<usize> = b
+                .into_iter()
+                .map(|x| x as usize)
+                .filter(|&x| x > 0 && x < n_ids)
+                .collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            cuts.push(n_ids);
+            let k = shards.min(cuts.len());
+            let mut ranges = Vec::with_capacity(k);
+            let (mut start, mut gi) = (0usize, 0usize);
+            for s in 0..k {
+                let target = n_ids * (s + 1) / k;
+                let mut end = start;
+                while gi < cuts.len() && (end < target || end == start) {
+                    end = cuts[gi];
+                    gi += 1;
+                }
+                if s == k - 1 {
+                    end = n_ids;
+                    gi = cuts.len();
+                }
+                if end > start {
+                    ranges.push((start, end));
+                }
+                start = end;
+            }
+            ranges
+        }
+    }
+}
+
+/// Apply one steady-state delivery to the sequential columnar state.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn deliver_columnar(
+    held: &mut ColumnarHeld,
+    rows: &mut [Vec<u64>],
+    dup: &mut u64,
+    remaining: &mut u64,
+    is_receiver: &[bool],
+    track: u64,
+    t: u64,
+    to: usize,
+    seq: u64,
+    slot_deliveries: &mut u64,
+) {
+    if !held.insert(to, seq) {
+        *dup += 1;
+        return;
+    }
+    if seq < track {
+        let cell = &mut rows[to][seq as usize];
+        if *cell == NEVER {
+            *cell = t;
+            if is_receiver[to] {
+                *remaining -= 1;
+            }
+        }
+    }
+    *slot_deliveries += 1;
+}
+
+/// One shard's disjoint window over every columnar array.
+struct ShardSlices<'a> {
+    start: usize,
+    words: &'a mut [u64],
+    spill: &'a mut [PacketSet],
+    rows: &'a mut [Vec<u64>],
+    uploads: &'a mut [u64],
+}
+
+/// Apply one steady-state delivery to a shard's state window. Counter
+/// updates are additive atomics, so totals match the sequential path
+/// regardless of scheduling.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn deliver_shard(
+    st: &mut ShardSlices<'_>,
+    stride: usize,
+    track: u64,
+    t: u64,
+    to: usize,
+    seq: u64,
+    is_receiver: &[bool],
+    remaining: &AtomicU64,
+    dup: &AtomicU64,
+    slot_deliv: &AtomicU64,
+) {
+    let li = to - st.start;
+    let w = seq / 64;
+    let fresh = if w < stride as u64 {
+        let idx = li * stride + w as usize;
+        let mask = 1u64 << (seq % 64);
+        let f = st.words[idx] & mask == 0;
+        st.words[idx] |= mask;
+        f
+    } else {
+        st.spill[li].insert(seq)
+    };
+    if !fresh {
+        dup.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if seq < track {
+        let cell = &mut st.rows[li][seq as usize];
+        if *cell == NEVER {
+            *cell = t;
+            if is_receiver[to] {
+                remaining.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+    slot_deliv.fetch_add(1, Ordering::Relaxed);
+}
+
+/// How a steady-state replay ended.
+enum SteadyEnd {
+    /// Replay ran to the stop condition; `last_send` is the last slot
+    /// whose sends were executed (for flush reconstruction).
+    Done { last_send: u64 },
+    /// A residual check failed: the periodicity declaration was wrong.
+    /// The caller discards everything and re-runs in full mode.
+    Anomaly,
+}
+
+/// Reusable mega-engine arena; see the module docs for the execution
+/// model. One instance can run many simulations without re-allocating
+/// its internal state.
+pub struct MegaEngine {
+    shards: usize,
+    state: MegaState,
+    ring: ArrivalRing,
+    stats: DenseTraffic,
+    send_counts: Vec<u32>,
+    touched: Vec<usize>,
+    out: Vec<Transmission>,
+    batch: Vec<(NodeId, PacketId)>,
+    steady_slots: u64,
+}
+
+impl Default for MegaEngine {
+    fn default() -> Self {
+        MegaEngine::new()
+    }
+}
+
+impl MegaEngine {
+    /// A fresh single-shard engine arena.
+    pub fn new() -> MegaEngine {
+        MegaEngine::with_shards(1)
+    }
+
+    /// A fresh arena replaying steady-state slots over `shards` id-range
+    /// shards (clamped to at least 1). Results are bit-identical at
+    /// every shard count — sharding only changes how the work is split.
+    pub fn with_shards(shards: usize) -> MegaEngine {
+        MegaEngine {
+            shards: shards.max(1),
+            state: MegaState {
+                held: ColumnarHeld::new(),
+                newest: Vec::new(),
+                slot: Slot(0),
+                availability: clustream_core::Availability::PreRecorded,
+            },
+            ring: ArrivalRing::new(),
+            stats: DenseTraffic::new(),
+            send_counts: Vec::new(),
+            touched: Vec::new(),
+            out: Vec::new(),
+            batch: Vec::new(),
+            steady_slots: 0,
+        }
+    }
+
+    /// Shard count this engine was configured with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Slots of the most recent run executed from the precompiled table
+    /// (0 = the whole run used full mode).
+    pub fn steady_slots(&self) -> u64 {
+        self.steady_slots
+    }
+
+    /// Run `scheme` under `cfg`. Semantics, results and errors are
+    /// bit-identical to [`crate::FastEngine::run`]; see the module docs
+    /// for how the work is executed.
+    ///
+    /// If a steady-state residual check trips mid-replay (the
+    /// periodicity declaration was wrong in a way one verified period
+    /// did not expose), the whole simulation is re-run in full mode,
+    /// which is exact by construction. Schemes declaring a period must
+    /// therefore be replayable from slot 0 — already required by the
+    /// [`SchedulePeriod`] contract, which forbids consulting the
+    /// [`StateView`] from `warmup` onward.
+    pub fn run(
+        &mut self,
+        scheme: &mut dyn Scheme,
+        cfg: &SimConfig,
+    ) -> Result<RunResult, CoreError> {
+        match self.run_attempt(scheme, cfg, true)? {
+            Some(r) => Ok(r),
+            None => match self.run_attempt(scheme, cfg, false)? {
+                Some(r) => Ok(r),
+                None => unreachable!("full mode cannot raise a steady anomaly"),
+            },
+        }
+    }
+
+    /// One attempt at running `scheme`: full mode, with lowering into
+    /// steady-state replay permitted when `allow_steady`. `Ok(None)`
+    /// means a replay residual check failed and the caller must re-run
+    /// with `allow_steady = false` (which cannot fail this way).
+    fn run_attempt(
+        &mut self,
+        scheme: &mut dyn Scheme,
+        cfg: &SimConfig,
+        allow_steady: bool,
+    ) -> Result<Option<RunResult>, CoreError> {
+        use clustream_telemetry::names as tm;
+        let _run_span = cfg.telemetry.span(tm::ENGINE_RUN);
+        let n_ids = scheme.id_space();
+        if n_ids == 0 {
+            return Err(CoreError::InvalidConfig("empty id space".into()));
+        }
+        let receivers = scheme.receivers();
+        for r in &receivers {
+            if r.index() >= n_ids {
+                return Err(CoreError::UnknownNode { node: *r });
+            }
+        }
+
+        // Arena reset.
+        self.state.held.reset(n_ids, cfg.track_packets.max(63));
+        self.state.newest.clear();
+        self.state.newest.resize(n_ids, NO_PACKET);
+        self.state.slot = Slot(0);
+        self.state.availability = scheme.availability();
+        self.ring.reset(n_ids);
+        self.stats.reset(n_ids);
+        self.send_counts.clear();
+        self.send_counts.resize(n_ids, 0);
+        self.touched.clear();
+        self.steady_slots = 0;
+
+        let mut arrivals = ArrivalTable::new(n_ids, cfg.track_packets);
+
+        let is_receiver: Vec<bool> = {
+            let mut v = vec![false; n_ids];
+            for r in &receivers {
+                v[r.index()] = true;
+            }
+            v
+        };
+        let mut remaining: u64 = receivers.len() as u64 * cfg.track_packets;
+
+        use rand::{Rng, SeedableRng};
+        let mut loss_report = crate::faults::LossReport::default();
+        // First cause each (node, packet) copy went missing for; key
+        // lookups only (never iterated), so a HashMap stays deterministic.
+        let mut taint: std::collections::HashMap<(u32, u64), crate::faults::FaultCause> =
+            std::collections::HashMap::new();
+        let mut rng = cfg
+            .faults
+            .as_ref()
+            .map(|f| rand_chacha::ChaCha8Rng::seed_from_u64(f.seed));
+        let mut trace = cfg.record_trace.then(crate::trace::EventTrace::default);
+
+        // Lowering only arms on clean runs of schemes declaring a period
+        // that leaves slots to replay within the horizon.
+        let mut lowering = if allow_steady && cfg.faults.is_none() {
+            scheme
+                .schedule_period()
+                .filter(|d| d.period >= 1)
+                .map(Lowering::new)
+                .filter(|lw| lw.steady_from < cfg.max_slots)
+        } else {
+            None
+        };
+        let mut steady: Option<(SteadyTables, u64)> = None;
+
+        let mut slots_run = 0;
+        for t in 0..cfg.max_slots {
+            // Hand off to steady-state replay once one recorded period
+            // has been verified against a second generated period.
+            if lowering.as_ref().is_some_and(|lw| lw.ready(t)) {
+                let tbl = lowering.as_ref().expect("checked above").compile();
+                let ranges = shard_ranges(n_ids, self.shards, scheme.shard_boundaries());
+                let end = if ranges.len() > 1 && trace.is_none() {
+                    self.steady_sharded(
+                        cfg,
+                        &tbl,
+                        &ranges,
+                        &mut arrivals,
+                        &mut remaining,
+                        &is_receiver,
+                        &mut slots_run,
+                    )
+                } else {
+                    self.steady_sequential(
+                        cfg,
+                        &tbl,
+                        &mut arrivals,
+                        &mut remaining,
+                        &is_receiver,
+                        &mut trace,
+                        &mut slots_run,
+                    )
+                };
+                match end {
+                    SteadyEnd::Anomaly => return Ok(None),
+                    SteadyEnd::Done { last_send } => steady = Some((tbl, last_send)),
+                }
+                break;
+            }
+
+            self.state.slot = Slot(t);
+            slots_run = t + 1;
+
+            // 1. Deliver packets whose arrival slot was t − 1.
+            let mut slot_deliveries: u64 = 0;
+            if t > 0 {
+                let cell_idx = self.ring.cell_index(t - 1);
+                if !self.ring.cells[cell_idx].is_empty() {
+                    std::mem::swap(&mut self.ring.cells[cell_idx], &mut self.batch);
+                    for k in 0..self.batch.len() {
+                        let (to, packet) = self.batch[k];
+                        self.ring.release(cell_idx, to);
+                        // Fail-stopped receivers drop arrivals on the floor.
+                        if let Some(f) = &cfg.faults {
+                            if f.stopped(to, t - 1) {
+                                loss_report.stopped_receives += 1;
+                                taint
+                                    .entry((to.0, packet.seq()))
+                                    .or_insert(crate::faults::FaultCause::Crash);
+                                continue;
+                            }
+                        }
+                        if !self.state.held.insert(to.index(), packet.seq()) {
+                            self.stats.duplicate_deliveries += 1;
+                            continue;
+                        }
+                        let nw = &mut self.state.newest[to.index()];
+                        if *nw == NO_PACKET || packet.seq() > *nw {
+                            *nw = packet.seq();
+                        }
+                        if packet.seq() < cfg.track_packets
+                            && is_receiver[to.index()]
+                            && arrivals.usable_slot(to, packet).is_none()
+                        {
+                            remaining -= 1;
+                        }
+                        arrivals.record(to, packet, Slot(t));
+                        slot_deliveries += 1;
+                    }
+                    self.batch.clear();
+                }
+            }
+            cfg.telemetry
+                .counter(tm::ENGINE_DELIVERIES, slot_deliveries);
+            cfg.telemetry
+                .observe(tm::ENGINE_SLOT_DELIVERIES, slot_deliveries);
+
+            if cfg.stop_when_complete && remaining == 0 {
+                break;
+            }
+
+            // 2. Ask the scheme for this slot's transmissions.
+            self.out.clear();
+            let mut out = std::mem::take(&mut self.out);
+            scheme.transmissions(Slot(t), &self.state, &mut out);
+            self.out = out;
+
+            // Record/verify the declared period. Observing before
+            // validation is safe: on a clean run every generated
+            // transmission either validates or errors the whole run.
+            if let Some(lw) = lowering.as_mut() {
+                lw.observe(t, &self.out);
+            }
+
+            // 3. Validate and queue.
+            for idx in self.touched.drain(..) {
+                self.send_counts[idx] = 0;
+            }
+            for i in 0..self.out.len() {
+                let tx = self.out[i];
+                if tx.from.index() >= n_ids {
+                    return Err(CoreError::UnknownNode { node: tx.from });
+                }
+                if tx.to.index() >= n_ids {
+                    return Err(CoreError::UnknownNode { node: tx.to });
+                }
+                if tx.latency == 0 {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "zero-latency transmission {} → {}",
+                        tx.from, tx.to
+                    )));
+                }
+
+                if let Some(f) = &cfg.faults {
+                    if f.crashed(tx.from, t) {
+                        loss_report.crash_suppressed += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Crash);
+                        continue;
+                    }
+                }
+
+                if tx.from.is_source() {
+                    if !self.state.availability.produced(tx.packet, Slot(t)) {
+                        return Err(CoreError::PacketNotProduced {
+                            slot: Slot(t),
+                            packet: tx.packet,
+                        });
+                    }
+                } else if !self.state.held.contains(tx.from.index(), tx.packet.seq()) {
+                    if let Some(f) = &cfg.faults {
+                        let cause = taint
+                            .get(&(tx.from.0, tx.packet.seq()))
+                            .copied()
+                            .unwrap_or(crate::faults::default_cause(f));
+                        loss_report.propagation_suppressed += 1;
+                        match cause {
+                            crate::faults::FaultCause::Loss => {
+                                loss_report.propagation_from_loss += 1
+                            }
+                            crate::faults::FaultCause::Crash => {
+                                loss_report.propagation_from_crash += 1
+                            }
+                        }
+                        taint.entry((tx.to.0, tx.packet.seq())).or_insert(cause);
+                        continue;
+                    }
+                    return Err(CoreError::PacketNotHeld {
+                        node: tx.from,
+                        slot: Slot(t),
+                        packet: tx.packet,
+                    });
+                }
+
+                let c = &mut self.send_counts[tx.from.index()];
+                if *c == 0 {
+                    self.touched.push(tx.from.index());
+                }
+                *c += 1;
+                let cap = scheme.send_capacity(tx.from);
+                if *c as usize > cap {
+                    return Err(CoreError::SendCapacityExceeded {
+                        node: tx.from,
+                        slot: Slot(t),
+                        capacity: cap,
+                    });
+                }
+
+                if let (Some(f), Some(r)) = (&cfg.faults, rng.as_mut()) {
+                    if f.loss_rate > 0.0 && r.gen_bool(f.loss_rate) {
+                        loss_report.lost_in_flight += 1;
+                        taint
+                            .entry((tx.to.0, tx.packet.seq()))
+                            .or_insert(crate::faults::FaultCause::Loss);
+                        continue;
+                    }
+                }
+
+                if tx.latency as u64 + 1 > self.ring.window {
+                    self.ring.grow(tx.latency as u64, t);
+                }
+                let arrival_slot = t + tx.latency as u64 - 1;
+                if !self.ring.try_reserve(arrival_slot, tx.to) {
+                    let cell = &self.ring.cells[self.ring.cell_index(arrival_slot)];
+                    let other = cell
+                        .iter()
+                        .find(|(to, _)| *to == tx.to)
+                        .map(|&(_, p)| p)
+                        .unwrap_or(tx.packet);
+                    return Err(CoreError::ReceiveCollision {
+                        node: tx.to,
+                        slot: Slot(arrival_slot),
+                        packets: (other, tx.packet),
+                    });
+                }
+                let cell_idx = self.ring.cell_index(arrival_slot);
+                self.ring.cells[cell_idx].push((tx.to, tx.packet));
+                self.stats.record(&tx);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(t, &tx);
+                }
+            }
+        }
+
+        // 4. Flush deliveries completing after the last slot, in
+        //    ascending arrival-slot order.
+        let first_unflushed = slots_run.saturating_sub(1);
+        match &steady {
+            None => {
+                for arrival_slot in first_unflushed..first_unflushed + self.ring.window {
+                    let cell_idx = self.ring.cell_index(arrival_slot);
+                    if self.ring.cells[cell_idx].is_empty() {
+                        continue;
+                    }
+                    std::mem::swap(&mut self.ring.cells[cell_idx], &mut self.batch);
+                    for &(to, packet) in &self.batch {
+                        if let Some(f) = &cfg.faults {
+                            if f.stopped(to, arrival_slot) {
+                                loss_report.stopped_receives += 1;
+                                continue;
+                            }
+                        }
+                        arrivals.record(to, packet, Slot(arrival_slot + 1));
+                    }
+                    self.batch.clear();
+                }
+            }
+            Some((tbl, last_send)) => {
+                // No faults possible here (lowering never arms with a
+                // fault plan): ramp leftovers drain from the ring and
+                // in-flight pattern sends re-derive arithmetically.
+                let horizon = self.ring.window.max(tbl.max_latency);
+                for arrival_slot in first_unflushed..first_unflushed + horizon {
+                    if arrival_slot < first_unflushed + self.ring.window {
+                        let cell_idx = self.ring.cell_index(arrival_slot);
+                        if !self.ring.cells[cell_idx].is_empty() {
+                            std::mem::swap(&mut self.ring.cells[cell_idx], &mut self.batch);
+                            for &(to, packet) in &self.batch {
+                                arrivals.record(to, packet, Slot(arrival_slot + 1));
+                            }
+                            self.batch.clear();
+                        }
+                    }
+                    let ra = ((arrival_slot - tbl.base) % tbl.period) as usize;
+                    for e in &tbl.arrs[ra] {
+                        let l = e.latency as u64;
+                        if arrival_slot + 1 < l {
+                            continue;
+                        }
+                        let s = arrival_slot + 1 - l;
+                        if s >= tbl.steady_from && s <= *last_send {
+                            let seq = e.packet0 + (s - (tbl.base + e.j));
+                            arrivals.record(NodeId(e.to), PacketId(seq), Slot(arrival_slot + 1));
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Analyse playback per receiver (identical tail to the fast
+        //    engine).
+        let mut nodes = Vec::with_capacity(receivers.len());
+        for r in &receivers {
+            let (delay, buffer) = if cfg.faults.is_some() {
+                let pb = arrivals.analyze_lossy(*r);
+                if pb.missing > 0 {
+                    loss_report.missing.push((*r, pb.missing));
+                    cfg.telemetry.counter(tm::ENGINE_HICCUPS, 1);
+                }
+                (pb.playback_delay, pb.max_buffer)
+            } else {
+                let pb = arrivals.analyze(*r)?;
+                (pb.playback_delay, pb.max_buffer)
+            };
+            cfg.telemetry.observe(tm::ENGINE_PLAYBACK_DELAY, delay);
+            cfg.telemetry
+                .observe(tm::ENGINE_BUFFER_OCCUPANCY, buffer as u64);
+            nodes.push(NodeQos {
+                node: *r,
+                playback_delay: delay,
+                max_buffer: buffer,
+                out_neighbors: self.stats.out_nb[r.index()].len(),
+                in_neighbors: self.stats.in_nb[r.index()].len(),
+                neighbors: self.stats.degree(*r),
+            });
+        }
+
+        cfg.telemetry.counter(tm::ENGINE_SLOTS, slots_run);
+        cfg.telemetry
+            .counter(tm::ENGINE_TRANSMISSIONS, self.stats.total_transmissions);
+
+        let resilience = cfg.faults.as_ref().map(|_| {
+            crate::resilience::ResilienceMetrics::from_missing(loss_report.total_missing() as u64)
+        });
+        Ok(Some(RunResult {
+            scheme: scheme.name(),
+            slots_run,
+            arrivals,
+            qos: QosReport::new(scheme.name(), nodes),
+            total_transmissions: self.stats.total_transmissions,
+            duplicate_deliveries: self.stats.duplicate_deliveries,
+            loss: cfg.faults.as_ref().map(|_| loss_report),
+            trace,
+            upload_counts: self.stats.uploads.clone(),
+            resilience,
+        }))
+    }
+
+    /// Sequential steady-state replay from `tbl.steady_from` until the
+    /// stop condition, updating `slots_run` per slot like the full loop.
+    #[allow(clippy::too_many_arguments)]
+    fn steady_sequential(
+        &mut self,
+        cfg: &SimConfig,
+        tbl: &SteadyTables,
+        arrivals: &mut ArrivalTable,
+        remaining: &mut u64,
+        is_receiver: &[bool],
+        trace: &mut Option<crate::trace::EventTrace>,
+        slots_run: &mut u64,
+    ) -> SteadyEnd {
+        use clustream_telemetry::names as tm;
+        let track = arrivals.track_packets();
+        let t0 = tbl.steady_from;
+        // Past this slot every ramp-phase send has arrived: the ring is
+        // empty and the per-send collision probe can be skipped.
+        let ring_live_until = t0 + self.ring.window;
+        // Past this slot the table is statically self-feeding (see
+        // [`SteadyTables::feed_slack`]): the ring is drained, every
+        // holding check provably passes, and — untraced — the send loop
+        // has no observable effect beyond its counters, which the
+        // blazing loop below accumulates in closed form instead.
+        let check_free_from = match tbl.feed_slack {
+            Some(slack) if trace.is_none() => t0
+                .saturating_add(slack)
+                .max(ring_live_until.saturating_add(1)),
+            _ => u64::MAX,
+        };
+        let mut last_send = t0 - 1;
+        let mut stopped = false;
+        let mut t = t0;
+        while t < cfg.max_slots && t < check_free_from {
+            *slots_run = t + 1;
+            let mut slot_deliveries: u64 = 0;
+
+            // Ramp-phase in-flight arrivals still drain from the ring.
+            let cell_idx = self.ring.cell_index(t - 1);
+            if !self.ring.cells[cell_idx].is_empty() {
+                std::mem::swap(&mut self.ring.cells[cell_idx], &mut self.batch);
+                for k in 0..self.batch.len() {
+                    let (to, packet) = self.batch[k];
+                    self.ring.release(cell_idx, to);
+                    deliver_columnar(
+                        &mut self.state.held,
+                        arrivals.rows_mut(),
+                        &mut self.stats.duplicate_deliveries,
+                        remaining,
+                        is_receiver,
+                        track,
+                        t,
+                        to.index(),
+                        packet.seq(),
+                        &mut slot_deliveries,
+                    );
+                }
+                self.batch.clear();
+            }
+
+            // Precompiled deliveries whose arrival slot was t − 1.
+            let ra = ((t - 1 - tbl.base) % tbl.period) as usize;
+            for e in &tbl.arrs[ra] {
+                let s = t - e.latency as u64;
+                if s < t0 {
+                    continue;
+                }
+                let seq = e.packet0 + (s - (tbl.base + e.j));
+                deliver_columnar(
+                    &mut self.state.held,
+                    arrivals.rows_mut(),
+                    &mut self.stats.duplicate_deliveries,
+                    remaining,
+                    is_receiver,
+                    track,
+                    t,
+                    e.to as usize,
+                    seq,
+                    &mut slot_deliveries,
+                );
+            }
+            cfg.telemetry
+                .counter(tm::ENGINE_DELIVERIES, slot_deliveries);
+            cfg.telemetry
+                .observe(tm::ENGINE_SLOT_DELIVERIES, slot_deliveries);
+
+            if cfg.stop_when_complete && *remaining == 0 {
+                stopped = true;
+                break;
+            }
+
+            // Replayed sends: residual holding check plus (while ramp
+            // arrivals are in flight) a collision probe — everything
+            // else the full loop validates is statically impossible for
+            // a verified table.
+            let js = ((t - tbl.base) % tbl.period) as usize;
+            let delta = t - (tbl.base + js as u64);
+            let probe_ring = t <= ring_live_until;
+            for e in &tbl.sends[js] {
+                let seq = e.packet0 + delta;
+                if e.from != 0 && !self.state.held.contains(e.from as usize, seq) {
+                    return SteadyEnd::Anomaly;
+                }
+                if probe_ring && self.ring.reserved(t + e.latency as u64 - 1, NodeId(e.to)) {
+                    return SteadyEnd::Anomaly;
+                }
+                self.stats.uploads[e.from as usize] += 1;
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(
+                        t,
+                        &Transmission {
+                            from: NodeId(e.from),
+                            to: NodeId(e.to),
+                            packet: PacketId(seq),
+                            latency: e.latency,
+                        },
+                    );
+                }
+            }
+            self.stats.total_transmissions += tbl.sends[js].len() as u64;
+            self.steady_slots += 1;
+            last_send = t;
+            t += 1;
+        }
+        if stopped || t >= cfg.max_slots {
+            return SteadyEnd::Done { last_send };
+        }
+        if tbl.collision_free && !cfg.telemetry.enabled() {
+            // Collision-free deliveries commute across slots, and with
+            // telemetry off no per-slot observation remains: replay the
+            // pattern entry-outer in streaming order instead.
+            return self.steady_analytic(
+                cfg,
+                tbl,
+                arrivals,
+                remaining,
+                is_receiver,
+                slots_run,
+                t,
+                last_send,
+            );
+        }
+
+        // Blazing phase: the ring is empty and the holding checks are
+        // statically discharged, so each slot is just its deliveries
+        // plus the stop check — the send loop's only residue is its
+        // counters, accumulated in closed form after the loop.
+        let blaze_start = t;
+        while t < cfg.max_slots {
+            *slots_run = t + 1;
+            let mut slot_deliveries: u64 = 0;
+            let ra = ((t - 1 - tbl.base) % tbl.period) as usize;
+            for e in &tbl.arrs[ra] {
+                let s = t - e.latency as u64;
+                if s < t0 {
+                    continue;
+                }
+                let seq = e.packet0 + (s - (tbl.base + e.j));
+                deliver_columnar(
+                    &mut self.state.held,
+                    arrivals.rows_mut(),
+                    &mut self.stats.duplicate_deliveries,
+                    remaining,
+                    is_receiver,
+                    track,
+                    t,
+                    e.to as usize,
+                    seq,
+                    &mut slot_deliveries,
+                );
+            }
+            cfg.telemetry
+                .counter(tm::ENGINE_DELIVERIES, slot_deliveries);
+            cfg.telemetry
+                .observe(tm::ENGINE_SLOT_DELIVERIES, slot_deliveries);
+            if cfg.stop_when_complete && *remaining == 0 {
+                break;
+            }
+            t += 1;
+        }
+        // Send slots blaze_start..t completed in full (a stop breaks
+        // before the sends of its slot, exactly like the loops above).
+        for (js, lst) in tbl.sends.iter().enumerate() {
+            let cnt = phase_count(blaze_start, t, tbl.base, js as u64, tbl.period);
+            if cnt == 0 {
+                continue;
+            }
+            for e in lst {
+                self.stats.uploads[e.from as usize] += cnt;
+            }
+            self.stats.total_transmissions += cnt * lst.len() as u64;
+        }
+        self.steady_slots += t - blaze_start;
+        SteadyEnd::Done {
+            last_send: t.saturating_sub(1).max(last_send),
+        }
+    }
+
+    /// Entry-outer blazing phase: once the careful loop has discharged
+    /// the ring and the holding checks, a collision-free table's
+    /// remaining observable work is pure delivery replay — and because
+    /// no two entries ever touch the same `(receiver, seq)` cell, the
+    /// deliveries of different slots commute. So instead of walking
+    /// slots (two random memory accesses per delivery), walk *entries*:
+    /// each entry's deliveries form an arithmetic seq progression with
+    /// stride `period` inside one receiver's rows — streaming access.
+    /// The stop slot is computed up front from the still-needed cells
+    /// (each has exactly one covering entry, hence an exact delivery
+    /// slot), which also removes the per-slot stop check.
+    #[allow(clippy::too_many_arguments)]
+    fn steady_analytic(
+        &mut self,
+        cfg: &SimConfig,
+        tbl: &SteadyTables,
+        arrivals: &mut ArrivalTable,
+        remaining: &mut u64,
+        is_receiver: &[bool],
+        slots_run: &mut u64,
+        blaze_start: u64,
+        last_send: u64,
+    ) -> SteadyEnd {
+        let track = arrivals.track_packets();
+        let t0 = tbl.steady_from;
+        let p = tbl.period;
+
+        // Exclusive end of applied arrival slots: stop slot + 1 when the
+        // run completes in-horizon, else the horizon itself.
+        let mut arr_end = cfg.max_slots;
+        let mut will_stop = false;
+        if cfg.stop_when_complete && *remaining > 0 {
+            // An entry delivers seq at slot `t(seq) = base + j + L +
+            // (seq − packet0)` provided its send slot `t − L ≥ t0`. Per
+            // still-needed cell, collision-freedom gives at most one
+            // covering entry, so the slot the run completes is the max
+            // of these per-cell delivery slots — exact, no simulation.
+            let mut ents: Vec<(u32, u64, i128, u64)> = tbl
+                .arrs
+                .iter()
+                .flatten()
+                .map(|a| {
+                    let l = a.latency as u64;
+                    (
+                        a.to,
+                        a.packet0 % p,
+                        (tbl.base + a.j + l) as i128 - a.packet0 as i128,
+                        l,
+                    )
+                })
+                .collect();
+            ents.sort_unstable_by_key(|e| e.0);
+            let rows = arrivals.rows_mut();
+            let mut latest = blaze_start;
+            let mut covered = true;
+            let mut lo = 0usize;
+            'nodes: for (to, row) in rows.iter().enumerate() {
+                while lo < ents.len() && (ents[lo].0 as usize) < to {
+                    lo += 1;
+                }
+                let mut hi = lo;
+                while hi < ents.len() && ents[hi].0 as usize == to {
+                    hi += 1;
+                }
+                let group = &ents[lo..hi];
+                lo = hi;
+                if !is_receiver[to] {
+                    continue;
+                }
+                for (seq, &cell) in row.iter().enumerate() {
+                    if cell != NEVER {
+                        continue;
+                    }
+                    let seq = seq as u64;
+                    let mut t_seq: Option<i128> = None;
+                    for g in group {
+                        if seq % p != g.1 {
+                            continue;
+                        }
+                        let tt = g.2 + seq as i128;
+                        if tt - g.3 as i128 >= t0 as i128 {
+                            t_seq = Some(t_seq.map_or(tt, |b: i128| b.min(tt)));
+                        }
+                    }
+                    match t_seq {
+                        Some(tt) if tt < cfg.max_slots as i128 => {
+                            latest = latest.max(tt as u64);
+                        }
+                        _ => {
+                            // Some needed cell is never (in-horizon)
+                            // delivered: the run cannot complete.
+                            covered = false;
+                            break 'nodes;
+                        }
+                    }
+                }
+            }
+            if covered {
+                arr_end = latest + 1;
+                will_stop = true;
+            }
+        }
+        // Send slots: a stop breaks before the sends of its slot.
+        let send_end = if will_stop {
+            arr_end - 1
+        } else {
+            cfg.max_slots
+        };
+
+        // One up-front stride grow sized for the largest replayed seq
+        // keeps the insert hot path columnar throughout.
+        if let Some(off) = tbl.off {
+            let max_seq = arr_end as i128 - 1 + off;
+            if max_seq >= 0 {
+                self.state.held.ensure_covers(max_seq as u64);
+            }
+        }
+
+        let held = &mut self.state.held;
+        let dup = &mut self.stats.duplicate_deliveries;
+        let rows = arrivals.rows_mut();
+        for e in tbl.arrs.iter().flatten() {
+            let to = e.to as usize;
+            let l = e.latency as u64;
+            // First replayed arrival slot ≥ blaze_start; earlier ones
+            // ran in the careful loop, and `blaze_start > t0 +
+            // max_latency` keeps every send slot ≥ t0 automatically.
+            let rem = (tbl.base + e.j) % p;
+            let s_min = blaze_start - l;
+            let mut s = s_min + (rem + p - s_min % p) % p;
+            let s_end = arr_end.saturating_sub(l);
+            while s < s_end {
+                let seq = e.packet0 + (s - (tbl.base + e.j));
+                if !held.insert(to, seq) {
+                    *dup += 1;
+                } else if seq < track {
+                    let cell = &mut rows[to][seq as usize];
+                    if *cell == NEVER {
+                        *cell = s + l;
+                        if is_receiver[to] {
+                            *remaining -= 1;
+                        }
+                    }
+                }
+                s += p;
+            }
+        }
+        debug_assert!(!will_stop || *remaining == 0);
+
+        for (js, lst) in tbl.sends.iter().enumerate() {
+            let cnt = phase_count(blaze_start, send_end, tbl.base, js as u64, p);
+            if cnt == 0 {
+                continue;
+            }
+            for e in lst {
+                self.stats.uploads[e.from as usize] += cnt;
+            }
+            self.stats.total_transmissions += cnt * lst.len() as u64;
+        }
+        self.steady_slots += send_end - blaze_start;
+        *slots_run = arr_end;
+        SteadyEnd::Done {
+            last_send: send_end.saturating_sub(1).max(last_send),
+        }
+    }
+
+    /// Sharded steady-state replay: id-range shards process their own
+    /// deliveries and sends in parallel each slot, while the coordinator
+    /// applies cross-shard traffic — the super-node exchange — plus ring
+    /// leftovers sequentially between barrier waits. Bit-identical to
+    /// [`MegaEngine::steady_sequential`] at every shard count: every
+    /// write lands in exactly one shard's window or in the coordinator's
+    /// exchange phase, and all shared counters are additive.
+    #[allow(clippy::too_many_arguments)]
+    fn steady_sharded(
+        &mut self,
+        cfg: &SimConfig,
+        tbl: &SteadyTables,
+        ranges: &[(usize, usize)],
+        arrivals: &mut ArrivalTable,
+        remaining_io: &mut u64,
+        is_receiver: &[bool],
+        slots_run: &mut u64,
+    ) -> SteadyEnd {
+        use clustream_telemetry::names as tm;
+        use std::sync::{Barrier, Mutex};
+
+        let MegaEngine {
+            state,
+            ring,
+            stats,
+            batch,
+            steady_slots,
+            ..
+        } = self;
+        let track = arrivals.track_packets();
+        let t0 = tbl.steady_from;
+        let ring_live_until = t0 + ring.window;
+        let k = ranges.len();
+        let pz = tbl.period as usize;
+        let shard_of = |id: u32| ranges.partition_point(|&(_, end)| end <= id as usize);
+
+        // Split the table: traffic whose sender and receiver share a
+        // shard runs on that shard's worker; the rest is exchange-phase
+        // work. Sends are grouped by the sender's shard (the holding
+        // check and upload counter live there).
+        let mut send_local: Vec<Vec<Vec<SendEntry>>> = vec![vec![Vec::new(); pz]; k];
+        let mut arr_local: Vec<Vec<Vec<ArrEntry>>> = vec![vec![Vec::new(); pz]; k];
+        let mut arr_cross: Vec<Vec<ArrEntry>> = vec![Vec::new(); pz];
+        for (js, slot) in tbl.sends.iter().enumerate() {
+            for e in slot {
+                send_local[shard_of(e.from)][js].push(*e);
+            }
+        }
+        for (ra, slot) in tbl.arrs.iter().enumerate() {
+            for e in slot {
+                if shard_of(e.from) == shard_of(e.to) {
+                    arr_local[shard_of(e.to)][ra].push(*e);
+                } else {
+                    arr_cross[ra].push(*e);
+                }
+            }
+        }
+
+        let workers = k.min(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2),
+        );
+        let remaining = AtomicU64::new(*remaining_io);
+        let dup = AtomicU64::new(0);
+        let slot_deliv = AtomicU64::new(0);
+        let anomaly = AtomicBool::new(false);
+        let slot_cell = AtomicU64::new(0);
+        let claim = ClaimCounter::new();
+
+        let mut t = t0;
+        let mut last_send = t0 - 1;
+        let mut total_tx = 0u64;
+        let mut steady_count = 0u64;
+        let mut undo_js: Option<usize> = None;
+        let mut stopped = false;
+
+        while t < cfg.max_slots && !stopped && !anomaly.load(Ordering::Relaxed) {
+            // A columnar re-layout moves every word, so it must not race
+            // the worker scope: pre-grow the stride to cover at least the
+            // next chunk of slots and run the chunk with it frozen.
+            let chunk_end = match tbl.off {
+                None => cfg.max_slots,
+                Some(off) => {
+                    let want = (t + CHUNK_MIN_SLOTS) as i128 + off;
+                    if want >= 0 {
+                        state.held.ensure_covers(want as u64);
+                    }
+                    let covered = (state.held.stride as u64).saturating_mul(64) as i128;
+                    let horizon = (covered - off).clamp(0, cfg.max_slots as i128) as u64;
+                    if horizon <= t {
+                        // Budget-capped stride: the spill sets absorb
+                        // everything past it, no more re-layouts.
+                        cfg.max_slots
+                    } else {
+                        horizon
+                    }
+                }
+            };
+            let stride = state.held.stride;
+
+            // Disjoint per-shard windows over every columnar array.
+            let mut shard_states: Vec<Mutex<ShardSlices<'_>>> = Vec::with_capacity(k);
+            {
+                let mut words = &mut state.held.words[..];
+                let mut spill = &mut state.held.spill[..];
+                let mut rows = arrivals.rows_mut();
+                let mut uploads = &mut stats.uploads[..];
+                for &(s0, s1) in ranges {
+                    let n = s1 - s0;
+                    let (w, wr) = words.split_at_mut(n * stride);
+                    words = wr;
+                    let (sp, spr) = spill.split_at_mut(n);
+                    spill = spr;
+                    let (rw, rwr) = rows.split_at_mut(n);
+                    rows = rwr;
+                    let (up, upr) = uploads.split_at_mut(n);
+                    uploads = upr;
+                    shard_states.push(Mutex::new(ShardSlices {
+                        start: s0,
+                        words: w,
+                        spill: sp,
+                        rows: rw,
+                        uploads: up,
+                    }));
+                }
+            }
+            let barrier_start = Barrier::new(workers + 1);
+            let barrier_end = Barrier::new(workers + 1);
+
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let (shard_states, claim) = (&shard_states, &claim);
+                    let (send_local, arr_local) = (&send_local, &arr_local);
+                    let (barrier_start, barrier_end) = (&barrier_start, &barrier_end);
+                    let (slot_cell, remaining, dup, slot_deliv, anomaly) =
+                        (&slot_cell, &remaining, &dup, &slot_deliv, &anomaly);
+                    scope.spawn(move || loop {
+                        barrier_start.wait();
+                        let ts = slot_cell.load(Ordering::Acquire);
+                        if ts == u64::MAX {
+                            break;
+                        }
+                        let ra = ((ts - 1 - tbl.base) % tbl.period) as usize;
+                        let js = ((ts - tbl.base) % tbl.period) as usize;
+                        let delta = ts - (tbl.base + js as u64);
+                        while let Some(i) = claim.claim(k) {
+                            let mut guard = shard_states[i].lock().expect("shard lock");
+                            let st = &mut *guard;
+                            for e in &arr_local[i][ra] {
+                                let s = ts - e.latency as u64;
+                                if s < t0 {
+                                    continue;
+                                }
+                                let seq = e.packet0 + (s - (tbl.base + e.j));
+                                deliver_shard(
+                                    st,
+                                    stride,
+                                    track,
+                                    ts,
+                                    e.to as usize,
+                                    seq,
+                                    is_receiver,
+                                    remaining,
+                                    dup,
+                                    slot_deliv,
+                                );
+                            }
+                            for e in &send_local[i][js] {
+                                let seq = e.packet0 + delta;
+                                if e.from != 0 {
+                                    let li = e.from as usize - st.start;
+                                    let w = seq / 64;
+                                    let held = if w < stride as u64 {
+                                        st.words[li * stride + w as usize] & (1u64 << (seq % 64))
+                                            != 0
+                                    } else {
+                                        st.spill[li].contains(seq)
+                                    };
+                                    if !held {
+                                        anomaly.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                                st.uploads[e.from as usize - st.start] += 1;
+                            }
+                        }
+                        barrier_end.wait();
+                    });
+                }
+
+                // Coordinator: per slot, sequential exchange phase, one
+                // parallel round, then accounting.
+                while t < chunk_end {
+                    *slots_run = t + 1;
+                    let ra = ((t - 1 - tbl.base) % tbl.period) as usize;
+                    let js = ((t - tbl.base) % tbl.period) as usize;
+
+                    // Exchange 1: ramp-phase ring leftovers. Applied
+                    // before the round so replayed relays see them.
+                    let cell_idx = ring.cell_index(t - 1);
+                    if !ring.cells[cell_idx].is_empty() {
+                        std::mem::swap(&mut ring.cells[cell_idx], batch);
+                        for &(to, packet) in batch.iter() {
+                            ring.release(cell_idx, to);
+                            let mut guard =
+                                shard_states[shard_of(to.0)].lock().expect("shard lock");
+                            deliver_shard(
+                                &mut guard,
+                                stride,
+                                track,
+                                t,
+                                to.index(),
+                                packet.seq(),
+                                is_receiver,
+                                &remaining,
+                                &dup,
+                                &slot_deliv,
+                            );
+                        }
+                        batch.clear();
+                    }
+
+                    // Exchange 2: cross-shard precompiled traffic — the
+                    // super-node backbone between clusters. Same-slot
+                    // relays inside the receiving shard depend on these,
+                    // so they land before the parallel round.
+                    for e in &arr_cross[ra] {
+                        let s = t - e.latency as u64;
+                        if s < t0 {
+                            continue;
+                        }
+                        let seq = e.packet0 + (s - (tbl.base + e.j));
+                        let mut guard = shard_states[shard_of(e.to)].lock().expect("shard lock");
+                        deliver_shard(
+                            &mut guard,
+                            stride,
+                            track,
+                            t,
+                            e.to as usize,
+                            seq,
+                            is_receiver,
+                            &remaining,
+                            &dup,
+                            &slot_deliv,
+                        );
+                    }
+
+                    // Residual collision probe while ramp arrivals are
+                    // still in flight.
+                    if t <= ring_live_until
+                        && tbl.sends[js]
+                            .iter()
+                            .any(|e| ring.reserved(t + e.latency as u64 - 1, NodeId(e.to)))
+                    {
+                        anomaly.store(true, Ordering::Relaxed);
+                        break;
+                    }
+
+                    // Parallel round: workers claim shards and apply
+                    // shard-local deliveries then sends.
+                    slot_cell.store(t, Ordering::Release);
+                    claim.reset();
+                    barrier_start.wait();
+                    barrier_end.wait();
+
+                    let sd = slot_deliv.swap(0, Ordering::Relaxed);
+                    cfg.telemetry.counter(tm::ENGINE_DELIVERIES, sd);
+                    cfg.telemetry.observe(tm::ENGINE_SLOT_DELIVERIES, sd);
+                    if anomaly.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if cfg.stop_when_complete && remaining.load(Ordering::Relaxed) == 0 {
+                        // The tracked window completed during this slot's
+                        // deliveries; the full loop stops before this
+                        // slot's sends, so un-account them afterwards.
+                        undo_js = Some(js);
+                        stopped = true;
+                        break;
+                    }
+                    total_tx += tbl.sends[js].len() as u64;
+                    steady_count += 1;
+                    last_send = t;
+                    t += 1;
+                }
+
+                // Park the workers out of the round loop.
+                slot_cell.store(u64::MAX, Ordering::Release);
+                claim.reset();
+                barrier_start.wait();
+            });
+        }
+
+        stats.duplicate_deliveries += dup.load(Ordering::Relaxed);
+        stats.total_transmissions += total_tx;
+        *steady_slots += steady_count;
+        *remaining_io = remaining.load(Ordering::Relaxed);
+        if let Some(js) = undo_js {
+            for e in &tbl.sends[js] {
+                stats.uploads[e.from as usize] -= 1;
+            }
+        }
+        if anomaly.load(Ordering::Relaxed) {
+            return SteadyEnd::Anomaly;
+        }
+        SteadyEnd::Done { last_send }
+    }
+}
+
+/// Stateless façade over [`MegaEngine`] matching the
+/// [`crate::FastSimulator`] API shape.
+pub struct MegaSimulator;
+
+impl MegaSimulator {
+    /// Run `scheme` under `cfg` on a fresh single-shard [`MegaEngine`].
+    pub fn run(scheme: &mut dyn Scheme, cfg: &SimConfig) -> Result<RunResult, CoreError> {
+        MegaEngine::new().run(scheme, cfg)
+    }
+
+    /// Run `scheme` under `cfg` on a fresh [`MegaEngine`] with `shards`
+    /// in-run shards. Bit-identical to [`MegaSimulator::run`].
+    pub fn run_sharded(
+        scheme: &mut dyn Scheme,
+        cfg: &SimConfig,
+        shards: usize,
+    ) -> Result<RunResult, CoreError> {
+        MegaEngine::with_shards(shards).run(scheme, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff_fields;
+    use crate::FastSimulator;
+    use clustream_core::SOURCE;
+
+    /// The engine-test chain, here *declaring* its periodicity so the
+    /// steady-state path engages: from slot `n` on, every relay is
+    /// active and the pattern repeats every slot with packet delta 1.
+    struct Chain {
+        n: usize,
+    }
+    impl Scheme for Chain {
+        fn name(&self) -> String {
+            format!("chain({})", self.n)
+        }
+        fn num_receivers(&self) -> usize {
+            self.n
+        }
+        fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+            let t = slot.t();
+            out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+            for i in 1..self.n as u64 {
+                if t >= i {
+                    out.push(Transmission::local(
+                        NodeId(i as u32),
+                        NodeId(i as u32 + 1),
+                        PacketId(t - i),
+                    ));
+                }
+            }
+        }
+        fn schedule_period(&self) -> Option<SchedulePeriod> {
+            Some(SchedulePeriod {
+                warmup: self.n as u64,
+                period: 1,
+            })
+        }
+    }
+
+    #[test]
+    fn columnar_held_insert_dedup_and_grow() {
+        let mut h = ColumnarHeld::new();
+        h.reset(3, 63);
+        assert_eq!(h.stride, 1);
+        assert!(h.insert(1, 5));
+        assert!(!h.insert(1, 5), "duplicate insert must report stale");
+        assert!(h.contains(1, 5));
+        assert!(!h.contains(2, 5));
+        // An out-of-range seq triggers a columnar re-layout.
+        assert!(h.insert(2, 1000));
+        assert!(h.contains(2, 1000));
+        assert!(h.contains(1, 5), "grow must preserve existing bits");
+        assert!(h.stride >= 16);
+    }
+
+    #[test]
+    fn grow_migrates_spill_bits_into_columns() {
+        let mut h = ColumnarHeld::new();
+        h.reset(2, 63);
+        h.spill[1].insert(70);
+        h.grow(2);
+        assert!(h.contains(1, 70), "spilled bit must move into the columns");
+        assert!(h.spill[1].words.iter().all(|&w| w == 0));
+        assert!(!h.contains(0, 70));
+    }
+
+    #[test]
+    fn shard_ranges_split_and_boundaries() {
+        assert_eq!(shard_ranges(10, 1, None), vec![(0, 10)]);
+        assert_eq!(shard_ranges(10, 2, None), vec![(0, 5), (5, 10)]);
+        // Natural cluster boundaries are respected exactly.
+        let r = shard_ranges(22, 3, Some(vec![1, 8, 15]));
+        assert_eq!(r, vec![(0, 8), (8, 15), (15, 22)]);
+        // More shards than groups collapses to the group count.
+        let r = shard_ranges(22, 8, Some(vec![8, 15]));
+        assert_eq!(r, vec![(0, 8), (8, 15), (15, 22)]);
+        // Equal split always covers 0..n contiguously.
+        let r = shard_ranges(9, 4, None);
+        assert_eq!(r.first().unwrap().0, 0);
+        assert_eq!(r.last().unwrap().1, 9);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn steady_replay_matches_fast_engine() {
+        let cfg = SimConfig::until_complete(40, 500);
+        let want = FastSimulator::run(&mut Chain { n: 6 }, &cfg).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut Chain { n: 6 }, &cfg).unwrap();
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert!(
+            eng.steady_slots() > 0,
+            "declared chain must engage steady mode"
+        );
+    }
+
+    #[test]
+    fn traced_steady_run_matches_fast_trace() {
+        let cfg = SimConfig::until_complete(12, 200).traced();
+        let want = FastSimulator::run(&mut Chain { n: 4 }, &cfg).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut Chain { n: 4 }, &cfg).unwrap();
+        assert!(eng.steady_slots() > 0);
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert_eq!(want.trace, got.trace, "steady trace must be identical");
+    }
+
+    #[test]
+    fn sharded_replay_is_bit_identical() {
+        let cfg = SimConfig::until_complete(48, 800);
+        let mut base_eng = MegaEngine::with_shards(1);
+        let base = base_eng.run(&mut Chain { n: 9 }, &cfg).unwrap();
+        assert!(base_eng.steady_slots() > 0);
+        for k in [2usize, 3, 5] {
+            let mut eng = MegaEngine::with_shards(k);
+            let got = eng.run(&mut Chain { n: 9 }, &cfg).unwrap();
+            assert_eq!(
+                diff_fields(&base, &got),
+                Vec::<&str>::new(),
+                "shards = {k} diverged from shards = 1"
+            );
+            assert_eq!(eng.steady_slots(), base_eng.steady_slots());
+        }
+        // And the whole thing still equals the fast engine.
+        let want = FastSimulator::run(&mut Chain { n: 9 }, &cfg).unwrap();
+        assert_eq!(diff_fields(&want, &base), Vec::<&str>::new());
+    }
+
+    /// A scheme whose declaration is a lie: it only transmits on even
+    /// slots but claims period 1. Verification must catch it and the
+    /// run must fall back to (exact) full mode.
+    struct EvenOnly;
+    impl Scheme for EvenOnly {
+        fn name(&self) -> String {
+            "even-only".into()
+        }
+        fn num_receivers(&self) -> usize {
+            1
+        }
+        fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+            let t = slot.t();
+            if t.is_multiple_of(2) {
+                out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t / 2)));
+            }
+        }
+        fn schedule_period(&self) -> Option<SchedulePeriod> {
+            Some(SchedulePeriod {
+                warmup: 0,
+                period: 1,
+            })
+        }
+    }
+
+    #[test]
+    fn wrong_declaration_is_caught_by_verification() {
+        let cfg = SimConfig {
+            max_slots: 40,
+            track_packets: 8,
+            ..SimConfig::default()
+        };
+        let want = FastSimulator::run(&mut EvenOnly, &cfg).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut EvenOnly, &cfg).unwrap();
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert_eq!(
+            eng.steady_slots(),
+            0,
+            "failed verification must keep the run in full mode"
+        );
+    }
+
+    /// A declaration that *passes* verification but collides later: a
+    /// one-shot long-latency send from slot 0 lands on the same arrival
+    /// slot as a replayed steady send. The residual ring probe must
+    /// abort the replay, and the full-mode re-run must reproduce the
+    /// fast engine's error exactly.
+    struct Colliding;
+    impl Scheme for Colliding {
+        fn name(&self) -> String {
+            "colliding".into()
+        }
+        fn num_receivers(&self) -> usize {
+            1
+        }
+        fn send_capacity(&self, node: NodeId) -> usize {
+            if node.is_source() {
+                2
+            } else {
+                1
+            }
+        }
+        fn transmissions(&mut self, slot: Slot, _: &dyn StateView, out: &mut Vec<Transmission>) {
+            let t = slot.t();
+            if t == 0 {
+                out.push(Transmission::remote(SOURCE, NodeId(1), PacketId(99), 40));
+            }
+            out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+        }
+        fn schedule_period(&self) -> Option<SchedulePeriod> {
+            Some(SchedulePeriod {
+                warmup: 1,
+                period: 1,
+            })
+        }
+    }
+
+    #[test]
+    fn steady_anomaly_reruns_and_reproduces_fast_error() {
+        let cfg = SimConfig {
+            max_slots: 100,
+            track_packets: 4,
+            ..SimConfig::default()
+        };
+        let want = FastSimulator::run(&mut Colliding, &cfg).unwrap_err();
+        let got = MegaSimulator::run(&mut Colliding, &cfg).unwrap_err();
+        assert!(matches!(got, CoreError::ReceiveCollision { .. }), "{got}");
+        assert_eq!(want.to_string(), got.to_string());
+    }
+
+    #[test]
+    fn full_mode_matches_fast_for_undeclared_schemes() {
+        // Without a declaration the mega engine is the fast engine on
+        // columnar state; exercise faults through it too.
+        struct Undeclared {
+            n: usize,
+        }
+        impl Scheme for Undeclared {
+            fn name(&self) -> String {
+                format!("undeclared({})", self.n)
+            }
+            fn num_receivers(&self) -> usize {
+                self.n
+            }
+            fn transmissions(
+                &mut self,
+                slot: Slot,
+                _: &dyn StateView,
+                out: &mut Vec<Transmission>,
+            ) {
+                let t = slot.t();
+                out.push(Transmission::local(SOURCE, NodeId(1), PacketId(t)));
+                for i in 1..self.n as u64 {
+                    if t >= i {
+                        out.push(Transmission::local(
+                            NodeId(i as u32),
+                            NodeId(i as u32 + 1),
+                            PacketId(t - i),
+                        ));
+                    }
+                }
+            }
+        }
+        let clean = SimConfig::until_complete(16, 300);
+        let want = FastSimulator::run(&mut Undeclared { n: 5 }, &clean).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut Undeclared { n: 5 }, &clean).unwrap();
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert_eq!(eng.steady_slots(), 0);
+
+        let lossy = SimConfig::with_faults(16, 120, crate::faults::FaultPlan::loss(0.15, 7));
+        let want = FastSimulator::run(&mut Undeclared { n: 5 }, &lossy).unwrap();
+        let got = MegaSimulator::run(&mut Undeclared { n: 5 }, &lossy).unwrap();
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert_eq!(want.loss, got.loss);
+    }
+
+    #[test]
+    fn faults_disable_lowering_even_when_declared() {
+        // A declared scheme under a fault plan must run fully live: the
+        // replay cannot model crash suppression.
+        let cfg = SimConfig::with_faults(12, 150, crate::faults::FaultPlan::crash(NodeId(3), 9));
+        let want = FastSimulator::run(&mut Chain { n: 6 }, &cfg).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut Chain { n: 6 }, &cfg).unwrap();
+        assert_eq!(eng.steady_slots(), 0);
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+        assert_eq!(want.loss, got.loss);
+    }
+
+    #[test]
+    fn fixed_horizon_steady_run_flushes_in_flight_sends() {
+        // No early stop: the run ends mid-steady-state with pattern
+        // sends still in flight; the arithmetic flush must record them.
+        let cfg = SimConfig {
+            max_slots: 60,
+            track_packets: 50,
+            ..SimConfig::default()
+        };
+        let want = FastSimulator::run(&mut Chain { n: 7 }, &cfg).unwrap();
+        let mut eng = MegaEngine::new();
+        let got = eng.run(&mut Chain { n: 7 }, &cfg).unwrap();
+        assert!(eng.steady_slots() > 0);
+        assert_eq!(diff_fields(&want, &got), Vec::<&str>::new());
+    }
+}

@@ -19,6 +19,43 @@ use clustream_telemetry::{names, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+/// Dynamic work-claiming counter shared by a pool of workers.
+///
+/// Each worker repeatedly [`claims`](ClaimCounter::claim) the next unit
+/// index until the pool is drained — the scheduling idiom behind both
+/// the sweep workers below and the mega engine's in-run shard rounds
+/// (`crate::mega`). Claiming is a single relaxed `fetch_add`; any
+/// ordering the caller needs between rounds comes from its own
+/// synchronisation (the sweep joins its threads, the mega engine sits
+/// between barrier waits).
+#[derive(Debug, Default)]
+pub struct ClaimCounter {
+    next: AtomicUsize,
+}
+
+impl ClaimCounter {
+    /// A fresh counter starting at unit 0.
+    pub fn new() -> Self {
+        ClaimCounter {
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next unit index, or `None` once `limit` units have been
+    /// handed out.
+    #[inline]
+    pub fn claim(&self, limit: usize) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < limit).then_some(i)
+    }
+
+    /// Rewind to unit 0 for the next round. Callers must ensure no
+    /// worker is claiming concurrently (e.g. by a barrier).
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Number of worker threads a sweep will use for `n_cells` cells.
 pub fn sweep_threads(n_cells: usize) -> usize {
     std::thread::available_parallelism()
@@ -99,7 +136,7 @@ where
         return results;
     }
 
-    let next = AtomicUsize::new(0);
+    let next = ClaimCounter::new();
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
@@ -114,11 +151,7 @@ where
                             format!("{}{w}", names::SWEEP_WORKER_CLAIMS_PREFIX),
                         )
                     });
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= cells.len() {
-                            break;
-                        }
+                    while let Some(i) = next.claim(cells.len()) {
                         match &probe {
                             Some((busy, _)) => {
                                 let start = Instant::now();

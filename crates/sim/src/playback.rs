@@ -29,7 +29,7 @@ pub struct ArrivalTable {
     slots: Vec<Vec<u64>>,
 }
 
-const NEVER: u64 = u64::MAX;
+pub(crate) const NEVER: u64 = u64::MAX;
 
 impl ArrivalTable {
     /// An empty table covering `n_ids` node ids and `track_packets` packets.
@@ -61,6 +61,15 @@ impl ArrivalTable {
         if *cell == NEVER {
             *cell = usable_from.t();
         }
+    }
+
+    /// Mutable borrow of every per-node arrival row, `u64::MAX` meaning
+    /// "never arrived". The mega engine's columnar steady-state path
+    /// writes first arrivals directly into range-sharded row slices,
+    /// bypassing the per-call logic of [`ArrivalTable::record`]; writers
+    /// must preserve the first-wins rule themselves.
+    pub(crate) fn rows_mut(&mut self) -> &mut [Vec<u64>] {
+        &mut self.slots
     }
 
     /// First slot `packet` is usable at `node`, if it ever arrived.

@@ -116,8 +116,8 @@ pub mod prelude {
     pub use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
     pub use clustream_recovery::{RecoveryConfig, RecoveryMode, SelfHealingMultiTree};
     pub use clustream_sim::{
-        diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, RunResult,
-        SimConfig, Simulator,
+        diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, MegaEngine,
+        MegaSimulator, RunResult, SimConfig, Simulator,
     };
     pub use clustream_telemetry::{MemoryRecorder, Recorder, Telemetry};
     pub use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};

@@ -1,7 +1,7 @@
 //! Guard rails for the tiered CI gate itself: `ci.sh` must reject an
 //! unknown tier up front (before any cargo command burns minutes) with
 //! an error naming the valid tiers, and the script must keep advertising
-//! both tiers so the cheap pre-flight here stays honest.
+//! all three tiers so the cheap pre-flight here stays honest.
 
 use std::path::Path;
 use std::process::Command;
@@ -30,7 +30,7 @@ fn unknown_tier_fails_fast_and_lists_valid_tiers() {
         "must echo the bad tier: {stderr}"
     );
     assert!(
-        stderr.contains("quick, full"),
+        stderr.contains("quick, full, scale"),
         "must list the valid tiers: {stderr}"
     );
     assert!(
@@ -51,10 +51,18 @@ fn script_parses_and_defines_both_tiers() {
 
     let text = std::fs::read_to_string(ci_script()).unwrap();
     for needle in [
-        "quick | full)",
+        "quick | full | scale)",
         "TIER=\"${1:-full}\"",
         "bench_check",
         "RUSTDOCFLAGS=\"-D warnings\"",
+        // The scale tier: the mega-engine CLI smoke (sequential and
+        // sharded runs against the fast engine) plus the scaling bench
+        // gate, under the per-stage wall-clock budget with its
+        // machine-readable timing artifact.
+        "--engine mega --shards 4",
+        "--suite scale",
+        "CI_STAGE_BUDGET_SECS",
+        "target/ci-timings.json",
         // The model-checker stages: corpus replay guards every tier's
         // edit loop; the exhaustive lattice and the fixed-seed explore
         // smoke guard the merge gate.
@@ -126,5 +134,30 @@ fn cluster_smokes_sit_on_the_right_tiers() {
     assert!(
         kill > full_gate && heal > full_gate,
         "the 32-node cluster smokes are merge-gate-only"
+    );
+}
+
+#[test]
+fn mega_scale_smoke_runs_in_scale_and_full_tiers() {
+    // The mega smoke is gated on `scale || full`, sitting between the
+    // quick stages and the full-only block; the scaling bench gate is
+    // scale-tier-only.
+    let text = std::fs::read_to_string(ci_script()).unwrap();
+    let smoke_gate = text
+        .find("[ \"$TIER\" = scale ] || [ \"$TIER\" = full ]")
+        .expect("ci.sh lost the scale/full smoke gate");
+    let smoke = text
+        .find("stage \"mega scale smoke")
+        .expect("ci.sh lost the mega scale smoke stage");
+    let scale_only = text
+        .find("[ \"$TIER\" = scale ];")
+        .expect("ci.sh lost the scale-only block");
+    let bench_gate = text
+        .find("stage \"bench scale gate")
+        .expect("ci.sh lost the bench scale gate stage");
+    assert!(smoke > smoke_gate, "smoke must sit in the scale/full gate");
+    assert!(
+        bench_gate > scale_only,
+        "the scaling bench gate is scale-tier-only"
     );
 }

@@ -1,9 +1,11 @@
-//! Differential-testing suite: the fast engine must produce results
-//! **bit-identical** to the reference engine for every scheme family —
-//! multi-tree forests (both constructions), chained hypercubes (special
-//! and arbitrary `N`, grouped splits), the baselines, and composed
-//! multi-cluster overlay sessions — across arbitrary populations,
-//! degrees, inter-cluster latencies, traces and fault plans.
+//! Differential-testing suite: the fast and mega engines must produce
+//! results **bit-identical** to the reference engine for every scheme
+//! family — multi-tree forests (both constructions), chained hypercubes
+//! (special and arbitrary `N`, grouped splits), the baselines, and
+//! composed multi-cluster overlay sessions — across arbitrary
+//! populations, degrees, inter-cluster latencies, traces and fault
+//! plans. The mega engine's in-run sharding is additionally held to
+//! `--shards 1 ≡ --shards k` bit-determinism at every shard count.
 //!
 //! The oracle is [`DiffHarness::check`]: it runs one fresh scheme
 //! instance per engine and compares the [`RunResult`]s field by field
@@ -160,6 +162,49 @@ proptest! {
         );
         prop_assert!(div.is_none(), "{div:?}");
     }
+
+    /// In-run sharding is pure parallelism: a sharded mega run must be
+    /// bit-identical to the sequential (`--shards 1`) run at any shard
+    /// count, with or without natural group boundaries.
+    #[test]
+    fn mega_shard_counts_are_bit_identical(
+        n in 2usize..90,
+        d in 1usize..5,
+        shards in 2usize..6,
+        track in 1u64..32,
+    ) {
+        let cfg = SimConfig::until_complete(track, 100_000);
+        let mut a = MultiTreeScheme::new(greedy_forest(n, d).unwrap(), StreamMode::PreRecorded);
+        let mut b = MultiTreeScheme::new(greedy_forest(n, d).unwrap(), StreamMode::PreRecorded);
+        let seq = MegaSimulator::run_sharded(&mut a, &cfg, 1).unwrap();
+        let sh = MegaSimulator::run_sharded(&mut b, &cfg, shards).unwrap();
+        let diffs = diff_fields(&seq, &sh);
+        prop_assert!(diffs.is_empty(), "shards={shards}: {diffs:?}");
+    }
+
+    /// Sharded composed sessions: the declared cluster boundaries give
+    /// each shard whole clusters, leaving the super-node exchange as
+    /// the only cross-shard coupling — still bit-identical.
+    #[test]
+    fn mega_sharded_sessions_agree(
+        k in 2usize..4,
+        cluster_size in 2usize..8,
+        t_c in 2u32..20,
+        shards in 2usize..5,
+    ) {
+        let sizes = vec![cluster_size; k];
+        let mk = |sizes: &[usize]| ClusterSession::new(
+            sizes,
+            3,
+            t_c,
+            IntraScheme::MultiTree { d: 2, construction: Construction::Greedy },
+        ).unwrap();
+        let cfg = SimConfig::until_complete(12, 100_000);
+        let seq = MegaSimulator::run(&mut mk(&sizes), &cfg).unwrap();
+        let sh = MegaSimulator::run_sharded(&mut mk(&sizes), &cfg, shards).unwrap();
+        let diffs = diff_fields(&seq, &sh);
+        prop_assert!(diffs.is_empty(), "k={k} shards={shards}: {diffs:?}");
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -248,6 +293,68 @@ fn regression_live_modes_engines_agree() {
             &SimConfig::until_complete(24, 100_000).traced(),
         );
         assert!(div.is_none(), "{mode:?}: {div:?}");
+    }
+}
+
+/// A packet crossing a shard boundary through the super-node exchange:
+/// in a sharded session each cluster is its own shard, so cluster
+/// `i > 0`'s head node receives every packet from the *previous*
+/// cluster's shard — coordinator work between barrier waits. Pin one
+/// such packet end to end: its arrival slot at every cluster head must
+/// exist, be strictly later per hop (the `t_c` backbone latency), and
+/// agree with the reference engine at every shard count.
+#[test]
+fn regression_cluster_boundary_packet_across_shard_exchange() {
+    let sizes = [5usize, 5, 5];
+    let t_c = 9u32;
+    let mk = || {
+        Box::new(
+            ClusterSession::new(
+                &sizes,
+                3,
+                t_c,
+                IntraScheme::MultiTree {
+                    d: 2,
+                    construction: Construction::Greedy,
+                },
+            )
+            .unwrap(),
+        )
+    };
+    let cfg = SimConfig::until_complete(16, 100_000);
+    let reference = Simulator::run(mk().as_mut(), &cfg).unwrap();
+    for shards in [1usize, 2, 3, 5] {
+        let sharded = MegaSimulator::run_sharded(mk().as_mut(), &cfg, shards).unwrap();
+        let diffs = diff_fields(&reference, &sharded);
+        assert!(diffs.is_empty(), "shards={shards}: {diffs:?}");
+        // Heads of clusters 1 and 2 are the first ids past each
+        // boundary; packet 0 reaches them only over the exchange.
+        let head1 = NodeId(sizes[0] as u32 + 1);
+        let head2 = NodeId((sizes[0] + sizes[1]) as u32 + 1);
+        let a0 = sharded.arrivals.usable_slot(NodeId(1), PacketId(0));
+        let a1 = sharded.arrivals.usable_slot(head1, PacketId(0));
+        let a2 = sharded.arrivals.usable_slot(head2, PacketId(0));
+        let (a0, a1, a2) = (
+            a0.expect("cluster 0 head missing packet 0").t(),
+            a1.expect("cluster 1 head missing packet 0").t(),
+            a2.expect("cluster 2 head missing packet 0").t(),
+        );
+        // Any path into a non-first cluster crosses at least one
+        // backbone edge of latency t_c, so the packet cannot be usable
+        // before slot t_c — and the slots must match the reference
+        // engine's cell for cell (the exchange preserved them).
+        assert!(
+            a1 >= t_c as u64 && a2 >= t_c as u64,
+            "shards={shards}: boundary packet skipped the exchange: {a0} {a1} {a2}"
+        );
+        for (head, got) in [(NodeId(1), a0), (head1, a1), (head2, a2)] {
+            let want = reference
+                .arrivals
+                .usable_slot(head, PacketId(0))
+                .unwrap()
+                .t();
+            assert_eq!(got, want, "shards={shards}: {head} packet 0 slot moved");
+        }
     }
 }
 

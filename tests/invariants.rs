@@ -41,7 +41,7 @@ fn registry_encodes_theorem2_and_buffer_bounds() {
             assert_eq!(b.buffer, tree_height(n, d) * d as u64 + 1);
             assert_eq!(b.neighbors, 2 * d as u64);
             let rep = check_genome(&g);
-            assert_eq!(rep.runs, 4, "reference, fast, des, des-wheel");
+            assert_eq!(rep.runs, 5, "reference, fast, mega, des, des-wheel");
             assert!(
                 rep.violations.is_empty(),
                 "n={n} d={d} {construction:?}: {:?}",
@@ -53,8 +53,8 @@ fn registry_encodes_theorem2_and_buffer_bounds() {
 
 /// A debug-build-sized slice of the exhaustive lattice (the full `N ≤ 64`
 /// sweep runs in release CI): every family, degree, construction and
-/// canonical fault plan, on all four engine columns (reference, fast,
-/// heap-DES, wheel-DES), zero violations.
+/// canonical fault plan, on all five engine columns (reference, fast,
+/// mega, heap-DES, wheel-DES), zero violations.
 #[test]
 fn exhaustive_lattice_slice_is_clean() {
     let opts = LatticeOptions {
@@ -76,7 +76,7 @@ fn exhaustive_lattice_slice_is_clean() {
         "lattice too small: {}",
         report.genomes
     );
-    assert_eq!(report.runs, 4 * report.genomes);
+    assert_eq!(report.runs, 5 * report.genomes);
     let recovery = exhaustive_recovery(&opts);
     assert!(
         recovery.violations.is_empty(),
@@ -138,9 +138,10 @@ fn shrink_is_deterministic_across_processes() {
     assert!(committed.expect_violation);
 }
 
-/// Every committed corpus entry replays as recorded on all four engine
-/// columns (the wheel-backed DES included): violating entries still
-/// violate their invariant, clean pins stay clean.
+/// Every committed corpus entry replays as recorded on all five engine
+/// columns (the mega engine and the wheel-backed DES included):
+/// violating entries still violate their invariant, clean pins stay
+/// clean.
 #[test]
 fn committed_corpus_replays_green() {
     let report = replay_dir(Path::new(CORPUS_DIR)).unwrap();
@@ -150,7 +151,7 @@ fn committed_corpus_replays_green() {
         report.failures
     );
     assert!(report.entries >= 5, "corpus shrank to {}", report.entries);
-    assert_eq!(report.runs, 4 * report.entries);
+    assert_eq!(report.runs, 5 * report.entries);
 }
 
 /// The corpus entries, regenerated. Run `cargo test -q --test invariants
