@@ -8,7 +8,8 @@
 #   ci.sh quick   fmt + clippy + build + workspace tests + repro-corpus
 #                 replay + timing-wheel smoke + loopback cluster smoke
 #                 + chaos-transport smoke (5% loss + a gray node), both
-#                 closed by the DES replay oracle (the edit loop)
+#                 closed by the DES replay oracle + flash-crowd smoke
+#                 (10^3 joins, slot = DES oracle-closed) (the edit loop)
 #   ci.sh scale   quick + the N=10^5 mega-engine smoke (fast ≡ mega ≡
 #                 sharded through the real CLI) + the scaling bench gate
 #                 (bench_check --suite scale: exact fields on every
@@ -17,8 +18,9 @@
 #                 matrix + exhaustive invariant lattice + coverage-guided
 #                 explore smoke + 32-node kill-injection cluster smoke +
 #                 32-node partition-and-heal chaos run with live repair +
-#                 mega scale smoke + bench regression check (the merge
-#                 gate; default when no tier is given)
+#                 mega scale smoke + 10^5-join flash crowd on mega +
+#                 heterogeneity capacity-class sweep + bench regression
+#                 check (the merge gate; default when no tier is given)
 #
 # Per-stage wall-clock timings are printed at the end of the run and
 # written to target/ci-timings.json. Every stage must finish inside
@@ -182,6 +184,36 @@ cluster_chaos_smoke() {
         replay --trace "$trace" --min-concordance 0.85
 }
 
+flash_crowd_smoke() {
+    # The flash-crowd scenario suite in the edit loop: grow a 100-node
+    # forest by 10^3 joins through the appendix add dynamics, score the
+    # QoE frontiers, and close the run against the DES (--oracle: slot
+    # engine and event world must replay the same plan bit for bit).
+    cargo run -q --release --offline -p clustream-bench --bin ext_flash_crowd -- \
+        --n0 100 --d 3 --joins 1000 --oracle \
+        --out target/ci-flash-crowd.json
+}
+
+flash_crowd_full() {
+    # The acceptance-scale crowd: 10^5 joins within a few hundred slots
+    # on the mega engine, frontier tables plus the JSON QoE report. The
+    # default 256-slot tracked window outlasts the ramp (ends slot 210),
+    # so the interruption frontier must close at the paper's h*d bound.
+    cargo run -q --release --offline -p clustream-bench --bin ext_flash_crowd -- \
+        --n0 1000 --d 3 --joins 100000 --engine mega \
+        --out target/ci-flash-crowd-100k.json
+}
+
+heterogeneity_sweep() {
+    # The heterogeneity sweep through the serialized DES uplink gate:
+    # fiber baseline, zipf fiber/cable/mobile mix, and a mobile-heavy
+    # tail, with latency jitter (what makes class capacity bite),
+    # per-class QoE at the h*d budget, and the JSON report array.
+    cargo run -q --release --offline -p clustream-bench --bin ext_heterogeneity -- \
+        --n 400 --d 3 --jitter 0.75 \
+        --out target/ci-heterogeneity.json
+}
+
 cluster_chaos_heal_smoke() {
     # The chaos acceptance run: 32 node processes over TCP loopback with
     # two transient source-link partitions plus a SIGKILL with live
@@ -244,6 +276,7 @@ stage "repro-corpus replay" corpus_replay
 stage "timing-wheel smoke (wheel queue)" wheel_smoke
 stage "cluster smoke (8 nodes, uds + replay oracle)" cluster_smoke
 stage "cluster chaos smoke (8 nodes, uds + loss/gray + replay oracle)" cluster_chaos_smoke
+stage "flash-crowd smoke (10^3 joins, oracle-closed)" flash_crowd_smoke
 
 if [ "$TIER" = scale ] || [ "$TIER" = full ]; then
     stage "mega scale smoke (N=1e5, fast = mega = sharded)" mega_scale_smoke
@@ -270,6 +303,8 @@ if [ "$TIER" = full ]; then
     stage "model check (explore smoke, seed 7)" model_check_explore
     stage "cluster kill-injection smoke (32 nodes, tcp + replay oracle)" cluster_kill_smoke
     stage "cluster partition-and-heal smoke (32 nodes, tcp + live repair)" cluster_chaos_heal_smoke
+    stage "flash-crowd acceptance (10^5 joins, mega + QoE frontiers)" flash_crowd_full
+    stage "heterogeneity sweep (capacity classes + per-class QoE)" heterogeneity_sweep
     # Tolerance is wider than the bench_check default: shared-container
     # timing noise of ±30% is routine here, and a real regression past
     # 2x is still caught. Correctness fields are always compared exactly.

@@ -1,0 +1,198 @@
+//! ext-F: flash crowd — grow the forest online by a join curve and score
+//! the survivors' QoE (DESIGN.md §15, EXPERIMENTS.md "flash crowd").
+//!
+//! Runs one [`ScenarioPlan`] through [`clustream_recovery::FlashCrowdScheme`]
+//! on the chosen slot engine, prints the initial-buffering and
+//! throughput–smoothness frontiers with the paper's `h·d` bound pinned
+//! as a grid row, and writes the machine-readable
+//! [`clustream_bench::scenarios::FlashCrowdReport`] as JSON.
+//!
+//! `--oracle` additionally closes the run against the DES
+//! (slot ≡ event world, bit for bit) — the CI quick-tier gate.
+
+use clustream_bench::render_table;
+use clustream_bench::scenarios::{flash_crowd_oracle, run_flash_crowd};
+use clustream_workloads::ScenarioPlan;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ext_flash_crowd [--n0 N] [--d D] [--joins J] [--scenario SPEC] \
+         [--track T] [--horizon H] [--engine reference|fast|mega] [--oracle] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut n0 = 100usize;
+    let mut d = 3usize;
+    let mut joins = 1_000u64;
+    let mut scenario: Option<String> = None;
+    // The tracked window must outlast the join curve (default ramp ends
+    // at slot 210): joiners only ever receive packets sent after they
+    // arrive, so a shorter window scores late joiners as receiving
+    // nothing and the frontier never closes.
+    let mut track = 256u64;
+    let mut horizon = 2_000u64;
+    let mut engine = "fast".to_string();
+    let mut oracle = false;
+    let mut out = "BENCH_flash_crowd.json".to_string();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        macro_rules! val {
+            () => {
+                match argv.next() {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            };
+        }
+        match arg.as_str() {
+            "--n0" => {
+                n0 = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--d" => {
+                d = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--joins" => {
+                joins = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--scenario" => scenario = Some(val!()),
+            "--track" => {
+                track = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--horizon" => {
+                horizon = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--engine" => engine = val!(),
+            "--oracle" => oracle = true,
+            "--out" => out = val!(),
+            _ => return usage(),
+        }
+    }
+    if !["reference", "fast", "mega"].contains(&engine.as_str()) {
+        eprintln!("unknown --engine `{engine}`; valid engines are: reference, fast, mega");
+        return ExitCode::from(2);
+    }
+
+    // Default curve: the whole crowd arrives as a ramp over 200 slots
+    // starting at slot 10 — "10⁵ joins within a few hundred slots".
+    let spec = scenario.unwrap_or_else(|| format!("ramp:{joins}@10+200"));
+    let plan = match ScenarioPlan::parse(&spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!("ext-F — flash crowd: n0 = {n0}, d = {d}, scenario `{spec}`, engine {engine}\n");
+    let rep = match run_flash_crowd(n0, d, &plan, track, horizon, &engine) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flash-crowd run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "joins {} | final members {} | rebuilds {} | swaps {} | settled slot {} | \
+         measured max delay {} | h·d bound {} | wall {} ms\n",
+        rep.joins_applied,
+        rep.final_members,
+        rep.rebuilds,
+        rep.total_swaps,
+        rep.settled_slot,
+        rep.max_delay,
+        rep.bound_h_d,
+        rep.wall_ms,
+    );
+
+    println!("initial buffering vs. interruption (Wait policy):\n");
+    let rows: Vec<Vec<String>> = rep
+        .initial_buffering
+        .iter()
+        .map(|p| {
+            vec![
+                format!(
+                    "{}{}",
+                    p.initial_delay,
+                    if p.initial_delay == rep.bound_h_d {
+                        " (= h·d)"
+                    } else {
+                        ""
+                    }
+                ),
+                format!("{:.4}", p.interruption_probability),
+                format!("{:.2}", p.mean_stall_slots),
+                format!("{:.4}", p.smoothness),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["delay d0", "P(interrupt)", "stall slots", "smoothness"],
+            &rows
+        )
+    );
+
+    println!("\nthroughput–smoothness frontier (both policies):\n");
+    let rows: Vec<Vec<String>> = rep
+        .throughput_smoothness
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.label().to_string(),
+                format!(
+                    "{}{}",
+                    p.initial_delay,
+                    if p.initial_delay == rep.bound_h_d {
+                        " (= h·d)"
+                    } else {
+                        ""
+                    }
+                ),
+                format!("{:.4}", p.throughput),
+                format!("{:.4}", p.smoothness),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["policy", "delay d0", "throughput", "smoothness"], &rows)
+    );
+
+    let json = serde_json::to_string_pretty(&rep).expect("serializable");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    if oracle {
+        print!("oracle: slot ≡ DES on the same plan ... ");
+        match flash_crowd_oracle(n0, d, &plan, track, horizon) {
+            Ok(()) => println!("closed"),
+            Err(div) => {
+                println!("DIVERGED");
+                eprintln!("{div}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

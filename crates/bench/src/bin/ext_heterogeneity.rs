@@ -1,0 +1,189 @@
+//! ext-G: heterogeneity — the overlay through the DES with named uplink
+//! capacity classes (DESIGN.md §15, EXPERIMENTS.md "heterogeneity").
+//!
+//! Sweeps a set of class mixes (or one `--classes` spec) through the
+//! serialized uplink gate, prints per-class QoE at the paper's `h·d`
+//! budget, and writes the machine-readable reports as a JSON array.
+//! A `--scenario` plan (regional failures, late joins) can be layered
+//! on top, reusing the `fail:`/`step:` grammar.
+
+use clustream_bench::render_table;
+use clustream_bench::scenarios::{run_heterogeneity, HeterogeneityReport};
+use clustream_des::CapacityClassPlan;
+use clustream_workloads::ScenarioPlan;
+use std::process::ExitCode;
+
+/// The default sweep: homogeneous fiber baseline, the classic zipf mix,
+/// and a mobile-heavy tail.
+const SWEEP: &[&str] = &["fiber", "fiber,cable,mobile", "mobile,cable"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ext_heterogeneity [--n N] [--d D] [--classes SPEC] [--zipf S] [--seed K] \
+         [--jitter J] [--latency-seed K] [--scenario SPEC] [--track T] [--horizon H] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut n = 400usize;
+    let mut d = 3usize;
+    let mut classes: Option<String> = None;
+    let mut zipf = 1.0f64;
+    let mut seed = 7u64;
+    // Jitter is what makes class capacity bite: under fixed latency one
+    // send per slot fits even a mobile uplink on time; jitter bunches
+    // sends into bursts that only the fat classes absorb.
+    let mut jitter = 0.75f64;
+    let mut latency_seed = 1u64;
+    let mut scenario = String::new();
+    let mut track = 48u64;
+    let mut horizon = 4_000u64;
+    let mut out = "BENCH_heterogeneity.json".to_string();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        macro_rules! val {
+            () => {
+                match argv.next() {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            };
+        }
+        match arg.as_str() {
+            "--n" => {
+                n = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--d" => {
+                d = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--classes" => classes = Some(val!()),
+            "--zipf" => {
+                zipf = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--seed" => {
+                seed = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--jitter" => {
+                jitter = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--latency-seed" => {
+                latency_seed = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--scenario" => scenario = val!(),
+            "--track" => {
+                track = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--horizon" => {
+                horizon = match val!().parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                }
+            }
+            "--out" => out = val!(),
+            _ => return usage(),
+        }
+    }
+
+    let plan = if scenario.is_empty() {
+        ScenarioPlan::default()
+    } else {
+        match ScenarioPlan::parse(&scenario) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let specs: Vec<String> = match &classes {
+        Some(s) => vec![s.clone()],
+        None => SWEEP.iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "ext-G — heterogeneity: N = {n}, d = {d}, zipf s = {zipf}, seed {seed}, \
+         jitter {jitter} slots\n"
+    );
+    let mut reports: Vec<HeterogeneityReport> = Vec::new();
+    for spec in &specs {
+        let plan_c = match CapacityClassPlan::parse(spec) {
+            Ok(p) => p.with_zipf(zipf).seeded(seed),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        };
+        match run_heterogeneity(n, d, &plan_c, &plan, track, horizon, jitter, latency_seed) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("heterogeneity run `{spec}` failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for rep in &reports {
+        for c in &rep.per_class {
+            rows.push(vec![
+                rep.classes.clone(),
+                c.class.clone(),
+                c.capacity.to_string(),
+                c.nodes.to_string(),
+                format!("{:.4}", c.qoe_wait_at_bound.interruption_probability),
+                format!("{:.2}", c.qoe_wait_at_bound.mean_stall_slots),
+                format!("{:.4}", c.qoe_wait_at_bound.smoothness),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mix",
+                "class",
+                "cap",
+                "nodes",
+                "P(interrupt) @ h·d",
+                "stall slots",
+                "smoothness"
+            ],
+            &rows
+        )
+    );
+    for rep in &reports {
+        println!(
+            "mix `{}`: max delay {} (h·d bound {}), wall {} ms",
+            rep.classes, rep.max_delay, rep.bound_h_d, rep.wall_ms
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&reports).expect("serializable");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("\nwrote {out}");
+    ExitCode::SUCCESS
+}

@@ -11,6 +11,7 @@
 #![allow(missing_docs)]
 
 pub mod experiments;
+pub mod scenarios;
 pub mod suites;
 pub mod table;
 pub mod timing;

@@ -4,17 +4,20 @@ use crate::args::{ArgMap, CliError};
 use clustream_baselines::{ChainScheme, SingleTreeScheme};
 use clustream_core::{NodeId, PacketId, Scheme};
 use clustream_des::{
-    DesConfig, DesEngine, DesOracle, LatencyModel, QueueKind, UplinkModel, TICKS_PER_SLOT,
+    CapacityClassPlan, DesConfig, DesEngine, DesOracle, LatencyModel, QueueKind, UplinkModel,
+    TICKS_PER_SLOT,
 };
 use clustream_hypercube::HypercubeStream;
 use clustream_multitree::{
     greedy_forest, node_calendar, Construction, MultiTreeScheme, StreamMode,
 };
 use clustream_overlay::{plan_session, ClusterRequirement, IntraScheme};
-use clustream_recovery::{RecoveryConfig, SelfHealingMultiTree};
+use clustream_recovery::{FlashCrowdScheme, RecoveryConfig, SelfHealingMultiTree};
 use clustream_sim::{DiffHarness, FastSimulator, MegaSimulator, RunResult, SimConfig, Simulator};
 use clustream_telemetry::{from_jsonl, names as tm, to_jsonl, Histogram, MemoryRecorder};
-use clustream_workloads::{ChurnTrace, ChurnTraceConfig};
+use clustream_workloads::{
+    summarize, ChurnTrace, ChurnTraceConfig, NodeTimeline, PlayPolicy, ScenarioPlan,
+};
 use std::fmt::Write as _;
 
 fn parse_mode(args: &ArgMap) -> Result<StreamMode, CliError> {
@@ -192,15 +195,46 @@ fn parse_uplink(args: &ArgMap) -> Result<UplinkModel, CliError> {
     }
 }
 
+/// `--classes NAME[:CAPACITY],...` — named per-node uplink capacity
+/// classes (heterogeneity), with optional `--classes-zipf` and
+/// `--classes-seed` knobs. DES runtimes only; validation of the
+/// serialized-uplink requirement lives in [`DesConfig::validate`].
+fn parse_classes(args: &ArgMap) -> Result<Option<CapacityClassPlan>, CliError> {
+    let Some(spec) = args.optional("classes") else {
+        return Ok(None);
+    };
+    let plan = CapacityClassPlan::parse(spec)
+        .map_err(CliError::Usage)?
+        .with_zipf(args.f64_or("classes-zipf", 1.0)?)
+        .seeded(args.u64_or("classes-seed", 0)?);
+    plan.validate().map_err(CliError::Usage)?;
+    Ok(Some(plan))
+}
+
 fn build_scheme(args: &ArgMap) -> Result<Box<dyn Scheme>, CliError> {
     let n = args.required_usize("n")?;
     Ok(match args.required("scheme")? {
         "multitree" => {
             let d = args.usize_or("d", 2)?;
-            Box::new(MultiTreeScheme::new(
-                greedy_forest(n, d)?,
-                parse_mode(args)?,
-            ))
+            match args.optional("scenario") {
+                // A scenario turns the static forest into the online
+                // flash-crowd dynamics (joins + regional failures
+                // scripted by the plan, applied mid-run).
+                Some(spec) => {
+                    let plan = ScenarioPlan::parse(spec).map_err(CliError::Usage)?;
+                    Box::new(FlashCrowdScheme::from_plan(
+                        n,
+                        d,
+                        parse_mode(args)?,
+                        Construction::Greedy,
+                        &plan,
+                    )?)
+                }
+                None => Box::new(MultiTreeScheme::new(
+                    greedy_forest(n, d)?,
+                    parse_mode(args)?,
+                )),
+            }
         }
         // Hypercubes default to a single chain (d = 1 source split).
         "hypercube" => {
@@ -247,6 +281,33 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
     let queue = parse_queue(args)?;
     let recovery = parse_recovery(args)?;
     let churn = parse_churn(args, args.required_usize("n")?)?;
+    let scenario = args
+        .optional("scenario")
+        .map(ScenarioPlan::parse)
+        .transpose()
+        .map_err(CliError::Usage)?;
+    if scenario.is_some() {
+        if args.required("scheme")? != "multitree" {
+            return Err(CliError::Usage(
+                "--scenario replays the flash-crowd add dynamics; it requires \
+                 --scheme multitree"
+                    .into(),
+            ));
+        }
+        if churn.is_some() {
+            return Err(CliError::Usage(
+                "--scenario compiles its own churn trace; drop the --churn-* flags".into(),
+            ));
+        }
+    }
+    let classes = parse_classes(args)?;
+    if classes.is_some() && runtime == RuntimeChoice::Slot {
+        return Err(CliError::Usage(
+            "--classes shapes per-node DES uplink credit; it needs --runtime des \
+             (and --uplink serialized)"
+                .into(),
+        ));
+    }
     if args.optional("queue").is_some() && runtime == RuntimeChoice::Slot {
         return Err(CliError::Usage(
             "--queue selects the DES event queue; it needs --runtime des or des-checked".into(),
@@ -267,15 +328,28 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
         ));
     }
     // Churned runs never "complete" (departed members stay incomplete),
-    // so they run to a finite horizon instead.
-    let horizon = match &churn {
-        Some(trace) => args.u64_or("horizon", trace.config.slots.max(4 * track))?,
-        None => 1_000_000,
+    // so they run to a finite horizon instead. Eventful scenario runs do
+    // the same, and additionally run in the fault-tolerant regime: late
+    // joiners necessarily miss the head of the window, which must be
+    // reported as loss, not a fatal hiccup.
+    let scenario_eventful = scenario
+        .as_ref()
+        .is_some_and(|p| p.total_joins() > 0 || !p.failures.is_empty());
+    let horizon = if let Some(trace) = &churn {
+        args.u64_or("horizon", trace.config.slots.max(4 * track))?
+    } else if let Some(plan) = scenario.as_ref().filter(|_| scenario_eventful) {
+        args.u64_or("horizon", plan.last_event_slot().max(track) + 4 * track)?
+    } else {
+        1_000_000
     };
     let metrics = args
         .optional("metrics-out")
         .map(|p| (p.to_string(), MemoryRecorder::handle()));
-    let mut cfg = SimConfig::until_complete(track, horizon);
+    let mut cfg = if scenario_eventful {
+        SimConfig::lossy_regime(track, horizon)
+    } else {
+        SimConfig::until_complete(track, horizon)
+    };
     if let Some((_, (_, tel))) = &metrics {
         cfg = cfg.with_telemetry(tel.clone());
     }
@@ -339,6 +413,9 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
             if let Some(trace) = churn.clone() {
                 des_cfg = des_cfg.with_churn(trace);
             }
+            if let Some(plan) = classes.clone() {
+                des_cfg = des_cfg.with_capacity_classes(plan);
+            }
             des_cfg.validate().map_err(CliError::Usage)?;
             let mut engine = DesEngine::new();
             let r = if recovery.mode.enabled() {
@@ -370,10 +447,11 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
             (label, r)
         }
         RuntimeChoice::DesChecked => {
-            if !latency.is_slot_exact() || uplink != UplinkModel::Unconstrained {
+            if !latency.is_slot_exact() || uplink != UplinkModel::Unconstrained || classes.is_some()
+            {
                 return Err(CliError::Usage(
                     "--runtime des-checked verifies the slot-faithful configuration; drop \
-                     --latency/--uplink or use --runtime des"
+                     --latency/--uplink/--classes or use --runtime des"
                         .into(),
                 ));
             }
@@ -451,6 +529,62 @@ pub fn simulate(args: &ArgMap) -> Result<String, CliError> {
             res.nacks_sent, res.retransmissions, res.repaired_packets, res.abandoned_packets
         );
         let _ = writeln!(out, "control msgs: {}", res.control_messages);
+    }
+    if let Some(plan) = &scenario {
+        // Score the survivors' QoE at the paper's h·d budget. Join slots
+        // and the id space come from a fresh replica of the crowd scheme
+        // (identity assignment is deterministic); survivors are the ids
+        // outside every failure region.
+        let crowd = FlashCrowdScheme::from_plan(
+            args.required_usize("n")?,
+            args.usize_or("d", 2)?,
+            parse_mode(args)?,
+            Construction::Greedy,
+            plan,
+        )?;
+        let join_slots = crowd.join_slots();
+        let failed = |id: u64| plan.failures.iter().any(|f| (f.lo..=f.hi).contains(&id));
+        let timelines: Vec<NodeTimeline> = (1..=crowd.num_receivers() as u64)
+            .filter(|&id| !failed(id))
+            .map(|id| NodeTimeline {
+                node: id,
+                join_slot: join_slots.get(id as usize).copied().unwrap_or(0),
+                usable: (0..track)
+                    .map(|p| {
+                        r.arrivals
+                            .usable_slot(NodeId(id as u32), PacketId(p))
+                            .map(|s| s.t())
+                    })
+                    .collect(),
+            })
+            .collect();
+        let d = args.usize_or("d", 2)?;
+        let bound = clustream_analysis::thm2_worst_delay_bound(timelines.len(), d);
+        let q = summarize(&timelines, PlayPolicy::Wait, bound);
+        let failures: u64 = plan.failures.iter().map(|f| f.hi - f.lo + 1).sum();
+        let _ = writeln!(
+            out,
+            "scenario    : `{plan}` ({} joins, {failures} regional departures)",
+            plan.total_joins()
+        );
+        let _ = writeln!(
+            out,
+            "qoe @ h·d={bound}: P(interrupt) {:.4}, {:.2} stall slots avg, \
+             smoothness {:.4}, throughput {:.4} (wait policy)",
+            q.interruption_probability, q.mean_stall_slots, q.smoothness, q.throughput
+        );
+        if let Some((_, (_, tel))) = &metrics {
+            tel.counter(tm::SCENARIO_JOINS, plan.total_joins());
+            tel.counter(tm::SCENARIO_FAILURES, failures);
+            tel.gauge(
+                tm::QOE_INTERRUPTED_PER_MILLE,
+                (q.interruption_probability * 1000.0).round() as u64,
+            );
+            tel.gauge(
+                tm::QOE_STALL_SLOTS,
+                (q.mean_stall_slots * q.nodes as f64).round() as u64,
+            );
+        }
     }
     if let Some((path, (rec, _))) = &metrics {
         std::fs::write(path, to_jsonl(&rec.snapshot()))
@@ -567,6 +701,22 @@ fn render_report(snap: &clustream_telemetry::MetricsSnapshot) -> String {
                 "  nack rtt         {:.2} slots avg, {:.2} slots max",
                 slots(h.sum()) / h.count() as f64,
                 slots(h.max())
+            );
+        }
+    }
+    if snap.counters.contains_key(tm::SCENARIO_JOINS) {
+        let _ = writeln!(
+            out,
+            "\nscenario    : {} joins, {} regional departures",
+            snap.counter(tm::SCENARIO_JOINS),
+            snap.counter(tm::SCENARIO_FAILURES)
+        );
+        if let Some(pm) = snap.gauges.get(tm::QOE_INTERRUPTED_PER_MILLE) {
+            let _ = writeln!(
+                out,
+                "qoe @ h·d   : {:.1}% interrupted, {} total stall slots (wait policy)",
+                *pm as f64 / 10.0,
+                snap.gauges.get(tm::QOE_STALL_SLOTS).copied().unwrap_or(0)
             );
         }
     }
@@ -995,6 +1145,229 @@ mod tests {
         for opt in ["heap", "wheel", "checked"] {
             assert!(err.contains(opt), "missing `{opt}` in: {err}");
         }
+    }
+
+    #[test]
+    fn scenario_runs_on_every_engine_and_runtime() {
+        // The same flash-crowd replay through the fast engine, the
+        // triple-checked slot engines and the slot/DES oracle: all four
+        // columns must close, and the surface report must agree.
+        let base = ["simulate", "--scheme", "multitree", "--n", "12", "--d", "2"];
+        let mut fast = argv(&base);
+        fast.extend(argv(&["--scenario", "step:6@2"]));
+        let out_fast = run(&fast).unwrap();
+        assert!(
+            out_fast.contains("flash-crowd(n0=12,d=2,joins=6,fails=0)"),
+            "{out_fast}"
+        );
+        assert!(
+            out_fast.contains("scenario    : `step:6@2` (6 joins"),
+            "{out_fast}"
+        );
+        assert!(out_fast.contains("qoe @ h·d="), "{out_fast}");
+
+        let mut checked = argv(&base);
+        checked.extend(argv(&["--scenario", "step:6@2", "--engine", "checked"]));
+        let out_checked = run(&checked).unwrap();
+        assert!(
+            out_checked.contains("reference ≡ fast ≡ mega"),
+            "{out_checked}"
+        );
+
+        let mut des = argv(&base);
+        des.extend(argv(&[
+            "--scenario",
+            "step:6@2",
+            "--runtime",
+            "des-checked",
+        ]));
+        let out_des = run(&des).unwrap();
+        assert!(out_des.contains("slot ≡ des"), "{out_des}");
+
+        // Identical QoE line on every column.
+        let qoe = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("qoe"))
+                .map(str::to_string)
+                .unwrap()
+        };
+        assert_eq!(qoe(&out_fast), qoe(&out_checked));
+        assert_eq!(qoe(&out_fast), qoe(&out_des));
+    }
+
+    #[test]
+    fn unknown_scenario_curve_kind_error_lists_valid_kinds() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--scenario",
+            "warp:3@1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown --scenario curve kind `warp`"),
+            "{err}"
+        );
+        for kind in ["step", "ramp", "spikes", "fail"] {
+            assert!(err.contains(kind), "missing `{kind}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn malformed_scenario_entry_follows_the_error_style() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--scenario",
+            "step:x@1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("bad --scenario entry `step:x@1`"), "{err}");
+    }
+
+    #[test]
+    fn scenario_requires_the_multitree_scheme() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "chain",
+            "--n",
+            "8",
+            "--scenario",
+            "step:4@1",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--scheme multitree"), "{err}");
+    }
+
+    #[test]
+    fn scenario_and_churn_are_mutually_exclusive() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--scenario",
+            "step:4@1",
+            "--runtime",
+            "des",
+            "--churn-leave",
+            "0.01",
+            "--churn-slots",
+            "50",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("--scenario compiles its own churn trace"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_capacity_class_error_lists_valid_classes() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--runtime",
+            "des",
+            "--uplink",
+            "serialized",
+            "--classes",
+            "fiber,dsl",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(
+            err.contains("unknown --classes capacity class `dsl`"),
+            "{err}"
+        );
+        for class in ["fiber", "cable", "mobile"] {
+            assert!(err.contains(class), "missing `{class}` in: {err}");
+        }
+    }
+
+    #[test]
+    fn classes_need_the_des_runtime_and_serialized_uplink() {
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--classes",
+            "fiber",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--runtime des"), "{err}");
+
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--runtime",
+            "des",
+            "--classes",
+            "fiber",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("serialized uplink"), "{err}");
+
+        let err = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "12",
+            "--runtime",
+            "des-checked",
+            "--classes",
+            "fiber",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("slot-faithful"), "{err}");
+    }
+
+    #[test]
+    fn classes_run_through_the_serialized_gate() {
+        let out = run(&argv(&[
+            "simulate",
+            "--scheme",
+            "multitree",
+            "--n",
+            "20",
+            "--d",
+            "2",
+            "--runtime",
+            "des",
+            "--uplink",
+            "serialized",
+            "--classes",
+            "fiber,cable:3,mobile",
+            "--classes-seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("des events"), "{out}");
+        assert!(out.contains("max delay"), "{out}");
     }
 
     #[test]

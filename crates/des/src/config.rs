@@ -1,5 +1,6 @@
 //! DES run configuration: a [`SimConfig`] plus network-model knobs.
 
+use crate::capacity::CapacityClassPlan;
 use crate::latency::LatencyModel;
 use crate::replay::RecordedLatencies;
 use crate::uplink::UplinkModel;
@@ -56,6 +57,12 @@ pub struct DesConfig {
     pub latency: LatencyModel,
     /// Uplink contention model.
     pub uplink: UplinkModel,
+    /// Named per-node capacity classes (heterogeneity). Requires the
+    /// [`UplinkModel::Serialized`] gate — classes reshape uplink credit,
+    /// which the unconstrained model ignores; [`DesConfig::validate`]
+    /// rejects the combination. Non-source nodes draw a class by seeded
+    /// zipf; the source keeps the scheme's capacity.
+    pub capacity_classes: Option<CapacityClassPlan>,
     /// Seed for the latency model's noise process (unused by
     /// [`LatencyModel::Fixed`]).
     pub latency_seed: u64,
@@ -86,6 +93,7 @@ impl DesConfig {
             sim,
             latency: LatencyModel::Fixed,
             uplink: UplinkModel::Unconstrained,
+            capacity_classes: None,
             latency_seed: 0,
             churn: None,
             recovery: RecoveryConfig::default(),
@@ -103,6 +111,13 @@ impl DesConfig {
     /// Replace the uplink model.
     pub fn with_uplink(mut self, uplink: UplinkModel) -> Self {
         self.uplink = uplink;
+        self
+    }
+
+    /// Install per-node capacity classes (implies a serialized uplink;
+    /// validation enforces it).
+    pub fn with_capacity_classes(mut self, plan: CapacityClassPlan) -> Self {
+        self.capacity_classes = Some(plan);
         self
     }
 
@@ -142,6 +157,7 @@ impl DesConfig {
     pub fn is_slot_faithful(&self) -> bool {
         self.latency.is_slot_exact()
             && self.uplink == UplinkModel::Unconstrained
+            && self.capacity_classes.is_none()
             && self.churn.is_none()
             && !self.recovery.mode.enabled()
             && self.recorded.is_none()
@@ -150,6 +166,16 @@ impl DesConfig {
     /// Validate model parameters.
     pub fn validate(&self) -> Result<(), String> {
         self.latency.validate()?;
+        if let Some(classes) = &self.capacity_classes {
+            classes.validate()?;
+            if self.uplink != UplinkModel::Serialized {
+                return Err(
+                    "--classes requires the serialized uplink model (--uplink serialized): \
+                     capacity classes reshape uplink credit, which the unconstrained model ignores"
+                        .into(),
+                );
+            }
+        }
         self.recovery.validate()
     }
 }
@@ -208,6 +234,20 @@ mod tests {
         }
         assert_eq!(QueueKind::default(), QueueKind::Heap);
         assert_eq!(QueueKind::Wheel.label(), "wheel");
+    }
+
+    #[test]
+    fn capacity_classes_require_the_serialized_uplink() {
+        let plan = crate::capacity::CapacityClassPlan::parse("fiber,mobile").unwrap();
+        let cfg = DesConfig::slot_faithful(SimConfig::until_complete(8, 100))
+            .with_capacity_classes(plan.clone());
+        assert!(!cfg.is_slot_faithful());
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("serialized uplink"), "{err}");
+
+        let ok = cfg.with_uplink(UplinkModel::Serialized);
+        assert!(ok.validate().is_ok());
+        assert!(!ok.is_slot_faithful());
     }
 
     #[test]

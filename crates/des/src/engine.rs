@@ -290,6 +290,10 @@ impl DesEngine {
         // slots never repeat, so claims are never released; see
         // [`ArrivalRing`] for why a ring replaces a hash map here.
         let mut occupied = ArrivalRing::new(n_ids);
+        // Heterogeneity: per-node uplink capacities from the class plan,
+        // overriding the scheme's uniform capacity for non-source
+        // senders at the serialized gate.
+        let class_caps: Option<Vec<usize>> = cfg.capacity_classes.as_ref().map(|p| p.assign(n_ids));
         // Relaxed mode: calendar entries waiting for their packet, keyed
         // by (sender, packet). A BTreeMap so the end-of-run leftover
         // attribution walks entries in a deterministic order.
@@ -504,7 +508,10 @@ impl DesEngine {
                         if let Some(txs) = waiting.remove(&(to.0, packet.seq())) {
                             for tx in txs {
                                 self.stats.released_sends += 1;
-                                let cap = scheme.send_capacity(tx.from);
+                                let cap = match &class_caps {
+                                    Some(c) if !tx.from.is_source() => c[tx.from.index()],
+                                    _ => scheme.send_capacity(tx.from),
+                                };
                                 admit_relaxed(
                                     &tx,
                                     ev.time,
@@ -855,7 +862,10 @@ impl DesEngine {
                                     .push(*tx);
                                 continue;
                             }
-                            let cap = scheme.send_capacity(tx.from);
+                            let cap = match &class_caps {
+                                Some(c) if !tx.from.is_source() => c[tx.from.index()],
+                                _ => scheme.send_capacity(tx.from),
+                            };
                             admit_relaxed(
                                 tx,
                                 ev.time,

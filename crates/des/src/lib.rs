@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -51,6 +52,7 @@ pub mod replay;
 pub mod uplink;
 pub mod wheel;
 
+pub use capacity::{CapacityClass, CapacityClassPlan};
 pub use config::{DesConfig, QueueKind};
 pub use engine::{DesEngine, DesStats};
 pub use event::{Event, EventKind, EventQueue, HeapQueue, TICKS_PER_SLOT};

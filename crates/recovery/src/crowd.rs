@@ -1,0 +1,419 @@
+//! The flash-crowd scheme: online forest growth replayed identically by
+//! every engine.
+//!
+//! [`FlashCrowdScheme`] wraps a [`DynamicForest`] like
+//! [`crate::SelfHealingMultiTree`], but instead of reacting to engine
+//! [`clustream_core::Scheme::membership_event`] callbacks it carries its
+//! own script: a slot-sorted list of resolved churn events (joins from
+//! a scenario's join curves, leaves from its regional failures). At the
+//! top of each [`Scheme::transmissions`] call it applies every event
+//! due at or before the current slot — appendix `add` dynamics for
+//! joins, `delete` for failures — and re-derives the round-robin
+//! schedule **once** per eventful slot. Because every engine (reference,
+//! fast, mega, slot-faithful DES) asks for transmissions exactly once
+//! per slot in increasing order, the growth replays bit-identically
+//! with no engine-loop support at all; the differential oracles close
+//! the loop in `tests/scenario.rs`.
+//!
+//! Identity bookkeeping: the engines' node ids are the *resolved* ids —
+//! `1..=N₀` for initial members, then fresh monotone ids per join,
+//! exactly the ids [`clustream_workloads::ChurnTrace::resolve`] hands
+//! out. The engine id space is sized for the final population up front
+//! ([`Scheme::num_receivers`] returns the largest id ever used), so
+//! state tables never resize mid-run; nodes simply receive nothing
+//! before they join. Runs are therefore *lossy by design* (joiners miss
+//! every pre-join packet) and should run under a zero-rate fault plan,
+//! the established fault-tolerant-regime idiom.
+
+use clustream_core::{CoreError, NodeId, Scheme, Slot, StateView, Transmission, SOURCE};
+use clustream_multitree::dynamics::{DynamicForest, ExtId};
+use clustream_multitree::{Construction, MultiTreeScheme, StreamMode};
+use clustream_workloads::scenario::ScenarioPlan;
+use clustream_workloads::{ResolvedChurnAction, ResolvedChurnEvent};
+use std::collections::BTreeMap;
+
+/// A multi-tree overlay that grows (and shrinks) itself from a scripted
+/// churn-event list as the run advances.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdScheme {
+    forest: DynamicForest,
+    inner: MultiTreeScheme,
+    mode: StreamMode,
+    name: String,
+    /// Largest resolved id that ever becomes a member (= engine
+    /// receiver count).
+    max_id: u64,
+    /// Slot-sorted resolved events; `cursor` marks the first unapplied.
+    events: Vec<ResolvedChurnEvent>,
+    cursor: usize,
+    /// Resolved id → slot it joined (0 for initial members).
+    join_slots: Vec<u64>,
+    /// Forest external id → resolved id.
+    ext_to_orig: BTreeMap<ExtId, u64>,
+    /// Resolved id → forest external id; absent = not currently a member.
+    orig_to_ext: BTreeMap<u64, ExtId>,
+    /// Snapshot node id (1..=members) → resolved id; index 0 unused.
+    snap_to_orig: Vec<u64>,
+    scratch: Vec<Transmission>,
+    joins_applied: u64,
+    leaves_applied: u64,
+    rebuilds: u64,
+    total_swaps: usize,
+}
+
+impl FlashCrowdScheme {
+    /// Build over `n0` initial receivers (ids `1..=n0`) with degree `d`,
+    /// scripted by `events` (sorted by slot; ties keep list order, the
+    /// order [`clustream_workloads::ChurnTrace::resolve`] produced).
+    pub fn new(
+        n0: usize,
+        d: usize,
+        mode: StreamMode,
+        construction: Construction,
+        mut events: Vec<ResolvedChurnEvent>,
+    ) -> Result<Self, CoreError> {
+        events.sort_by_key(|e| e.slot);
+        let mut max_id = n0 as u64;
+        let mut joins = 0u64;
+        let mut fails = 0u64;
+        for e in &events {
+            match e.action {
+                ResolvedChurnAction::Join { ext } | ResolvedChurnAction::Rejoin { ext } => {
+                    max_id = max_id.max(ext);
+                    joins += 1;
+                }
+                ResolvedChurnAction::Leave { ext } => {
+                    if ext > max_id {
+                        return Err(CoreError::InvalidConfig(format!(
+                            "leave event names id {ext} before any join created it"
+                        )));
+                    }
+                    fails += 1;
+                }
+            }
+        }
+        let mut join_slots = vec![0u64; max_id as usize + 1];
+        for e in &events {
+            if let ResolvedChurnAction::Join { ext } = e.action {
+                join_slots[ext as usize] = e.slot;
+            }
+        }
+        let forest = DynamicForest::new(n0, d, construction, true)?;
+        let ext_to_orig: BTreeMap<ExtId, u64> = (1..=n0 as u64).map(|i| (i, i)).collect();
+        let orig_to_ext: BTreeMap<u64, ExtId> = (1..=n0 as u64).map(|i| (i, i)).collect();
+        let mut s = FlashCrowdScheme {
+            forest,
+            inner: MultiTreeScheme::new(
+                clustream_multitree::build_forest(n0, d, construction)?,
+                mode,
+            ),
+            mode,
+            name: format!("flash-crowd(n0={n0},d={d},joins={joins},fails={fails})"),
+            max_id,
+            events,
+            cursor: 0,
+            join_slots,
+            ext_to_orig,
+            orig_to_ext,
+            snap_to_orig: Vec::new(),
+            scratch: Vec::new(),
+            joins_applied: 0,
+            leaves_applied: 0,
+            rebuilds: 0,
+            total_swaps: 0,
+        };
+        s.rebuild()?;
+        s.rebuilds = 0;
+        Ok(s)
+    }
+
+    /// Build from a [`ScenarioPlan`]: compile against `n0` initial
+    /// members and resolve with no protected nodes — the configuration
+    /// the differential and DES oracles replay.
+    pub fn from_plan(
+        n0: usize,
+        d: usize,
+        mode: StreamMode,
+        construction: Construction,
+        plan: &ScenarioPlan,
+    ) -> Result<Self, CoreError> {
+        let trace = plan.compile(n0);
+        let initial: Vec<u64> = (1..=n0 as u64).collect();
+        let resolved = trace.resolve(&initial, &[]);
+        Self::new(n0, d, mode, construction, resolved)
+    }
+
+    /// Re-derive the compact snapshot, its id translation and the
+    /// round-robin schedule from the current forest.
+    fn rebuild(&mut self) -> Result<(), CoreError> {
+        let (trees, ext_to_snap) = self.forest.snapshot()?;
+        let mut snap_to_orig = vec![0u64; self.forest.n_real() + 1];
+        for (ext, snap) in &ext_to_snap {
+            snap_to_orig[*snap as usize] = *self
+                .ext_to_orig
+                .get(ext)
+                .expect("every forest member has a resolved identity");
+        }
+        self.snap_to_orig = snap_to_orig;
+        self.inner = MultiTreeScheme::new(trees, self.mode);
+        self.rebuilds += 1;
+        Ok(())
+    }
+
+    /// Apply every scripted event due at or before slot `t`; rebuild
+    /// the schedule once if anything changed.
+    fn apply_due(&mut self, t: u64) {
+        let before = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].slot <= t {
+            let ev = self.events[self.cursor];
+            self.cursor += 1;
+            match ev.action {
+                ResolvedChurnAction::Join { ext } | ResolvedChurnAction::Rejoin { ext } => {
+                    if self.orig_to_ext.contains_key(&ext) {
+                        continue;
+                    }
+                    let (fext, report) = self.forest.add();
+                    self.ext_to_orig.insert(fext, ext);
+                    self.orig_to_ext.insert(ext, fext);
+                    self.joins_applied += 1;
+                    self.total_swaps += report.swaps;
+                }
+                ResolvedChurnAction::Leave { ext } => {
+                    let Some(&fext) = self.orig_to_ext.get(&ext) else {
+                        continue;
+                    };
+                    // The dynamics refuse to empty the forest; an
+                    // unremovable victim stays fail-silent like the
+                    // healing wrapper's.
+                    let Ok(report) = self.forest.remove(fext) else {
+                        continue;
+                    };
+                    self.orig_to_ext.remove(&ext);
+                    self.ext_to_orig.remove(&fext);
+                    self.leaves_applied += 1;
+                    self.total_swaps += report.swaps;
+                }
+            }
+        }
+        if self.cursor != before {
+            self.rebuild()
+                .expect("snapshot of a non-empty valid forest cannot fail");
+        }
+    }
+
+    /// Whether resolved id `node` is currently a member.
+    pub fn is_member(&self, node: NodeId) -> bool {
+        self.orig_to_ext.contains_key(&(node.0 as u64))
+    }
+
+    /// The tree degree `d`.
+    pub fn d(&self) -> usize {
+        self.forest.d()
+    }
+
+    /// Per-id join slots, indexed by resolved id (0 for the source and
+    /// for initial members). Feeds the QoE timelines.
+    pub fn join_slots(&self) -> &[u64] {
+        &self.join_slots
+    }
+
+    /// Joins applied so far.
+    pub fn joins_applied(&self) -> u64 {
+        self.joins_applied
+    }
+
+    /// Scripted failures applied so far.
+    pub fn leaves_applied(&self) -> u64 {
+        self.leaves_applied
+    }
+
+    /// Schedule rebuilds performed (once per eventful slot).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Total forest label swaps across all applied events.
+    pub fn total_swaps(&self) -> usize {
+        self.total_swaps
+    }
+
+    /// Slot of the last scripted event (the crowd is settled after it).
+    pub fn settled_slot(&self) -> u64 {
+        self.events.last().map(|e| e.slot).unwrap_or(0)
+    }
+
+    /// The forest driving the schedule (tests validate its invariants).
+    pub fn forest(&self) -> &DynamicForest {
+        &self.forest
+    }
+
+    fn translate(&self, id: u32) -> NodeId {
+        if id == 0 {
+            SOURCE
+        } else {
+            NodeId(self.snap_to_orig[id as usize] as u32)
+        }
+    }
+}
+
+impl Scheme for FlashCrowdScheme {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn num_receivers(&self) -> usize {
+        self.max_id as usize
+    }
+
+    fn send_capacity(&self, node: NodeId) -> usize {
+        if node.is_source() {
+            self.forest.d()
+        } else {
+            1
+        }
+    }
+
+    fn availability(&self) -> clustream_core::Availability {
+        self.mode.availability()
+    }
+
+    fn transmissions(&mut self, slot: Slot, view: &dyn StateView, out: &mut Vec<Transmission>) {
+        self.apply_due(slot.t());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        self.inner.transmissions(slot, view, &mut scratch);
+        for tx in &scratch {
+            out.push(Transmission {
+                from: self.translate(tx.from.0),
+                to: self.translate(tx.to.0),
+                packet: tx.packet,
+                latency: tx.latency,
+            });
+        }
+        self.scratch = scratch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clustream_sim::{FaultPlan, SimConfig, Simulator};
+
+    fn step_plan(joins: u64, at: u64) -> ScenarioPlan {
+        ScenarioPlan::parse(&format!("step:{joins}@{at}")).unwrap()
+    }
+
+    /// The established fault-tolerant-regime idiom: zero-rate loss so
+    /// joiner gaps are reported instead of erroring the run.
+    fn lossy_cfg(track: u64, slots: u64) -> SimConfig {
+        SimConfig::with_faults(track, slots, FaultPlan::loss(0.0, 1))
+    }
+
+    #[test]
+    fn no_events_matches_static_multitree() {
+        let mut crowd = FlashCrowdScheme::from_plan(
+            27,
+            3,
+            StreamMode::PreRecorded,
+            Construction::Greedy,
+            &ScenarioPlan::default(),
+        )
+        .unwrap();
+        let mut fixed = MultiTreeScheme::new(
+            clustream_multitree::build_forest(27, 3, Construction::Greedy).unwrap(),
+            StreamMode::PreRecorded,
+        );
+        let cfg = SimConfig::until_complete(24, 10_000);
+        let a = Simulator::run(&mut crowd, &cfg).unwrap();
+        let b = Simulator::run(&mut fixed, &cfg).unwrap();
+        assert_eq!(a.qos.max_delay(), b.qos.max_delay());
+        assert_eq!(a.qos.max_buffer(), b.qos.max_buffer());
+        assert_eq!(a.arrivals, b.arrivals);
+    }
+
+    #[test]
+    fn joiners_become_members_and_receive() {
+        let plan = step_plan(6, 4);
+        let mut crowd =
+            FlashCrowdScheme::from_plan(8, 2, StreamMode::PreRecorded, Construction::Greedy, &plan)
+                .unwrap();
+        assert_eq!(crowd.num_receivers(), 14);
+        let r = Simulator::run(&mut crowd, &lossy_cfg(24, 200)).unwrap();
+        assert_eq!(crowd.joins_applied(), 6);
+        assert!(crowd.is_member(NodeId(14)));
+        // Every joiner eventually holds late-window packets.
+        for node in 9..=14u32 {
+            assert!(
+                r.arrivals.usable_slot(NodeId(node), 23.into()).is_some(),
+                "joiner {node} missing packet 23"
+            );
+        }
+        crowd.forest().validate().unwrap();
+    }
+
+    #[test]
+    fn regional_failure_silences_the_region() {
+        let plan = ScenarioPlan::parse("fail:3-5@6").unwrap();
+        let mut crowd =
+            FlashCrowdScheme::from_plan(9, 3, StreamMode::PreRecorded, Construction::Greedy, &plan)
+                .unwrap();
+        let _ = Simulator::run(&mut crowd, &lossy_cfg(16, 120)).unwrap();
+        assert_eq!(crowd.leaves_applied(), 3);
+        for dead in 3..=5u32 {
+            assert!(!crowd.is_member(NodeId(dead)));
+        }
+        // The dead ids never appear in the schedule again.
+        struct NoView;
+        impl StateView for NoView {
+            fn holds(&self, _: NodeId, _: clustream_core::PacketId) -> bool {
+                false
+            }
+            fn newest(&self, _: NodeId) -> Option<clustream_core::PacketId> {
+                None
+            }
+            fn slot(&self) -> Slot {
+                Slot(0)
+            }
+        }
+        let mut out = Vec::new();
+        for t in 120..180 {
+            out.clear();
+            crowd.transmissions(Slot(t), &NoView, &mut out);
+            for tx in &out {
+                assert!(
+                    !(3..=5).contains(&tx.to.0),
+                    "dead node {} scheduled",
+                    tx.to.0
+                );
+                assert!(
+                    !(3..=5).contains(&tx.from.0),
+                    "dead node {} sending",
+                    tx.from.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eventful_slots_rebuild_once() {
+        let plan = ScenarioPlan::parse("step:10@3,step:5@7").unwrap();
+        let mut crowd =
+            FlashCrowdScheme::from_plan(6, 2, StreamMode::PreRecorded, Construction::Greedy, &plan)
+                .unwrap();
+        let _ = Simulator::run(&mut crowd, &lossy_cfg(12, 100)).unwrap();
+        assert_eq!(crowd.rebuilds(), 2, "one rebuild per eventful slot");
+        assert_eq!(crowd.settled_slot(), 7);
+    }
+
+    #[test]
+    fn join_slots_index_resolved_ids() {
+        let plan = step_plan(3, 9);
+        let crowd =
+            FlashCrowdScheme::from_plan(4, 2, StreamMode::PreRecorded, Construction::Greedy, &plan)
+                .unwrap();
+        let js = crowd.join_slots();
+        assert_eq!(js.len(), 8);
+        assert!(js[..5].iter().all(|&s| s == 0));
+        assert!(js[5..].iter().all(|&s| s == 9));
+    }
+}

@@ -16,6 +16,11 @@
 //!   delete/add dynamics, promoting an all-leaf node into the crashed
 //!   node's interior positions (≤ `d²` members displaced per operation)
 //!   and re-deriving the round-robin schedule mid-run.
+//! * [`FlashCrowdScheme`] — the same forest dynamics driven by a
+//!   *scripted* event list instead of engine callbacks: a scenario's
+//!   join curves and regional failures apply at the top of each slot's
+//!   transmissions call, so flash-crowd growth replays bit-identically
+//!   on every engine.
 //! * [`NackManager`] + [`RepairBuffer`] — NACK-based retransmission of
 //!   gap packets with capped, jittered, seeded exponential backoff,
 //!   served from bounded per-node repair buffers, degrading gracefully
@@ -29,6 +34,7 @@
 
 pub mod buffer;
 pub mod config;
+pub mod crowd;
 pub mod detector;
 pub mod heal;
 pub mod nack;
@@ -36,6 +42,7 @@ pub mod wallclock;
 
 pub use buffer::RepairBuffer;
 pub use config::{RecoveryConfig, RecoveryMode};
+pub use crowd::FlashCrowdScheme;
 pub use detector::{FailureDetector, TimeoutVerdict};
 pub use heal::SelfHealingMultiTree;
 pub use nack::NackManager;

@@ -69,6 +69,23 @@ impl SimConfig {
         }
     }
 
+    /// The fault-tolerant regime without injected faults: a zero-rate
+    /// loss plan turns on lossy *reporting* (missing packets become a
+    /// [`crate::faults::LossReport`] and resilience metrics instead of a
+    /// hiccup error) while the loss RNG never fires. This is the
+    /// configuration for runs that are lossy *by design* — flash-crowd
+    /// scenarios where joiners miss every pre-join packet, or repair
+    /// interleavings where departed members stay in the id space — and
+    /// it behaves identically on the reference, fast, mega and
+    /// slot-faithful DES engines.
+    pub fn lossy_regime(track_packets: u64, max_slots: u64) -> Self {
+        Self::with_faults(
+            track_packets,
+            max_slots,
+            crate::faults::FaultPlan::loss(0.0, 0),
+        )
+    }
+
     /// Enable transmission tracing on this configuration.
     pub fn traced(mut self) -> Self {
         self.record_trace = true;

@@ -125,6 +125,17 @@ pub mod names {
     /// Histogram: update-receipt to barrier-splice lag, microseconds.
     pub const NET_REPAIR_SPLICE_LAG_US: &str = "net.repair.splice_lag_us";
 
+    // ----------------------------------------------- scenario suite / QoE
+    /// Counter: flash-crowd joins applied during a scenario run.
+    pub const SCENARIO_JOINS: &str = "scenario.joins";
+    /// Counter: regional-failure departures applied during a scenario run.
+    pub const SCENARIO_FAILURES: &str = "scenario.failures";
+    /// Gauge: interrupted nodes at the paper's `h·d` delay budget
+    /// (Wait policy), per thousand members.
+    pub const QOE_INTERRUPTED_PER_MILLE: &str = "qoe.interrupted_per_mille";
+    /// Gauge: total stall slots at the `h·d` budget (Wait policy).
+    pub const QOE_STALL_SLOTS: &str = "qoe.stall_slots";
+
     // ---------------------------------------------------- parallel sweep
     /// Span: one full sweep call.
     pub const SWEEP_RUN: &str = "sweep.run";

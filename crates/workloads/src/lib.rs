@@ -3,16 +3,29 @@
 //! * [`churn`] — churn traces (Poisson arrivals, exponential lifetimes)
 //!   driving the multi-tree dynamics experiments; fully seeded and
 //!   serde-serializable so runs are replayable;
+//! * [`scenario`] — scripted flash crowds (step/ramp/spike-train join
+//!   curves) and correlated regional failures, compiled to `ChurnTrace`
+//!   events replayable by every engine;
+//! * [`qoe`] — quality-of-experience metrics over per-node arrival
+//!   timelines: interruption probability, initial-buffering tradeoff
+//!   curves, throughput–smoothness frontiers;
 //! * [`sweep`] — population grids for the Figure 4 / Table 1 sweeps.
 
 #![warn(missing_docs)]
 
 pub mod churn;
 pub mod populations;
+pub mod qoe;
+pub mod scenario;
 pub mod sweep;
 
 pub use churn::{
     ChurnAction, ChurnEvent, ChurnTrace, ChurnTraceConfig, ResolvedChurnAction, ResolvedChurnEvent,
 };
 pub use populations::{adversarial_ns, boundary_ns, complete_ns, special_ns};
+pub use qoe::{
+    initial_buffering_frontier, play, summarize, throughput_smoothness_frontier, NodeQoe,
+    NodeTimeline, PlayPolicy, QoeSummary,
+};
+pub use scenario::{JoinCurve, RegionalFailure, ScenarioPlan};
 pub use sweep::{geometric_grid, linear_grid};

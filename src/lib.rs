@@ -98,8 +98,8 @@ pub mod prelude {
         Transmission, SOURCE,
     };
     pub use clustream_des::{
-        CheckedQueue, DesConfig, DesEngine, DesOracle, Event, EventKind, EventQueue, HeapQueue,
-        LatencyModel, QueueKind, UplinkModel, WheelQueue,
+        CapacityClass, CapacityClassPlan, CheckedQueue, DesConfig, DesEngine, DesOracle, Event,
+        EventKind, EventQueue, HeapQueue, LatencyModel, QueueKind, UplinkModel, WheelQueue,
     };
     pub use clustream_hypercube::HypercubeStream;
     pub use clustream_mc::{
@@ -114,13 +114,19 @@ pub mod prelude {
         RunTrace, SchemeParams, Transport,
     };
     pub use clustream_overlay::{Backbone, ClusterSession, IntraScheme};
-    pub use clustream_recovery::{RecoveryConfig, RecoveryMode, SelfHealingMultiTree};
+    pub use clustream_recovery::{
+        FlashCrowdScheme, RecoveryConfig, RecoveryMode, SelfHealingMultiTree,
+    };
     pub use clustream_sim::{
         diff_fields, sweep, ArrivalTable, DiffHarness, FastEngine, FastSimulator, MegaEngine,
         MegaSimulator, RunResult, SimConfig, Simulator,
     };
     pub use clustream_telemetry::{MemoryRecorder, Recorder, Telemetry};
-    pub use clustream_workloads::{ChurnAction, ChurnTrace, ChurnTraceConfig};
+    pub use clustream_workloads::{
+        initial_buffering_frontier, summarize, throughput_smoothness_frontier, ChurnAction,
+        ChurnTrace, ChurnTraceConfig, JoinCurve, NodeTimeline, PlayPolicy, QoeSummary,
+        RegionalFailure, ScenarioPlan,
+    };
 }
 
 /// Pick the scheme the paper's Table 1 recommends for given QoS

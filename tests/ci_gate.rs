@@ -82,9 +82,44 @@ fn script_parses_and_defines_both_tiers() {
         "--chaos drop:0@0=0.05,gray:2@0=1",
         "--chaos partition:0/1@2+4,partition:0/2@4+4",
         "--repair true",
+        // The scenario-suite stages: a 10^3-join flash crowd closed by
+        // the slot/DES oracle in every tier, and the 10^5-join crowd on
+        // the mega engine plus the capacity-class heterogeneity sweep
+        // in the merge gate.
+        "--joins 1000 --oracle",
+        "--joins 100000 --engine mega",
+        "ext_heterogeneity",
     ] {
         assert!(text.contains(needle), "ci.sh lost `{needle}`");
     }
+}
+
+#[test]
+fn scenario_stages_sit_on_the_right_tiers() {
+    // The 10^3-join oracle-closed crowd smoke belongs to the edit loop
+    // (before the full-tier gate); the 10^5-join mega crowd and the
+    // heterogeneity sweep are merge-gate-only (after it).
+    let text = std::fs::read_to_string(ci_script()).unwrap();
+    let smoke = text
+        .find("stage \"flash-crowd smoke (10^3 joins, oracle-closed)\"")
+        .expect("ci.sh lost the flash-crowd smoke stage");
+    let crowd = text
+        .find("stage \"flash-crowd acceptance (10^5 joins, mega + QoE frontiers)\"")
+        .expect("ci.sh lost the 10^5-join flash-crowd stage");
+    let hetero = text
+        .find("stage \"heterogeneity sweep (capacity classes + per-class QoE)\"")
+        .expect("ci.sh lost the heterogeneity sweep stage");
+    let full_gate = text
+        .find("[ \"$TIER\" = full ]")
+        .expect("ci.sh lost the full-tier gate");
+    assert!(
+        smoke < full_gate,
+        "the flash-crowd smoke must run in the quick tier"
+    );
+    assert!(
+        crowd > full_gate && hetero > full_gate,
+        "the acceptance crowd and heterogeneity sweep are merge-gate-only"
+    );
 }
 
 #[test]

@@ -124,4 +124,76 @@ proptest! {
             forest.validate().unwrap();
         }
     }
+
+    /// A pure join storm (the flash-crowd ingredient): every single add
+    /// respects the appendix `d²` displacement bound, incumbents keep
+    /// their external ids throughout, and newcomers draw monotonically
+    /// increasing fresh ids — the property that lets
+    /// [`clustream_workloads::ChurnTrace::resolve`] and the forest agree
+    /// on identity without a side channel.
+    #[test]
+    fn join_storms_bound_displacement_and_preserve_ids(
+        n in 4usize..24,
+        d in 2usize..5,
+        storm in 1usize..80,
+    ) {
+        let mut forest = DynamicForest::new(n, d, Construction::Greedy, true).unwrap();
+        let incumbents = forest.members();
+        for expected_next in (n as u64 + 1)..(n as u64 + 1 + storm as u64) {
+            let (ext, report) = forest.add();
+            prop_assert_eq!(ext, expected_next, "fresh ids must be monotone");
+            prop_assert!(
+                report.displaced.len() <= d * d,
+                "join displaced {} > d² = {} (resized {:?})",
+                report.displaced.len(),
+                d * d,
+                report.resized
+            );
+            // A join never evicts anyone: every incumbent is still a
+            // member under the same external id.
+            prop_assert!(
+                !report.displaced.contains(&0),
+                "the source can never be displaced"
+            );
+        }
+        forest.validate().unwrap();
+        let after = forest.members();
+        for id in &incumbents {
+            prop_assert!(after.contains(id), "incumbent {id} lost its id in the storm");
+        }
+        prop_assert_eq!(after.len(), incumbents.len() + storm);
+    }
+
+    /// End-to-end join storm through the flash-crowd scheme: once the
+    /// storm has settled, **no survivor is missing a packet** from the
+    /// post-settle window — incumbents and joiners alike hold the tail
+    /// of the tracked stream, and the run closes on the reference engine
+    /// in the fault-tolerant regime (transient duplicates to displaced
+    /// nodes are permitted — they are the cost the appendix bounds).
+    #[test]
+    fn settled_join_storms_leave_no_survivor_behind(
+        n0 in 4usize..12,
+        d in 2usize..4,
+        joins in 1u64..20,
+        at in 0u64..10,
+    ) {
+        let plan = ScenarioPlan::parse(&format!("step:{joins}@{at}")).unwrap();
+        let mut crowd = FlashCrowdScheme::from_plan(
+            n0, d, StreamMode::PreRecorded, Construction::Greedy, &plan,
+        ).unwrap();
+        let cfg = SimConfig::lossy_regime(12, 500);
+        let r = Simulator::run(&mut crowd, &cfg).unwrap();
+        prop_assert_eq!(crowd.joins_applied(), joins);
+        prop_assert!(crowd.settled_slot() >= at);
+        // The last tracked packet leaves the source well after the storm
+        // (at < 10 < 11): every member must hold it.
+        for id in 1..=(n0 as u64 + joins) {
+            prop_assert!(crowd.is_member(NodeId(id as u32)));
+            prop_assert!(
+                r.arrivals.usable_slot(NodeId(id as u32), PacketId(11)).is_some(),
+                "survivor {id} missing packet 11 after the storm settled"
+            );
+        }
+        crowd.forest().validate().unwrap();
+    }
 }

@@ -1,0 +1,188 @@
+//! Flash-crowd scenario differential suite: a [`ScenarioPlan`] compiled
+//! to scripted churn and replayed through [`FlashCrowdScheme`] must
+//! produce **bit-identical** results on every engine — reference, fast,
+//! mega (via [`DiffHarness`]) and the DES in slot-faithful mode (via
+//! [`DesOracle`]). The scheme applies its scripted joins and regional
+//! failures at the top of each `transmissions(slot)` call, which every
+//! engine invokes exactly once per slot in order, so growth mid-run is
+//! engine-invisible by construction; this suite enforces that argument
+//! over arbitrary join curves (step, ramp, spike trains) and failure
+//! regions.
+//!
+//! Runs use the fault-tolerant regime ([`SimConfig::lossy_regime`]):
+//! late joiners necessarily miss the head of the window, which must be
+//! *reported* (loss accounting), not fatal — on every engine alike.
+//!
+//! Named regressions at the bottom pin the two shapes that stress the
+//! dynamics hardest: a join wave landing at slot 0 (growth before the
+//! first transmission is ever scheduled) and a burst much larger than
+//! the current forest (repeated `+d` grows plus full relabelling in one
+//! eventful slot).
+
+use clustream::prelude::*;
+use proptest::prelude::*;
+
+/// Assertion-friendly wrapper: `None` = reference, fast and mega agree.
+fn divergence(factory: impl FnMut() -> Box<dyn Scheme>, cfg: &SimConfig) -> Option<String> {
+    match DiffHarness::check(factory, cfg) {
+        Ok(_) | Err(None) => None,
+        Err(Some(d)) => Some(d),
+    }
+}
+
+/// Assertion-friendly wrapper: `None` = fast slot engine ≡ DES.
+fn des_divergence(factory: impl FnMut() -> Box<dyn Scheme>, cfg: &SimConfig) -> Option<String> {
+    match DesOracle::check(factory, cfg) {
+        Ok(_) | Err(None) => None,
+        Err(Some(d)) => Some(d),
+    }
+}
+
+/// Build one sampled join curve from raw draws (the proptest shim has no
+/// `prop_oneof`, so variants are selected by integer tag).
+fn build_curve(kind: u32, joins: u64, start: u64, span: u64, count: u64) -> JoinCurve {
+    match kind % 3 {
+        0 => JoinCurve::Step { joins, at: start },
+        1 => JoinCurve::Ramp {
+            joins,
+            start,
+            duration: span,
+        },
+        _ => JoinCurve::SpikeTrain {
+            joins,
+            start,
+            period: span,
+            count,
+        },
+    }
+}
+
+fn crowd_factory(n0: usize, d: usize, plan: ScenarioPlan) -> impl FnMut() -> Box<dyn Scheme> {
+    move || {
+        Box::new(
+            FlashCrowdScheme::from_plan(
+                n0,
+                d,
+                StreamMode::PreRecorded,
+                Construction::Greedy,
+                &plan,
+            )
+            .expect("sampled plans are well-formed"),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reference, fast and mega engines agree bit for bit on arbitrary
+    /// flash-crowd replays, and the slot world agrees with the DES.
+    #[test]
+    fn flash_crowd_replays_are_engine_agnostic(
+        geometry in (4usize..12, 2usize..4, any::<bool>()),
+        shape in ((0u32..3, 1u64..16), (0u64..10, 1u64..6, 1u64..4)),
+    ) {
+        let (n0, d, with_fail) = geometry;
+        let ((kind, joins), (start, span, count)) = shape;
+        let mut plan = ScenarioPlan {
+            curves: vec![build_curve(kind, joins, start, span, count)],
+            failures: vec![],
+        };
+        if with_fail {
+            // A small region of initial members (node 0 is the source,
+            // so regions start at 1), failing mid-curve.
+            let lo = 1 + (start % (n0 as u64 - 1));
+            let hi = (lo + 1).min(n0 as u64);
+            plan.failures.push(RegionalFailure { lo, hi, at: start + 2 });
+        }
+        let cfg = SimConfig::lossy_regime(12, 400);
+
+        let div = divergence(crowd_factory(n0, d, plan.clone()), &cfg);
+        prop_assert!(div.is_none(), "slot engines diverge: {}", div.unwrap());
+
+        let div = des_divergence(crowd_factory(n0, d, plan), &cfg);
+        prop_assert!(div.is_none(), "slot vs DES diverge: {}", div.unwrap());
+    }
+
+    /// The compiled trace is deterministic: compiling and resolving the
+    /// same plan twice yields schemes that replay identically (the
+    /// factory contract [`DiffHarness`] and [`DesOracle`] rely on).
+    #[test]
+    fn compiled_plans_are_deterministic(
+        n0 in 4usize..10,
+        joins in 1u64..12,
+        at in 0u64..8,
+    ) {
+        let plan = ScenarioPlan::parse(&format!("step:{joins}@{at}")).unwrap();
+        let a = plan.compile(n0);
+        let b = plan.compile(n0);
+        let initial: Vec<u64> = (1..=n0 as u64).collect();
+        prop_assert_eq!(a.resolve(&initial, &[]), b.resolve(&initial, &[]));
+    }
+}
+
+/// Joins scripted for slot 0 must apply before the very first
+/// transmission is scheduled — on every engine. The joiners were present
+/// from the start, so this run is *not* lossy: everyone gets everything,
+/// and the strict (fault-free) regime must close cleanly too.
+#[test]
+fn join_at_slot_0_is_engine_agnostic() {
+    let plan = ScenarioPlan::parse("step:6@0").unwrap();
+    let cfg = SimConfig::until_complete(16, 10_000);
+
+    let div = divergence(crowd_factory(5, 2, plan.clone()), &cfg);
+    assert!(div.is_none(), "slot engines diverge: {}", div.unwrap());
+
+    let r = DesOracle::check(crowd_factory(5, 2, plan), &cfg).expect("oracle-closed");
+    // All 11 receivers (5 incumbents + 6 slot-0 joiners) hold the window.
+    for id in 1..=11u32 {
+        for p in 0..16u64 {
+            assert!(
+                r.arrivals.usable_slot(NodeId(id), p.into()).is_some(),
+                "node {id} missing packet {p}"
+            );
+        }
+    }
+}
+
+/// A join burst an order of magnitude larger than the current forest:
+/// n₀ = 4 receivers absorb 100 joins in one eventful slot, forcing
+/// repeated `+d` grows and a full snapshot relabel. Must stay
+/// oracle-closed (slot ≡ DES) and agree across the slot engines.
+#[test]
+fn join_burst_larger_than_forest_is_engine_agnostic() {
+    let plan = ScenarioPlan::parse("step:100@3").unwrap();
+    let cfg = SimConfig::lossy_regime(16, 600);
+
+    let div = divergence(crowd_factory(4, 3, plan.clone()), &cfg);
+    assert!(div.is_none(), "slot engines diverge: {}", div.unwrap());
+
+    let r = DesOracle::check(crowd_factory(4, 3, plan.clone()), &cfg).expect("oracle-closed");
+    // Every joiner eventually receives the tail of the tracked window.
+    let mut crowd =
+        FlashCrowdScheme::from_plan(4, 3, StreamMode::PreRecorded, Construction::Greedy, &plan)
+            .unwrap();
+    let _ = Simulator::run(&mut crowd, &cfg).unwrap();
+    assert_eq!(crowd.joins_applied(), 100);
+    for id in 5..=104u32 {
+        assert!(
+            r.arrivals.usable_slot(NodeId(id), 15.into()).is_some(),
+            "joiner {id} missing packet 15"
+        );
+    }
+    crowd.forest().validate().unwrap();
+}
+
+/// Regional failures layered on a join wave stay engine-agnostic: the
+/// membership set shrinks mid-run and the survivors' replay must still
+/// be bit-identical everywhere.
+#[test]
+fn crowd_with_regional_failure_is_engine_agnostic() {
+    let plan = ScenarioPlan::parse("ramp:12@2+6,fail:2-4@10").unwrap();
+    let cfg = SimConfig::lossy_regime(12, 400);
+
+    let div = divergence(crowd_factory(8, 2, plan.clone()), &cfg);
+    assert!(div.is_none(), "slot engines diverge: {}", div.unwrap());
+    let div = des_divergence(crowd_factory(8, 2, plan), &cfg);
+    assert!(div.is_none(), "slot vs DES diverge: {}", div.unwrap());
+}
